@@ -1,0 +1,76 @@
+//! Criterion measurements of breakpoint localization (E8): the paper's
+//! doubling-plus-bisection inverse-filtering strategy vs the exact
+//! incremental `d_min` scan, on the §4.1 worked examples.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crc_hd::dmin::dmin;
+use crc_hd::filter::breakpoint_search;
+use crc_hd::GenPoly;
+
+fn g32(k: u64) -> GenPoly {
+    GenPoly::from_koopman(32, k).expect("valid")
+}
+
+/// The 802.3 HD=5→4 breakpoint at 2974/2975 — the paper's "under a minute
+/// of total CPU time" worked example.
+fn bench_802_3_breakpoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("breakpoint_802_3_hd5");
+    group.sample_size(10);
+    let ieee = g32(0x82608EDB);
+    group.bench_function("doubling_bisect", |b| {
+        b.iter(|| {
+            let (len, _) = breakpoint_search(&ieee, 5, 65_536).unwrap();
+            assert_eq!(len, 2_974);
+        })
+    });
+    group.bench_function("incremental_dmin4", |b| {
+        b.iter(|| {
+            let d = dmin(&ieee, 4, 65_536).unwrap();
+            assert_eq!(d, Some(3_006));
+        })
+    });
+    group.finish();
+}
+
+/// The 0xBA0DC66B HD=6 boundary at 16360/16361 — what took the paper
+/// "7.4 seconds" (fail side) and "19 days" (confirm side).
+fn bench_ba0dc66b_boundary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("breakpoint_ba0dc66b_hd6");
+    group.sample_size(10);
+    let g = g32(0xBA0DC66B);
+    group.bench_function("exact_dmin4_confirm", |b| {
+        b.iter(|| {
+            let d = dmin(&g, 4, 20_000).unwrap();
+            assert_eq!(d, Some(16_392));
+        })
+    });
+    group.finish();
+}
+
+/// `d_min(4)` scan cost across the Table 1 polynomials — the dominant
+/// cost of the whole Table 1 regeneration.
+fn bench_dmin4_by_poly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dmin4");
+    group.sample_size(10);
+    for (k, cap) in [
+        (0x8F6E37A0u64, 6_000u32), // found at 5275
+        (0xBA0DC66B, 17_000),      // found at 16392
+        (0xFA567D89, 33_000),      // found at 32768
+    ] {
+        let g = g32(k);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{k:08X}")),
+            &cap,
+            |b, &cap| b.iter(|| dmin(&g, 4, cap).unwrap().expect("within cap")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_802_3_breakpoint,
+    bench_ba0dc66b_boundary,
+    bench_dmin4_by_poly
+);
+criterion_main!(benches);

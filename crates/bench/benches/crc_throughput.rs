@@ -1,0 +1,41 @@
+//! CRC engine throughput: bit-at-a-time reference vs 256-entry table vs
+//! slice-by-8, across representative catalog algorithms (E14).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use crckit::{catalog, Crc};
+
+fn bench_engines(c: &mut Criterion) {
+    let data: Vec<u8> = (0..65_536u32).map(|i| (i * 31 + 7) as u8).collect();
+    let mut group = c.benchmark_group("crc_engines");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.sample_size(20);
+    for params in [
+        catalog::CRC32_ISO_HDLC,
+        catalog::CRC32_ISCSI,
+        catalog::CRC32_MEF,
+        catalog::CRC32_BZIP2, // unreflected path
+        catalog::CRC64_XZ,
+        catalog::CRC16_ARC,
+    ] {
+        let crc = Crc::new(params);
+        group.bench_with_input(
+            BenchmarkId::new("slice8", params.name),
+            &data,
+            |b, data| b.iter(|| crc.checksum(data)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bytewise", params.name),
+            &data,
+            |b, data| b.iter(|| crc.checksum_bytewise(data)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bitwise", params.name),
+            &data,
+            |b, data| b.iter(|| crc.checksum_bitwise(data)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

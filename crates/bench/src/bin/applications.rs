@@ -1,0 +1,131 @@
+//! The paper's §4.3/§4.4 application studies: the iSCSI polynomial choice,
+//! jumbo frames, and application-level CRCs — quantified with exact
+//! weights and exercised end-to-end through the netsim substrate.
+//!
+//! Usage: `cargo run --release -p crc-experiments --bin applications
+//! [--trials 20000]`
+
+use crc_experiments::{arg_or, poly};
+use crc_hd::profile::HdProfile;
+use crc_hd::report::TextTable;
+use crc_hd::weights::weights234;
+use crckit::catalog;
+use netsim::channel::{BurstChannel, GilbertElliottChannel};
+use netsim::frame::{FrameCodec, IscsiPdu};
+use netsim::montecarlo::{run_trials, TrialConfig};
+
+fn main() {
+    let trials: u64 = arg_or("--trials", 20_000);
+
+    // ---- §4.3: the iSCSI candidate comparison ---------------------------
+    println!("[iSCSI] HD and exact W4 at key message sizes (data-word bits):\n");
+    let sizes = [4_096u32, 12_112, 16_360, 72_112, 114_663];
+    let candidates = [
+        (0x8F6E37A0u64, "CRC-32C (iSCSI draft, Sheinwald00)"),
+        (0xBA0DC66B, "0xBA0DC66B (paper's proposal)"),
+        (0x82608EDB, "IEEE 802.3 (legacy baseline)"),
+    ];
+    let mut t = TextTable::new(
+        std::iter::once("size".to_string())
+            .chain(candidates.iter().map(|(_, name)| name.to_string())),
+    );
+    let profiles: Vec<(u64, HdProfile)> = candidates
+        .iter()
+        .map(|&(k, _)| {
+            (
+                k,
+                HdProfile::compute(&poly(k), 131_072).expect("profile"),
+            )
+        })
+        .collect();
+    for size in sizes {
+        let mut row = vec![size.to_string()];
+        for (k, p) in &profiles {
+            let _ = k;
+            row.push(format!("HD={}", p.hd_at(size).unwrap_or(17)));
+        }
+        t.push_row(row);
+    }
+    println!("{}", t.render());
+    let mtu = 12_112;
+    let ba = &profiles[1].1;
+    let cast = &profiles[0].1;
+    assert_eq!(ba.hd_at(mtu), Some(6));
+    assert_eq!(cast.hd_at(mtu), Some(4));
+    println!(
+        "§4.3 reproduced: the {{1,3,28}} polynomial gives two extra bits of HD at the\n\
+         MTU and keeps HD=4 to {} bits (>9 MTUs), vs CRC-32C's HD=4-at-MTU.\n",
+        ba.max_len_for_hd(4).unwrap()
+    );
+
+    // Exact W4 at the MTU for the two iSCSI candidates.
+    for (k, name) in &candidates[..2] {
+        let w = weights234(&poly(*k), mtu).expect("below order");
+        println!("  {name}: W4(MTU) = {}", w.w4);
+    }
+
+    // ---- §4.4: jumbo frames ---------------------------------------------
+    println!("\n[jumbo] 9000-byte jumbo payload = 72112-bit data word:");
+    for (k, p) in &profiles {
+        println!("  0x{k:08X}: HD={:?} at 72112 bits", p.hd_at(72_112));
+    }
+    println!(
+        "  both modern candidates hold HD=4 at jumbo sizes; 802.3 does too (to 91607),\n\
+         matching the paper's observation that jumbo packets reuse the legacy CRC.\n"
+    );
+
+    // ---- End-to-end PDU exercise over bursty channels -------------------
+    println!("[netsim] iSCSI-like PDUs over a Gilbert–Elliott channel ({trials} trials):");
+    let mut t = TextTable::new(["digest", "clean", "detected", "undetected"]);
+    for (pdu_name, params) in [
+        ("CRC-32C", catalog::CRC32_ISCSI),
+        ("0xBA0DC66B/MEF", catalog::CRC32_MEF),
+    ] {
+        let codec = FrameCodec::new(params);
+        let mut ch = GilbertElliottChannel::new(5e-5, 5e-3, 1e-7, 5e-3);
+        let stats = run_trials(
+            &codec,
+            &mut ch,
+            &TrialConfig {
+                payload_len: 1_514,
+                trials,
+                seed: 0x15C5,
+            },
+        );
+        assert_eq!(stats.undetected, 0, "32-bit CRCs see no undetected events at this scale");
+        t.push_row([
+            pdu_name.to_string(),
+            stats.clean.to_string(),
+            stats.detected.to_string(),
+            stats.undetected.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // Burst guarantee across a full PDU.
+    let pdu = IscsiPdu::koopman();
+    let wire = pdu.encode(b"op", &vec![0u8; 4096]);
+    let codec = FrameCodec::new(catalog::CRC32_MEF);
+    let mut burst = BurstChannel::new(32);
+    let stats = run_trials(
+        &codec,
+        &mut burst,
+        &TrialConfig {
+            payload_len: wire.len() - 4,
+            trials: trials / 4,
+            seed: 0xB025,
+        },
+    );
+    assert_eq!(stats.undetected, 0);
+    println!(
+        "burst check: {} bursts ≤ 32 bits across a {}-byte PDU — all detected,\n\
+         the guarantee the paper notes \"remains intact for all the codes we consider\".",
+        stats.detected,
+        wire.len()
+    );
+    println!(
+        "\n[Stone00] For application-level integrity the same profiles apply at the\n\
+         application's record size: pick from Table 1 with `HdProfile` (see the\n\
+         pick_best_poly example)."
+    );
+}

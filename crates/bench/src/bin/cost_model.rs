@@ -1,0 +1,44 @@
+//! Prints the paper's §3 intractability arithmetic: why brute force was
+//! considered impossible, and how the numbers fall out exactly.
+
+use crc_hd::costmodel::{mtu_cost_model, years_at_rate};
+use crc_hd::report::with_commas;
+
+fn main() {
+    let m = mtu_cost_model();
+    println!("Paper §3 cost model, recomputed exactly:\n");
+    println!(
+        "  distinct 32-bit polynomials (reciprocal pairs merged): {}",
+        with_commas(m.polynomials as u128)
+    );
+    println!(
+        "  4-bit error patterns in a 12144-bit codeword: C(12144,4) = {}",
+        with_commas(m.patterns_4bit)
+    );
+    println!(
+        "  6-bit error patterns: C(12144,6) = {:.4e}   (paper: 4.45e21)",
+        m.patterns_6bit as f64
+    );
+    println!(
+        "  pattern x polynomial pairs: {:.4e}            (paper: >4.78e30)",
+        m.total_pairs
+    );
+    println!(
+        "  years at 10^9 pairs/s x 10^6 processors: {:.1}e6  (paper: 151 million years)",
+        m.years_at_paper_rate / 1e6
+    );
+    println!();
+    println!("And what the reproduction actually does instead:");
+    println!("  the d_min evaluator settles a polynomial's HD=6 status at the MTU in");
+    println!("  O((n+r)^2) hash probes — about 7.4e7, not 4.45e21 enumerations —");
+    let probes = 7.4e7f64;
+    println!(
+        "  i.e. ~{:.0} ns-scale probes per polynomial; the whole Table 1 runs in seconds.",
+        probes
+    );
+    println!(
+        "  (A hypothetical full 2^30-poly scan at 5 ms/poly would still need ~{:.0} days",
+        years_at_rate(m.polynomials as f64 * 5e-3 * 1e15, 1e15) * 365.25
+    );
+    println!("  on one core — the reason Table 2 is reproduced by stratified sampling.)");
+}

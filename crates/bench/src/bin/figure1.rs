@@ -1,0 +1,73 @@
+//! Regenerates **Figure 1** of the paper: HD-vs-length curves for the
+//! eight polynomials, emitted as CSV suitable for plotting (step curves
+//! with one row per band edge, plus the paper's marked packet sizes).
+//!
+//! Usage: `cargo run --release -p crc-experiments --bin figure1
+//! [--max-len 131072]`
+
+use crc_experiments::{arg_or, poly, MARKED_LENGTHS, PAPER_POLYS};
+use crc_hd::profile::HdProfile;
+use crc_hd::report::TextTable;
+
+fn main() {
+    let max_len: u32 = arg_or("--max-len", 131_072);
+
+    let profiles: Vec<(u64, HdProfile)> = PAPER_POLYS
+        .iter()
+        .map(|&(k, _, _)| {
+            (
+                k,
+                HdProfile::compute(&poly(k), max_len).expect("profile within budget"),
+            )
+        })
+        .collect();
+
+    // CSV: one step-curve per polynomial.
+    println!("poly,length_bits,hd");
+    for (k, p) in &profiles {
+        for band in p.bands() {
+            let hd = band.hd.map(|h| h.to_string()).unwrap_or_else(|| "hi".into());
+            println!("0x{k:08X},{},{hd}", band.from);
+            println!("0x{k:08X},{},{hd}", band.to);
+        }
+    }
+
+    // The annotated packet sizes from the figure's x-axis.
+    let mut t = TextTable::new(
+        std::iter::once("length".to_string())
+            .chain(std::iter::once("label".to_string()))
+            .chain(PAPER_POLYS.iter().map(|(k, _, _)| format!("{k:08X}"))),
+    );
+    for (len, label) in MARKED_LENGTHS {
+        if len > max_len {
+            continue;
+        }
+        let mut row = vec![len.to_string(), label.to_string()];
+        for (_, p) in &profiles {
+            let hd = p
+                .hd_at(len)
+                .map(|h| h.to_string())
+                .unwrap_or_else(|| "hi".into());
+            row.push(hd);
+        }
+        t.push_row(row);
+    }
+    eprintln!("\nHD at the paper's marked message sizes:\n{}", t.render());
+
+    // Shape claims of the figure (who wins where).
+    let get = |k: u64| &profiles.iter().find(|(pk, _)| *pk == k).unwrap().1;
+    let mtu = 12_112u32.min(max_len);
+    let ba = get(0xBA0DC66B);
+    let cast = get(0x8F6E37A0);
+    let ieee = get(0x82608EDB);
+    eprintln!("shape checks at 1 MTU ({mtu} bits):");
+    eprintln!(
+        "  0xBA0DC66B HD={:?} vs CRC-32C HD={:?} vs 802.3 HD={:?}",
+        ba.hd_at(mtu),
+        cast.hd_at(mtu),
+        ieee.hd_at(mtu)
+    );
+    assert!(ba.hd_at(mtu) >= cast.hd_at(mtu));
+    assert!(cast.hd_at(mtu) >= ieee.hd_at(mtu));
+    eprintln!("  OK: BA0DC66B ≥ CRC-32C ≥ 802.3 at the MTU, as in Figure 1");
+}

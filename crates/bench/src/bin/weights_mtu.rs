@@ -1,0 +1,59 @@
+//! Reproduces the paper's §2 worked example: the exact undetected-error
+//! weights of the eight polynomials at the Ethernet MTU data-word length
+//! (12112 bits) — including the headline `W₄ = 223,059` for IEEE 802.3.
+//!
+//! Usage: `cargo run --release -p crc-experiments --bin weights_mtu
+//! [--len 12112]`
+
+use crc_experiments::{arg_or, poly, PAPER_POLYS};
+use crc_hd::report::{with_commas, TextTable};
+use crc_hd::weights::{undetected_fraction, weights234};
+use std::time::Instant;
+
+fn main() {
+    let len: u32 = arg_or("--len", 12_112);
+    println!("Exact weights at {len}-bit data words ({}-bit codewords):\n", len + 32);
+
+    let mut t = TextTable::new(["poly", "class", "W2", "W3", "W4", "W4 / C(n+32,4)"]);
+    for (k, _, class) in PAPER_POLYS {
+        let g = poly(k);
+        let t0 = Instant::now();
+        let w = weights234(&g, len).expect("length below polynomial order");
+        let frac = undetected_fraction(w.w4, w.codeword_len, 4);
+        t.push_row([
+            format!("0x{k:08X}"),
+            class.to_string(),
+            with_commas(w.w2),
+            with_commas(w.w3),
+            with_commas(w.w4),
+            if w.w4 == 0 {
+                "0".to_string()
+            } else {
+                format!("{frac:.3e}")
+            },
+        ]);
+        eprintln!("  0x{k:08X} in {:.2}s", t0.elapsed().as_secs_f64());
+    }
+    println!("{}", t.render());
+
+    if len == 12_112 {
+        let ieee = weights234(&poly(0x82608EDB), len).expect("in range");
+        assert_eq!(
+            (ieee.w2, ieee.w3, ieee.w4),
+            (0, 0, 223_059),
+            "paper §2: 802.3 weights at MTU are {{W2=0; W3=0; W4=223059}}"
+        );
+        let frac = undetected_fraction(ieee.w4, ieee.codeword_len, 4);
+        println!(
+            "802.3 W4 = 223,059 reproduced exactly; undetected fraction {frac:.3e} \
+             ≈ {:.2} × 2⁻³² (paper: \"slightly more than 1 out of every 2^32\")",
+            frac * 2f64.powi(32)
+        );
+        // And the improved polynomials detect all 4-bit errors at MTU.
+        for k in [0xBA0DC66Bu64, 0xFA567D89, 0x992C1A4C, 0x90022004] {
+            let w = weights234(&poly(k), len).expect("in range");
+            assert_eq!(w.w4, 0, "0x{k:08X} must have W4 = 0 at the MTU");
+        }
+        println!("HD=6 candidates confirmed: W2 = W3 = W4 = 0 at the MTU for all four.");
+    }
+}

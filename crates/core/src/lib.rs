@@ -1,0 +1,103 @@
+//! Hamming-distance evaluation and polynomial search for CRCs — the
+//! primary contribution of Koopman's DSN 2002 paper, reproduced.
+//!
+//! # What this crate computes
+//!
+//! For a CRC generator polynomial `G` of width `r` and a data word of `n`
+//! bits, an error pattern is undetectable exactly when it is itself a valid
+//! codeword, i.e. a multiple of `G` fitting in the `n + r` codeword bits.
+//! The *Hamming distance* `HD(n)` is the smallest weight of such a
+//! multiple; the paper's Figure 1 / Table 1 chart `HD(n)` for eight 32-bit
+//! polynomials, and its §4 describes the filtering machinery used to
+//! evaluate a billion polynomials at the Ethernet MTU length.
+//!
+//! This crate reproduces all of it:
+//!
+//! * [`dmin`] — minimal-degree weight-`w` multiples `d_min(w)`, the exact
+//!   quantity behind every breakpoint in Table 1: `HD` drops below `w` at
+//!   data length `d_min(w) − (r − 1)`.
+//! * [`weights`] — exact undetected-error counts `W₂..W₄` at any length
+//!   (validating the paper's `W₄ = 223,059` for 802.3 at 12112 bits).
+//! * [`spectrum`] — the complete weight spectrum by exhaustive multiplier
+//!   enumeration at small lengths (ground truth for everything else).
+//! * [`profile`] — `HD`-vs-length profiles (a Table 1 row / Figure 1
+//!   curve) assembled from the above.
+//! * [`filter`] — the paper's §4.1 filtering pipeline: early-bailout
+//!   enumeration, FCS-bits-first ordering, increasing-length staging and
+//!   inverse filtering, for the ablation experiments.
+//! * [`search`] — parallel exhaustive search over whole polynomial spaces
+//!   (run in full at 8/16 bits, as the paper's own validation did) and the
+//!   sampled factorization-class census reproducing Table 2.
+//! * [`costmodel`] — the paper's §3 cost model ("151 million years").
+//!
+//! # Quick start
+//!
+//! ```
+//! use crc_hd::profile::HdProfile;
+//! use crc_hd::GenPoly;
+//!
+//! // Koopman's 0xBA0DC66B: HD=6 through one Ethernet MTU.
+//! let g = GenPoly::from_koopman(32, 0xBA0DC66B).unwrap();
+//! let profile = HdProfile::compute(&g, 4000).unwrap();
+//! assert_eq!(profile.hd_at(3000), Some(6));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod costmodel;
+pub mod dmin;
+pub mod filter;
+pub mod genpoly;
+pub mod posmap;
+pub mod profile;
+pub mod report;
+pub mod search;
+pub mod spectrum;
+pub mod syndrome;
+pub mod weights;
+pub mod witness;
+
+pub use genpoly::GenPoly;
+pub use profile::HdProfile;
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced by `crc-hd` operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// CRC width outside the supported 3..=64 range.
+    UnsupportedWidth(u32),
+    /// The polynomial value does not fit or lacks required bits.
+    BadPolynomial(String),
+    /// A search would exceed the configured work or memory budget.
+    BudgetExceeded {
+        /// What the estimated cost was.
+        estimated: u128,
+        /// The configured limit.
+        limit: u128,
+    },
+    /// A length argument is out of the supported range.
+    BadLength(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnsupportedWidth(w) => write!(f, "unsupported CRC width {w} (need 3..=64)"),
+            Error::BadPolynomial(s) => write!(f, "bad generator polynomial: {s}"),
+            Error::BudgetExceeded { estimated, limit } => write!(
+                f,
+                "search cost estimate {estimated} exceeds the configured limit {limit}"
+            ),
+            Error::BadLength(s) => write!(f, "bad length: {s}"),
+        }
+    }
+}
+
+impl StdError for Error {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;

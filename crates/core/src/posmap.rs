@@ -1,0 +1,332 @@
+//! Cache-friendly open-addressing hash tables for the search hot loops.
+//!
+//! The `d_min` searches perform billions of probes (the Table 1 harness
+//! probes ~2·10⁹ syndrome pairs for 0xD419CC15 alone), so `std::HashMap`'s
+//! SipHash and per-entry overhead are replaced by flat linear-probing
+//! tables with a multiplicative hash.
+
+/// Maps a syndrome value to the **first** position where it occurs.
+///
+/// Below the polynomial's order, syndromes are distinct; past it they
+/// repeat, and first-occurrence semantics keep every `d_min` search exact
+/// (see [`PosMap::insert`]).
+///
+/// Capacity is fixed at construction; positions are `u32`.
+#[derive(Debug, Clone)]
+pub struct PosMap {
+    keys: Vec<u64>,
+    vals: Vec<u32>,
+    mask: usize,
+    len: usize,
+}
+
+/// Sentinel meaning "slot empty" in [`PosMap`] (positions are < 2³¹).
+const EMPTY: u32 = u32::MAX;
+
+impl PosMap {
+    /// Creates a map able to hold `capacity` entries with load factor ≤ ½.
+    pub fn with_capacity(capacity: usize) -> PosMap {
+        let slots = (capacity.max(4) * 2).next_power_of_two();
+        PosMap {
+            keys: vec![0; slots],
+            vals: vec![EMPTY; slots],
+            mask: slots - 1,
+            len: 0,
+        }
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn slot_of(&self, key: u64) -> usize {
+        // Fibonacci hashing: multiply and take the top bits.
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & self.mask
+    }
+
+    /// Inserts a key → position mapping, keeping the **first** position
+    /// when a key repeats. Syndromes repeat only past the polynomial's
+    /// order, and every `d_min` argument works with first occurrences:
+    /// a probe hit through a first-occurrence position is still a genuine
+    /// codeword witness, and ascending-degree scans keep minimality.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is full (capacity sizing bug upstream).
+    #[inline]
+    pub fn insert(&mut self, key: u64, pos: u32) {
+        debug_assert_ne!(pos, EMPTY);
+        let mut slot = self.slot_of(key);
+        loop {
+            if self.vals[slot] == EMPTY {
+                self.keys[slot] = key;
+                self.vals[slot] = pos;
+                self.len += 1;
+                assert!(
+                    self.len * 2 <= self.keys.len(),
+                    "PosMap over-filled: capacity sizing bug"
+                );
+                return;
+            }
+            if self.keys[slot] == key {
+                return; // keep the earliest position for this syndrome
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// Looks up the position of a syndrome.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<u32> {
+        let mut slot = self.slot_of(key);
+        loop {
+            let v = self.vals[slot];
+            if v == EMPTY {
+                return None;
+            }
+            if self.keys[slot] == key {
+                return Some(v);
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+}
+
+/// A multimap from subset-XOR values to packed position subsets, used by
+/// the meet-in-the-middle `d_min` searches for weights ≥ 5.
+///
+/// Duplicate keys are stored as separate slots; lookups walk the probe
+/// chain and visit every entry with a matching key, so disjointness of
+/// position sets can be verified exactly.
+#[derive(Debug, Clone)]
+pub struct XorMultiMap {
+    keys: Vec<u64>,
+    /// Packed positions (17 bits each, up to 7 positions) or `u128::MAX`
+    /// for an empty slot.
+    vals: Vec<u128>,
+    mask: usize,
+    len: usize,
+}
+
+const SLOT_EMPTY: u128 = u128::MAX;
+
+impl XorMultiMap {
+    /// Creates a multimap able to hold `capacity` entries (load ≤ ½).
+    pub fn with_capacity(capacity: usize) -> XorMultiMap {
+        let slots = (capacity.max(4) * 2).next_power_of_two();
+        XorMultiMap {
+            keys: vec![0; slots],
+            vals: vec![SLOT_EMPTY; slots],
+            mask: slots - 1,
+            len: 0,
+        }
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn slot_of(&self, key: u64) -> usize {
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & self.mask
+    }
+
+    /// Inserts an entry (duplicates allowed), growing the table when the
+    /// load factor would exceed ½ — searches that terminate early never
+    /// pay for their worst-case size.
+    #[inline]
+    pub fn insert(&mut self, key: u64, packed: u128) {
+        debug_assert_ne!(packed, SLOT_EMPTY);
+        if (self.len + 1) * 2 > self.keys.len() {
+            self.grow();
+        }
+        let mut slot = self.slot_of(key);
+        while self.vals[slot] != SLOT_EMPTY {
+            slot = (slot + 1) & self.mask;
+        }
+        self.keys[slot] = key;
+        self.vals[slot] = packed;
+        self.len += 1;
+    }
+
+    fn grow(&mut self) {
+        let new_slots = (self.keys.len() * 2).max(8);
+        let old_keys = std::mem::replace(&mut self.keys, vec![0; new_slots]);
+        let old_vals = std::mem::replace(&mut self.vals, vec![SLOT_EMPTY; new_slots]);
+        self.mask = new_slots - 1;
+        self.len = 0;
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if v != SLOT_EMPTY {
+                self.insert(k, v);
+            }
+        }
+    }
+
+    /// Visits every stored subset whose key equals `key`; stops early when
+    /// the visitor returns `true` and reports whether it did.
+    #[inline]
+    pub fn any_match(&self, key: u64, mut visit: impl FnMut(u128) -> bool) -> bool {
+        let mut slot = self.slot_of(key);
+        loop {
+            let v = self.vals[slot];
+            if v == SLOT_EMPTY {
+                return false;
+            }
+            if self.keys[slot] == key && visit(v) {
+                return true;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+}
+
+/// Packs up to 7 positions (each < 2¹⁷) into a `u128`, length-tagged by
+/// the caller's context. Position order is preserved.
+#[inline]
+pub fn pack_positions(positions: &[u32]) -> u128 {
+    debug_assert!(positions.len() <= 7);
+    let mut out: u128 = 0;
+    for (i, &p) in positions.iter().enumerate() {
+        debug_assert!(p < 1 << 17);
+        out |= (p as u128) << (17 * i);
+    }
+    out
+}
+
+/// Unpacks `count` positions packed by [`pack_positions`].
+#[inline]
+pub fn unpack_positions(packed: u128, count: usize, out: &mut [u32]) {
+    for (i, o) in out.iter_mut().enumerate().take(count) {
+        *o = (packed >> (17 * i)) as u32 & 0x1FFFF;
+    }
+}
+
+/// True when the `count`-position packed subset shares no position with
+/// the sorted slice `other`.
+#[inline]
+pub fn packed_disjoint_from(packed: u128, count: usize, other: &[u32]) -> bool {
+    for i in 0..count {
+        let p = (packed >> (17 * i)) as u32 & 0x1FFFF;
+        if other.contains(&p) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn posmap_insert_get() {
+        let mut m = PosMap::with_capacity(100);
+        for i in 0..100u32 {
+            m.insert((i as u64) * 0x1234_5678_9ABC ^ 7, i);
+        }
+        assert_eq!(m.len(), 100);
+        for i in 0..100u32 {
+            assert_eq!(m.get((i as u64) * 0x1234_5678_9ABC ^ 7), Some(i));
+        }
+        assert_eq!(m.get(42), None);
+    }
+
+    #[test]
+    fn posmap_duplicate_keys_keep_first_position() {
+        let mut m = PosMap::with_capacity(8);
+        m.insert(42, 3);
+        m.insert(42, 9); // later occurrence ignored
+        assert_eq!(m.get(42), Some(3));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn posmap_handles_zero_key_and_position() {
+        let mut m = PosMap::with_capacity(4);
+        m.insert(0, 0);
+        assert_eq!(m.get(0), Some(0));
+        assert_eq!(m.get(1), None);
+    }
+
+    #[test]
+    fn posmap_colliding_keys_probe_linearly() {
+        // Keys engineered to collide in a tiny table.
+        let mut m = PosMap::with_capacity(4);
+        for i in 0..4u32 {
+            m.insert(i as u64, i + 100);
+        }
+        for i in 0..4u32 {
+            assert_eq!(m.get(i as u64), Some(i + 100));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "over-filled")]
+    fn posmap_overfill_panics() {
+        let mut m = PosMap::with_capacity(4);
+        for i in 0..100 {
+            m.insert(i, i as u32);
+        }
+    }
+
+    #[test]
+    fn multimap_duplicate_keys_all_visible() {
+        let mut m = XorMultiMap::with_capacity(16);
+        m.insert(5, pack_positions(&[1, 2]));
+        m.insert(5, pack_positions(&[3, 4]));
+        m.insert(9, pack_positions(&[5, 6]));
+        let mut seen = Vec::new();
+        m.any_match(5, |packed| {
+            let mut pos = [0u32; 2];
+            unpack_positions(packed, 2, &mut pos);
+            seen.push(pos);
+            false // visit all
+        });
+        seen.sort();
+        assert_eq!(seen, vec![[1, 2], [3, 4]]);
+    }
+
+    #[test]
+    fn multimap_early_stop() {
+        let mut m = XorMultiMap::with_capacity(16);
+        m.insert(1, pack_positions(&[7]));
+        m.insert(1, pack_positions(&[8]));
+        let mut visits = 0;
+        let hit = m.any_match(1, |_| {
+            visits += 1;
+            true
+        });
+        assert!(hit);
+        assert_eq!(visits, 1);
+    }
+
+    #[test]
+    fn packing_round_trip_and_disjointness() {
+        let positions = [3u32, 70_000, 131_000, 9, 17, 55, 1];
+        let packed = pack_positions(&positions);
+        let mut out = [0u32; 7];
+        unpack_positions(packed, 7, &mut out);
+        assert_eq!(out, positions);
+        assert!(packed_disjoint_from(packed, 7, &[2, 4, 100]));
+        assert!(!packed_disjoint_from(packed, 7, &[2, 70_000]));
+        // Prefix-only checks respect the count.
+        assert!(packed_disjoint_from(packed, 2, &[9]));
+    }
+}

@@ -1,0 +1,318 @@
+//! HD-vs-length profiles: one Table 1 row / Figure 1 curve per generator.
+//!
+//! A profile is assembled from `d_min` values computed in ascending weight
+//! order, each search capped at the running minimum (a `d_min(w)` at or
+//! above `min_{w'<w} d_min(w')` can never be the smallest weight fitting a
+//! codeword, so nothing above the cap matters). The caps keep the whole
+//! Table 1 computation in seconds — the expensive scans are exactly the
+//! paper's hard confirmations, e.g. proving `0xD419CC15` admits no weight-4
+//! multiple below its order 65537 (the paper's "HD=5 up to almost 64K").
+
+use crate::dmin::{dmin, dmin2};
+use crate::genpoly::GenPoly;
+use crate::{Error, Result};
+
+/// Default highest weight explored by [`HdProfile::compute`]. Table 1's
+/// smallest lengths reach HD=15, and odd weights are free for parity
+/// polynomials, so 16 covers every row of the paper while keeping the
+/// meet-in-the-middle tails cheap.
+pub const DEFAULT_MAX_WEIGHT: u32 = 16;
+
+/// An HD-vs-length profile for one generator over `1..=max_len` data bits.
+///
+/// ```
+/// use crc_hd::{HdProfile, GenPoly};
+/// let g = GenPoly::from_koopman(32, 0x8F6E37A0).unwrap(); // CRC-32C
+/// let p = HdProfile::compute(&g, 6000).unwrap();
+/// assert_eq!(p.hd_at(5243), Some(6));
+/// assert_eq!(p.hd_at(5244), Some(4));
+/// assert_eq!(p.max_len_for_hd(6), Some(5243));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HdProfile {
+    g: GenPoly,
+    max_len: u32,
+    order: u128,
+    /// `(w, d_min(w))` for every weight whose minimal multiple matters,
+    /// ascending in `w`; `d_min` values are strictly decreasing.
+    dmins: Vec<(u32, u32)>,
+    max_weight_explored: u32,
+}
+
+/// One constant-HD band of a profile: `hd` holds for data-word lengths
+/// `from..=to` (`hd = None` means "above every explored weight").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HdBand {
+    /// The Hamming distance over the band; `None` when all explored
+    /// weights are absent (HD exceeds the exploration limit).
+    pub hd: Option<u32>,
+    /// First data-word length of the band (bits).
+    pub from: u32,
+    /// Last data-word length of the band (bits).
+    pub to: u32,
+}
+
+impl HdProfile {
+    /// Computes a profile exploring weights up to [`DEFAULT_MAX_WEIGHT`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::BadLength`] for a zero `max_len`; propagates
+    /// [`Error::BudgetExceeded`] from extreme parameter combinations.
+    pub fn compute(g: &GenPoly, max_len: u32) -> Result<HdProfile> {
+        HdProfile::compute_up_to_weight(g, max_len, DEFAULT_MAX_WEIGHT)
+    }
+
+    /// Computes a profile exploring weights `2..=max_weight`.
+    ///
+    /// # Errors
+    ///
+    /// As [`HdProfile::compute`].
+    pub fn compute_up_to_weight(g: &GenPoly, max_len: u32, max_weight: u32) -> Result<HdProfile> {
+        if max_len == 0 || max_len > (1 << 30) {
+            return Err(Error::BadLength(format!(
+                "max_len {max_len} outside 1..=2^30"
+            )));
+        }
+        let r = g.width();
+        let degree_cap = max_len
+            .checked_add(r - 1)
+            .ok_or_else(|| Error::BadLength("length overflow".into()))?;
+        let order = dmin2(g);
+        let mut dmins: Vec<(u32, u32)> = Vec::new();
+        // Running minimum of found d_min values; only degrees strictly
+        // below it can change any HD value.
+        let mut best = degree_cap + 1;
+        if order <= degree_cap as u128 {
+            best = order as u32;
+            dmins.push((2, best));
+        }
+        let skip_odd = g.divisible_by_x_plus_1();
+        let mut w = 3;
+        while w <= max_weight && best > r {
+            if skip_odd && w % 2 == 1 {
+                w += 1;
+                continue;
+            }
+            let cap = best - 1;
+            if cap < w - 1 {
+                break;
+            }
+            if let Some(d) = dmin(g, w, cap)? {
+                debug_assert!(d < best);
+                best = d;
+                dmins.push((w, d));
+            }
+            w += 1;
+        }
+        Ok(HdProfile {
+            g: *g,
+            max_len,
+            order,
+            dmins,
+            max_weight_explored: max_weight,
+        })
+    }
+
+    /// The generator this profile describes.
+    pub fn generator(&self) -> &GenPoly {
+        &self.g
+    }
+
+    /// Largest data-word length covered.
+    pub fn max_len(&self) -> u32 {
+        self.max_len
+    }
+
+    /// The multiplicative order of `x` (degree of the smallest weight-2
+    /// multiple), even when it lies beyond `max_len`.
+    pub fn order(&self) -> u128 {
+        self.order
+    }
+
+    /// Highest weight explored.
+    pub fn max_weight_explored(&self) -> u32 {
+        self.max_weight_explored
+    }
+
+    /// The `(w, d_min(w))` pairs that shape the profile (ascending `w`,
+    /// strictly descending `d_min`).
+    pub fn dmins(&self) -> &[(u32, u32)] {
+        &self.dmins
+    }
+
+    /// The Hamming distance at data-word length `n`, or `None` when HD
+    /// exceeds every explored weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or exceeds `max_len`.
+    pub fn hd_at(&self, n: u32) -> Option<u32> {
+        assert!(n >= 1 && n <= self.max_len, "length {n} out of profile range");
+        let d = n + self.g.width() - 1;
+        // dmins is ascending in w and descending in d_min: the first entry
+        // whose d_min fits is the minimum fitting weight.
+        self.dmins
+            .iter()
+            .rev()
+            .take_while(|&&(_, dm)| dm <= d)
+            .last()
+            .map(|&(w, _)| w)
+    }
+
+    /// The largest data-word length at which `HD ≥ hd` (equivalently: all
+    /// error patterns of fewer than `hd` bits are detectable), or `None`
+    /// if even length 1 fails; `Some(max_len)` means "holds through the
+    /// whole profiled range".
+    pub fn max_len_for_hd(&self, hd: u32) -> Option<u32> {
+        let r = self.g.width();
+        // Smallest d_min over weights < hd bounds the usable length.
+        let limit = self
+            .dmins
+            .iter()
+            .filter(|&&(w, _)| w < hd)
+            .map(|&(_, d)| d)
+            .min();
+        match limit {
+            None => Some(self.max_len),
+            Some(d) if d <= r => None,
+            Some(d) => Some((d - r).min(self.max_len)),
+        }
+    }
+
+    /// The constant-HD bands over `1..=max_len`, ascending in length —
+    /// one Table 1 column.
+    pub fn bands(&self) -> Vec<HdBand> {
+        let r = self.g.width();
+        let mut out = Vec::new();
+        // dmins ascend in w and descend in d_min: the HD = w band runs
+        // from where the weight-w multiple first fits down-length until
+        // the next (smaller-w, larger-d_min) multiple takes over.
+        let mut next_end = self.max_len;
+        for &(w, d) in &self.dmins {
+            let from = d.saturating_sub(r - 1).max(1);
+            if from > next_end {
+                continue; // band lies entirely above the profiled range
+            }
+            out.push(HdBand {
+                hd: Some(w),
+                from,
+                to: next_end,
+            });
+            if from == 1 {
+                out.reverse();
+                return out;
+            }
+            next_end = from - 1;
+        }
+        out.push(HdBand {
+            hd: None,
+            from: 1,
+            to: next_end,
+        });
+        out.reverse();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g32(koopman: u64) -> GenPoly {
+        GenPoly::from_koopman(32, koopman).unwrap()
+    }
+
+    #[test]
+    fn profile_802_3_matches_paper_table1() {
+        // Table 1: HD=8 to 91, 7 to 171, 6 to 268, 5 to 2974, 4 to 91607.
+        let g = g32(0x82608EDB);
+        let p = HdProfile::compute(&g, 4000).unwrap();
+        assert_eq!(p.max_len_for_hd(8), Some(91));
+        assert_eq!(p.max_len_for_hd(7), Some(171));
+        assert_eq!(p.max_len_for_hd(6), Some(268));
+        assert_eq!(p.max_len_for_hd(5), Some(2974));
+        assert_eq!(p.hd_at(2974), Some(5));
+        assert_eq!(p.hd_at(2975), Some(4));
+        assert_eq!(p.hd_at(3999), Some(4));
+        // The MTU-relevant claim: HD=4 at 12112 needs a longer profile —
+        // covered by the Table 1 experiment binary.
+    }
+
+    #[test]
+    fn profile_ba0dc66b_matches_paper() {
+        // §4.3: HD=6 up to almost 16Kb.
+        let g = g32(0xBA0DC66B);
+        let p = HdProfile::compute(&g, 20_000).unwrap();
+        assert_eq!(p.max_len_for_hd(6), Some(16_360));
+        assert_eq!(p.hd_at(12_112), Some(6), "HD=6 at the Ethernet MTU");
+        assert_eq!(p.hd_at(16_360), Some(6));
+        assert_eq!(p.hd_at(16_361), Some(4));
+    }
+
+    #[test]
+    fn profile_iscsi_crossover() {
+        // The iSCSI polynomial loses HD=6 at 5244 — Koopman's improvement
+        // moves that boundary past the MTU.
+        let g = g32(0x8F6E37A0);
+        let p = HdProfile::compute(&g, 13_000).unwrap();
+        assert_eq!(p.max_len_for_hd(6), Some(5_243));
+        assert_eq!(p.hd_at(12_112), Some(4), "HD=4 at MTU for CRC-32C");
+    }
+
+    #[test]
+    fn bands_partition_the_range() {
+        let g = g32(0x82608EDB);
+        let p = HdProfile::compute(&g, 3000).unwrap();
+        let bands = p.bands();
+        assert_eq!(bands.first().unwrap().from, 1);
+        assert_eq!(bands.last().unwrap().to, 3000);
+        for pair in bands.windows(2) {
+            assert_eq!(pair[0].to + 1, pair[1].from, "bands must be contiguous");
+            let a = pair[0].hd;
+            let b = pair[1].hd;
+            // HD decreases (None = "very high" sorts above everything).
+            match (a, b) {
+                (None, Some(_)) => {}
+                (Some(x), Some(y)) => assert!(x > y),
+                _ => panic!("bands out of order: {a:?} then {b:?}"),
+            }
+        }
+        // And each band's hd matches hd_at inside it.
+        for band in &bands {
+            assert_eq!(p.hd_at(band.from), band.hd);
+            assert_eq!(p.hd_at(band.to), band.hd);
+        }
+    }
+
+    #[test]
+    fn hd_at_agrees_with_exhaustive_spectrum_small_codes() {
+        for koopman in [0x83u64, 0x97, 0xEA, 0x9C, 0xFF] {
+            let g = GenPoly::from_koopman(8, koopman).unwrap();
+            let p = HdProfile::compute(&g, 24).unwrap();
+            for n in [1u32, 2, 5, 9, 13, 20, 24] {
+                let exhaustive = crate::spectrum::hd_exhaustive(&g, n).unwrap();
+                assert_eq!(
+                    p.hd_at(n),
+                    Some(exhaustive),
+                    "poly {koopman:#x} at n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn order_reported_even_beyond_range() {
+        let g = g32(0x8F6E37A0);
+        let p = HdProfile::compute(&g, 100).unwrap();
+        assert_eq!(p.order(), 2_147_483_647);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of profile range")]
+    fn hd_at_out_of_range_panics() {
+        let g = g32(0x82608EDB);
+        let p = HdProfile::compute(&g, 100).unwrap();
+        let _ = p.hd_at(101);
+    }
+}

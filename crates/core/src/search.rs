@@ -1,0 +1,361 @@
+//! Polynomial-space search drivers: exhaustive scans (run in full at 8 and
+//! 16 bits, exactly the paper's §4.5 validation strategy) and the sampled
+//! factorization-class census that reproduces Table 2 at laptop scale.
+
+use crate::filter::hd_filter;
+use crate::genpoly::GenPoly;
+use crate::Result;
+use gf2poly::{factor, FactorClass, SplitMix64};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The full `width`-bit polynomial space in the paper's representation:
+/// Koopman-notation values with the top bit set (degree exactly `width`,
+/// constant term implicit) — `2^(width-1)` polynomials.
+#[derive(Debug, Clone, Copy)]
+pub struct PolySpace {
+    width: u32,
+}
+
+impl PolySpace {
+    /// Creates the space of `width`-bit generators.
+    ///
+    /// # Panics
+    ///
+    /// Panics for widths outside 3..=32 (spaces beyond 32 bits are not
+    /// enumerable in practice; the paper's is 32).
+    pub fn new(width: u32) -> PolySpace {
+        assert!((3..=32).contains(&width), "enumerable widths are 3..=32");
+        PolySpace { width }
+    }
+
+    /// The space's width.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Total polynomials (before reciprocal pairing): `2^(width-1)`.
+    pub fn total(&self) -> u64 {
+        1 << (self.width - 1)
+    }
+
+    /// Distinct polynomials after reciprocal pairing — the paper's
+    /// 1,073,774,592 at width 32.
+    pub fn distinct(&self) -> u64 {
+        gf2poly::class::distinct_search_space(self.width)
+    }
+
+    /// Iterates every generator in the space.
+    pub fn iter_all(&self) -> impl Iterator<Item = GenPoly> + '_ {
+        let width = self.width;
+        let lo = 1u64 << (width - 1);
+        let hi = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+        (lo..=hi).map(move |k| {
+            GenPoly::from_koopman(width, k).expect("top bit set by range construction")
+        })
+    }
+
+    /// Iterates one representative per reciprocal pair (the member whose
+    /// Koopman value is numerically smallest; palindromes represent
+    /// themselves).
+    pub fn iter_canonical(&self) -> impl Iterator<Item = GenPoly> + '_ {
+        self.iter_all()
+            .filter(|g| g.koopman() <= g.reciprocal().koopman())
+    }
+}
+
+/// A polynomial that survived an HD filter, with its factorization class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Survivor {
+    /// The surviving generator.
+    pub poly: GenPoly,
+    /// Its irreducible-factorization signature (the paper's `{d1,..,dk}`).
+    pub class: String,
+}
+
+/// Exhaustively finds every canonical polynomial of `width` bits with
+/// `HD ≥ target_hd` at `data_len`, in parallel.
+///
+/// This is the paper's full search, run on spaces small enough to finish
+/// on a laptop (8 and 16 bits in the experiments; width ≤ 20 is sensible).
+///
+/// # Errors
+///
+/// Propagates filter errors.
+pub fn exhaustive_search(
+    width: u32,
+    data_len: u32,
+    target_hd: u32,
+    threads: usize,
+) -> Result<Vec<Survivor>> {
+    let space = PolySpace::new(width);
+    let lo = 1u64 << (width - 1);
+    let total = space.total();
+    let next = AtomicU64::new(0);
+    let hits: Mutex<Vec<Survivor>> = Mutex::new(Vec::new());
+    let error: Mutex<Option<crate::Error>> = Mutex::new(None);
+    let threads = threads.max(1);
+    const CHUNK: u64 = 256;
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let start = next.fetch_add(CHUNK, Ordering::Relaxed);
+                if start >= total || error.lock().is_some() {
+                    return;
+                }
+                let end = (start + CHUNK).min(total);
+                let mut local = Vec::new();
+                for offset in start..end {
+                    let k = lo + offset;
+                    let g = GenPoly::from_koopman(width, k).expect("in range");
+                    if g.koopman() > g.reciprocal().koopman() {
+                        continue; // non-canonical member of a reciprocal pair
+                    }
+                    match hd_filter(&g, data_len, target_hd) {
+                        Ok(v) if v.passed() => {
+                            let class = factor(g.to_poly()).signature().to_string();
+                            local.push(Survivor { poly: g, class });
+                        }
+                        Ok(_) => {}
+                        Err(e) => {
+                            *error.lock() = Some(e);
+                            return;
+                        }
+                    }
+                }
+                if !local.is_empty() {
+                    hits.lock().extend(local);
+                }
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+
+    if let Some(e) = error.into_inner() {
+        return Err(e);
+    }
+    let mut out = hits.into_inner();
+    out.sort_by_key(|s| s.poly.koopman());
+    Ok(out)
+}
+
+/// Estimate of a factorization class's HD census by stratified sampling —
+/// the laptop-scale substitute for the paper's Table 2 (documented in
+/// DESIGN.md §4).
+#[derive(Debug, Clone)]
+pub struct CensusEstimate {
+    /// The sampled class signature.
+    pub class: String,
+    /// Exact number of polynomials in the class.
+    pub class_size: u128,
+    /// Samples drawn.
+    pub samples: u64,
+    /// Samples that passed the HD filter.
+    pub hits: u64,
+    /// Point estimate of the class's census: `hits/samples × class_size`.
+    pub estimate: f64,
+    /// 95% Wilson confidence interval on the census (lower, upper).
+    pub ci95: (f64, f64),
+    /// Up to 8 example survivors, for spot verification.
+    pub examples: Vec<GenPoly>,
+}
+
+/// Samples `samples` random members of `class` and filters each for
+/// `HD ≥ target_hd` at `data_len`, in parallel. Deterministic for a given
+/// `seed` and thread-independent (each sample index derives its own RNG).
+///
+/// # Errors
+///
+/// Propagates class-sampling and filter errors.
+pub fn class_census(
+    class: &FactorClass,
+    data_len: u32,
+    target_hd: u32,
+    samples: u64,
+    seed: u64,
+    threads: usize,
+) -> Result<CensusEstimate> {
+    let next = AtomicU64::new(0);
+    let hits = AtomicU64::new(0);
+    let examples: Mutex<Vec<GenPoly>> = Mutex::new(Vec::new());
+    let error: Mutex<Option<crate::Error>> = Mutex::new(None);
+    let threads = threads.max(1);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= samples || error.lock().is_some() {
+                    return;
+                }
+                // Per-sample deterministic RNG: thread-schedule independent.
+                let mut rng = SplitMix64::new(seed ^ (i.wrapping_mul(0xA076_1D64_78BD_642F)));
+                let poly = class
+                    .sample(&mut rng)
+                    .expect("class degrees validated at construction");
+                let g = GenPoly::from_poly(poly).expect("class members are valid generators");
+                match hd_filter(&g, data_len, target_hd) {
+                    Ok(v) if v.passed() => {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                        let mut ex = examples.lock();
+                        if ex.len() < 8 {
+                            ex.push(g);
+                        }
+                    }
+                    Ok(_) => {}
+                    Err(e) => {
+                        *error.lock() = Some(e);
+                        return;
+                    }
+                }
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+
+    if let Some(e) = error.into_inner() {
+        return Err(e);
+    }
+    let hits = hits.into_inner();
+    let class_size = class.size();
+    let p_hat = hits as f64 / samples as f64;
+    let (lo, hi) = wilson_interval(hits, samples);
+    Ok(CensusEstimate {
+        class: class.to_string(),
+        class_size,
+        samples,
+        hits,
+        estimate: p_hat * class_size as f64,
+        ci95: (lo * class_size as f64, hi * class_size as f64),
+        examples: examples.into_inner(),
+    })
+}
+
+/// 95% Wilson score interval for a binomial proportion.
+pub fn wilson_interval(successes: u64, trials: u64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let z = 1.959_963_984_540_054_f64; // Φ⁻¹(0.975)
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn space_counts() {
+        let s = PolySpace::new(8);
+        assert_eq!(s.total(), 128);
+        assert_eq!(s.distinct(), 72);
+        assert_eq!(s.iter_all().count(), 128);
+        assert_eq!(s.iter_canonical().count(), 72);
+        let s16 = PolySpace::new(16);
+        assert_eq!(s16.distinct(), 16_512);
+    }
+
+    #[test]
+    fn canonical_members_reconstruct_the_space() {
+        // Every polynomial is either canonical or the reciprocal of a
+        // canonical one.
+        let s = PolySpace::new(8);
+        let canon: std::collections::HashSet<u64> =
+            s.iter_canonical().map(|g| g.koopman()).collect();
+        for g in s.iter_all() {
+            assert!(
+                canon.contains(&g.koopman()) || canon.contains(&g.reciprocal().koopman()),
+                "{g}"
+            );
+        }
+    }
+
+    #[test]
+    fn exhaustive_8bit_search_matches_ground_truth() {
+        // Full 8-bit space at 16 data bits, HD >= 4, against the
+        // exhaustive spectrum evaluator.
+        let survivors = exhaustive_search(8, 16, 4, 2).unwrap();
+        let expect: Vec<u64> = PolySpace::new(8)
+            .iter_canonical()
+            .filter(|g| crate::spectrum::hd_exhaustive(g, 16).unwrap() >= 4)
+            .map(|g| g.koopman())
+            .collect();
+        let got: Vec<u64> = survivors.iter().map(|s| s.poly.koopman()).collect();
+        assert_eq!(got, expect);
+        assert!(!survivors.is_empty());
+        // Every survivor carries a well-formed class signature.
+        for s in &survivors {
+            assert!(s.class.starts_with('{') && s.class.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn hd6_survivors_all_divisible_by_x_plus_1() {
+        // The paper's headline structural finding, checked exhaustively on
+        // the 8-bit space at n = 4 (the longest length where 8-bit
+        // generators still reach HD 6): every survivor has the parity
+        // factor. (At n = 2, odd-HD generators without x+1 also clear the
+        // HD >= 6 bar with HD = 7 — the claim is specific to HD = 6.)
+        let survivors = exhaustive_search(8, 4, 6, 2).unwrap();
+        assert!(!survivors.is_empty(), "some 8-bit polys reach HD 6 at n=4");
+        for s in &survivors {
+            assert!(
+                s.poly.divisible_by_x_plus_1(),
+                "{} reaches HD6 without x+1",
+                s.poly
+            );
+            assert_eq!(crate::spectrum::hd_exhaustive(&s.poly, 4).unwrap(), 6);
+        }
+    }
+
+    #[test]
+    fn census_is_deterministic_and_bounded() {
+        let class = FactorClass::parse("{1,3,4}").unwrap(); // degree-8 class
+        let a = class_census(&class, 16, 4, 200, 42, 2).unwrap();
+        let b = class_census(&class, 16, 4, 200, 42, 1).unwrap();
+        assert_eq!(a.hits, b.hits, "thread count must not change results");
+        assert!(a.hits <= a.samples);
+        assert!(a.ci95.0 <= a.estimate && a.estimate <= a.ci95.1);
+        assert!(a.examples.len() as u64 <= a.hits.min(8));
+    }
+
+    #[test]
+    fn census_cross_checked_by_enumeration() {
+        // For a fully enumerable class, the census estimate with total
+        // sampling coverage should bracket the true count. Class {1,7}:
+        // (x+1) × deg-7 irreducibles = 18 members.
+        let class = FactorClass::parse("{1,7}").unwrap();
+        assert_eq!(class.size(), 18);
+        let true_count = PolySpace::new(8)
+            .iter_all()
+            .filter(|g| {
+                factor(g.to_poly()).signature().to_string() == "{1,7}"
+                    && hd_filter(g, 16, 4).unwrap().passed()
+            })
+            .count() as f64;
+        let est = class_census(&class, 16, 4, 2000, 7, 2).unwrap();
+        // With 2000 samples of an 18-member class the estimate is tight.
+        assert!(
+            (est.estimate - true_count).abs() <= 2.0,
+            "estimate {} vs true {true_count}",
+            est.estimate
+        );
+    }
+
+    #[test]
+    fn wilson_interval_basics() {
+        let (lo, hi) = wilson_interval(0, 100);
+        assert!(lo.abs() < 1e-12);
+        assert!(hi < 0.05);
+        let (lo, hi) = wilson_interval(50, 100);
+        assert!(lo < 0.5 && 0.5 < hi);
+        assert_eq!(wilson_interval(0, 0), (0.0, 1.0));
+    }
+}

@@ -1,0 +1,83 @@
+//! CRC computation engine.
+//!
+//! This crate is the "downstream user" face of the Koopman DSN 2002
+//! reproduction: everything needed to actually *use* the polynomials the
+//! paper evaluates — a Rocksoft-parameter model, three interchangeable
+//! engines (bit-at-a-time reference, 256-entry table, slice-by-8), notation
+//! conversions between the paper's Koopman form and the normal/reflected
+//! forms found in standards documents, frame FCS handling, a catalog of
+//! standard algorithms with check values, and a Galois-LFSR "hardware view"
+//! exposing the feedback tap counts the paper cares about for high-speed
+//! implementations.
+//!
+//! # Quick start
+//!
+//! ```
+//! use crckit::{Crc, catalog};
+//!
+//! // CRC-32C — the Castagnoli polynomial the iSCSI draft adopted,
+//! // 0x8F6E37A0 in the paper's notation.
+//! let crc = Crc::new(catalog::CRC32_ISCSI);
+//! assert_eq!(crc.checksum(b"123456789"), 0xE306_9283);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod combine;
+pub mod digest;
+pub mod engine;
+pub mod fcs;
+pub mod lfsr;
+pub mod notation;
+pub mod params;
+
+pub use digest::Digest;
+pub use engine::Crc;
+pub use lfsr::GaloisLfsr;
+pub use params::CrcParams;
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced by `crckit` operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Width outside the supported 8..=64 range.
+    UnsupportedWidth(u32),
+    /// A parameter does not fit in the declared width.
+    ValueTooWide {
+        /// Name of the offending parameter.
+        field: &'static str,
+        /// The out-of-range value.
+        value: u64,
+    },
+    /// A frame is too short to contain the FCS field.
+    FrameTooShort {
+        /// Actual frame length in bytes.
+        len: usize,
+        /// Minimum length required.
+        need: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnsupportedWidth(w) => write!(f, "unsupported CRC width {w} (need 8..=64)"),
+            Error::ValueTooWide { field, value } => {
+                write!(f, "parameter {field} = {value:#x} does not fit the CRC width")
+            }
+            Error::FrameTooShort { len, need } => {
+                write!(f, "frame of {len} bytes is shorter than the {need}-byte minimum")
+            }
+        }
+    }
+}
+
+impl StdError for Error {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;

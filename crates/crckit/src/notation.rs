@@ -1,0 +1,262 @@
+//! Conversions between the three common written forms of a CRC polynomial.
+//!
+//! A degree-`r` generator has `r + 1` coefficients, so it cannot fit in an
+//! `r`-bit integer; the three conventions drop a different implicit bit:
+//!
+//! * **Normal** (MSB-first): coefficients of `x^(r-1)..x^0`, the `x^r` term
+//!   implicit. 802.3's generator is `0x04C11DB7`.
+//! * **Reversed** (LSB-first): the normal form bit-reflected, used by
+//!   reflected (`refin = true`) implementations. 802.3: `0xEDB88320`.
+//! * **Koopman**: coefficients of `x^r..x^1`, the `+1` term implicit — the
+//!   paper's notation, with the convenient property that the top bit is
+//!   always set and the always-present `+1` costs nothing. 802.3:
+//!   `0x82608EDB`.
+//!
+//! ```
+//! use crckit::notation::PolyForm;
+//!
+//! let p = PolyForm::from_koopman(32, 0x82608EDB).unwrap();
+//! assert_eq!(p.normal(), 0x04C11DB7);
+//! assert_eq!(p.reversed(), 0xEDB88320);
+//! assert_eq!(p.koopman(), 0x82608EDB);
+//! ```
+
+use crate::{Error, Result};
+use gf2poly::Poly;
+
+/// Identifies which written convention a raw polynomial constant uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolyNotation {
+    /// MSB-first with implicit `x^width` term (e.g. `0x04C11DB7`).
+    Normal,
+    /// Bit-reversed normal form (e.g. `0xEDB88320`).
+    Reversed,
+    /// Koopman form with implicit `+1` term (e.g. `0x82608EDB`).
+    Koopman,
+}
+
+/// A width-tagged CRC generator polynomial convertible between notations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PolyForm {
+    width: u32,
+    /// Normal (MSB-first) form, the internal canonical representation.
+    normal: u64,
+}
+
+impl PolyForm {
+    /// Builds from a value in the given notation.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnsupportedWidth`] for widths outside 8..=64;
+    /// [`Error::ValueTooWide`] if the value has bits above the width.
+    pub fn new(width: u32, value: u64, notation: PolyNotation) -> Result<PolyForm> {
+        match notation {
+            PolyNotation::Normal => PolyForm::from_normal(width, value),
+            PolyNotation::Reversed => PolyForm::from_reversed(width, value),
+            PolyNotation::Koopman => PolyForm::from_koopman(width, value),
+        }
+    }
+
+    /// Builds from the normal (MSB-first) form.
+    ///
+    /// # Errors
+    ///
+    /// See [`PolyForm::new`].
+    pub fn from_normal(width: u32, normal: u64) -> Result<PolyForm> {
+        check_width(width)?;
+        check_fits(width, normal, "poly")?;
+        Ok(PolyForm { width, normal })
+    }
+
+    /// Builds from the reversed (LSB-first) form.
+    ///
+    /// # Errors
+    ///
+    /// See [`PolyForm::new`].
+    pub fn from_reversed(width: u32, reversed: u64) -> Result<PolyForm> {
+        check_width(width)?;
+        check_fits(width, reversed, "poly")?;
+        Ok(PolyForm {
+            width,
+            normal: reversed.reverse_bits() >> (64 - width),
+        })
+    }
+
+    /// Builds from the paper's Koopman form (implicit `+1`).
+    ///
+    /// The Koopman form of a degree-`width` generator always has its top
+    /// bit set (the `x^width` coefficient).
+    ///
+    /// # Errors
+    ///
+    /// See [`PolyForm::new`]; additionally rejects values without the top
+    /// bit set, which would denote a polynomial of lower degree.
+    pub fn from_koopman(width: u32, koopman: u64) -> Result<PolyForm> {
+        check_width(width)?;
+        check_fits(width, koopman, "poly")?;
+        if width < 64 && koopman >> (width - 1) != 1 || width == 64 && koopman >> 63 != 1 {
+            return Err(Error::ValueTooWide {
+                field: "koopman poly (top bit must be set)",
+                value: koopman,
+            });
+        }
+        // Koopman bits are x^width..x^1; dropping x^width and appending the
+        // implicit +1 yields the normal form.
+        let normal = (koopman << 1 | 1) & mask(width);
+        Ok(PolyForm { width, normal })
+    }
+
+    /// Builds from a full polynomial (all `width + 1` coefficients).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ValueTooWide`] unless the polynomial has degree exactly
+    /// `width` and a nonzero constant term.
+    pub fn from_poly(p: Poly) -> Result<PolyForm> {
+        let width = match p.degree() {
+            Some(d) if (8..=64).contains(&d) => d,
+            Some(d) => return Err(Error::UnsupportedWidth(d)),
+            None => return Err(Error::UnsupportedWidth(0)),
+        };
+        if !p.has_constant_term() {
+            return Err(Error::ValueTooWide {
+                field: "poly (constant term required)",
+                value: 0,
+            });
+        }
+        let normal = (p.mask() & mask(width) as u128) as u64;
+        Ok(PolyForm { width, normal })
+    }
+
+    /// CRC width (polynomial degree) in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Normal (MSB-first) form.
+    pub fn normal(&self) -> u64 {
+        self.normal
+    }
+
+    /// Reversed (LSB-first) form.
+    pub fn reversed(&self) -> u64 {
+        self.normal.reverse_bits() >> (64 - self.width)
+    }
+
+    /// Koopman form (implicit `+1`).
+    ///
+    /// Defined for generators with a nonzero constant term, which all
+    /// useful CRC generators have; if the constant term is zero the +1 is
+    /// unrepresentable and this returns the low coefficients shifted
+    /// regardless (the paper's space never contains such polynomials).
+    pub fn koopman(&self) -> u64 {
+        (self.normal >> 1) | 1 << (self.width - 1)
+    }
+
+    /// The full generator polynomial with all coefficients explicit.
+    pub fn to_poly(&self) -> Poly {
+        Poly::from_mask(1u128 << self.width | self.normal as u128)
+    }
+
+    /// Number of feedback taps in a Galois LFSR realization: the nonzero
+    /// coefficients below `x^width`. Fewer taps mean cheaper high-speed
+    /// combinational logic — the property the paper highlights for
+    /// `0x90022004` and `0x80108400`.
+    pub fn tap_count(&self) -> u32 {
+        self.normal.count_ones()
+    }
+}
+
+#[inline]
+fn mask(width: u32) -> u64 {
+    if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+fn check_width(width: u32) -> Result<()> {
+    if (8..=64).contains(&width) {
+        Ok(())
+    } else {
+        Err(Error::UnsupportedWidth(width))
+    }
+}
+
+fn check_fits(width: u32, value: u64, field: &'static str) -> Result<()> {
+    if value & !mask(width) == 0 {
+        Ok(())
+    } else {
+        Err(Error::ValueTooWide { field, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ieee_802_3_all_three_forms() {
+        let p = PolyForm::from_normal(32, 0x04C1_1DB7).unwrap();
+        assert_eq!(p.reversed(), 0xEDB8_8320);
+        assert_eq!(p.koopman(), 0x8260_8EDB);
+        assert_eq!(p.to_poly().mask(), 0x1_04C1_1DB7);
+        assert_eq!(p.tap_count(), 14);
+    }
+
+    #[test]
+    fn round_trips_between_notations() {
+        for (width, normal) in [
+            (32u32, 0x04C1_1DB7u64),
+            (32, 0x1EDC_6F41),
+            (16, 0x1021),
+            (16, 0x8005),
+            (8, 0x07),
+            (64, 0x42F0_E1EB_A9EA_3693),
+        ] {
+            let p = PolyForm::from_normal(width, normal).unwrap();
+            assert_eq!(PolyForm::from_reversed(width, p.reversed()).unwrap(), p);
+            assert_eq!(PolyForm::from_koopman(width, p.koopman()).unwrap(), p);
+            assert_eq!(PolyForm::from_poly(p.to_poly()).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn castagnoli_is_crc32c() {
+        // The paper's 0x8F6E37A0 is exactly the CRC-32C generator.
+        let p = PolyForm::from_koopman(32, 0x8F6E_37A0).unwrap();
+        assert_eq!(p.normal(), 0x1EDC_6F41);
+    }
+
+    #[test]
+    fn paper_low_tap_polynomials() {
+        // §4.2: 0x90022004 has "only five non-zero coefficients";
+        // 0x80108400 is the minimal-tap HD=5 polynomial.
+        let p = PolyForm::from_koopman(32, 0x9002_2004).unwrap();
+        assert_eq!(p.to_poly().weight(), 6); // 5 taps + x^32
+        let p = PolyForm::from_koopman(32, 0x8010_8400).unwrap();
+        assert_eq!(p.to_poly().weight(), 5);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(PolyForm::from_normal(7, 1).is_err());
+        assert!(PolyForm::from_normal(65, 1).is_err());
+        assert!(PolyForm::from_normal(16, 0x1_0000).is_err());
+        // Koopman form must have the top bit set.
+        assert!(PolyForm::from_koopman(32, 0x7FFF_FFFF).is_err());
+        // from_poly requires a constant term.
+        assert!(PolyForm::from_poly(Poly::from_mask(0b10)).is_err());
+        assert!(PolyForm::from_poly(Poly::ZERO).is_err());
+    }
+
+    #[test]
+    fn width_64_handled_without_shift_overflow() {
+        let p = PolyForm::from_normal(64, u64::MAX).unwrap();
+        assert_eq!(p.reversed(), u64::MAX);
+        let k = p.koopman();
+        assert_eq!(PolyForm::from_koopman(64, k).unwrap(), p);
+    }
+}

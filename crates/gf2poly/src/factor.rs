@@ -1,0 +1,457 @@
+//! Complete factorization over GF(2): square-free decomposition,
+//! distinct-degree factorization, and Cantor–Zassenhaus equal-degree
+//! splitting (characteristic-2 trace variant).
+//!
+//! The output [`FactorSignature`] is exactly the paper's class notation:
+//! `{1,3,28}` denotes `(x+1)·(deg-3 irreducible)·(deg-28 irreducible)`.
+
+use crate::modring::ModCtx;
+use crate::poly::Poly;
+use crate::rng::SplitMix64;
+use std::fmt;
+use std::str::FromStr;
+
+/// A complete factorization `f = Π factorᵢ^multiplicityᵢ`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Factorization {
+    factors: Vec<(Poly, u32)>,
+}
+
+impl Factorization {
+    /// The irreducible factors with multiplicities, sorted by
+    /// (degree, coefficient mask).
+    pub fn factors(&self) -> &[(Poly, u32)] {
+        &self.factors
+    }
+
+    /// Reconstructs the original polynomial.
+    pub fn product(&self) -> Poly {
+        let mut acc = Poly::ONE;
+        for &(p, m) in &self.factors {
+            for _ in 0..m {
+                acc = acc.checked_mul(p).expect("factor product fits by construction");
+            }
+        }
+        acc
+    }
+
+    /// The factorization-class signature, e.g. `{1,3,28}`.
+    pub fn signature(&self) -> FactorSignature {
+        let mut degrees = Vec::new();
+        for &(p, m) in &self.factors {
+            let d = p.degree().expect("factors are nonzero");
+            for _ in 0..m {
+                degrees.push(d);
+            }
+        }
+        degrees.sort_unstable();
+        FactorSignature { degrees }
+    }
+
+    /// True if the polynomial is irreducible (single factor, multiplicity 1).
+    pub fn is_irreducible(&self) -> bool {
+        self.factors.len() == 1 && self.factors[0].1 == 1
+    }
+
+    /// True if `x + 1` divides the polynomial — the paper's implicit-parity
+    /// property (all odd-weight errors detected).
+    pub fn has_parity_factor(&self) -> bool {
+        self.factors.iter().any(|&(p, _)| p == Poly::X_PLUS_1)
+    }
+}
+
+impl fmt::Display for Factorization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for &(p, m) in &self.factors {
+            if !first {
+                write!(f, " · ")?;
+            }
+            if m == 1 {
+                write!(f, "({p})")?;
+            } else {
+                write!(f, "({p})^{m}")?;
+            }
+            first = false;
+        }
+        if first {
+            write!(f, "1")?;
+        }
+        Ok(())
+    }
+}
+
+/// A factorization-class signature: the multiset of irreducible-factor
+/// degrees, in the paper's `{d1,..,dk}` notation.
+///
+/// ```
+/// use gf2poly::FactorSignature;
+/// let sig: FactorSignature = "{1,3,28}".parse().unwrap();
+/// assert_eq!(sig.total_degree(), 32);
+/// assert_eq!(sig.to_string(), "{1,3,28}");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FactorSignature {
+    degrees: Vec<u32>,
+}
+
+impl FactorSignature {
+    /// Builds a signature from factor degrees (order irrelevant).
+    pub fn new(mut degrees: Vec<u32>) -> FactorSignature {
+        degrees.sort_unstable();
+        FactorSignature { degrees }
+    }
+
+    /// The sorted factor degrees (with multiplicity).
+    pub fn degrees(&self) -> &[u32] {
+        &self.degrees
+    }
+
+    /// Sum of all factor degrees — the degree of any member polynomial.
+    pub fn total_degree(&self) -> u32 {
+        self.degrees.iter().sum()
+    }
+
+    /// Number of irreducible factors counted with multiplicity.
+    pub fn factor_count(&self) -> usize {
+        self.degrees.len()
+    }
+
+    /// True if the class contains a degree-1 factor, i.e. `x+1` for CRC
+    /// polynomials (which cannot contain the factor `x`).
+    pub fn has_degree_one_factor(&self) -> bool {
+        self.degrees.first() == Some(&1)
+    }
+}
+
+impl fmt::Display for FactorSignature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, d) in self.degrees.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromStr for FactorSignature {
+    type Err = crate::Error;
+
+    fn from_str(s: &str) -> crate::Result<FactorSignature> {
+        let t = s.trim();
+        let inner = t
+            .strip_prefix('{')
+            .and_then(|t| t.strip_suffix('}'))
+            .ok_or_else(|| crate::Error::Parse(format!("signature must be braced: {s:?}")))?;
+        let mut degrees = Vec::new();
+        for part in inner.split(',') {
+            let d: u32 = part
+                .trim()
+                .parse()
+                .map_err(|_| crate::Error::Parse(format!("bad degree {part:?}")))?;
+            if d == 0 || d > 127 {
+                return Err(crate::Error::Parse(format!("degree {d} out of range")));
+            }
+            degrees.push(d);
+        }
+        if degrees.is_empty() {
+            return Err(crate::Error::Parse("empty signature".into()));
+        }
+        Ok(FactorSignature::new(degrees))
+    }
+}
+
+/// Completely factors `f` into irreducibles.
+///
+/// Deterministic: the randomized equal-degree splitting runs on a fixed
+/// seed, and retries until the (always possible) split succeeds.
+///
+/// ```
+/// use gf2poly::{factor, Poly};
+/// // x^4 + x^2 + 1 = (x^2 + x + 1)^2
+/// let f = factor(Poly::from_mask(0b10101));
+/// assert_eq!(f.factors(), &[(Poly::from_mask(0b111), 2)]);
+/// assert_eq!(f.signature().to_string(), "{2,2}");
+/// ```
+///
+/// # Panics
+///
+/// Panics if `f` is zero (the zero polynomial has no factorization).
+pub fn factor(f: Poly) -> Factorization {
+    assert!(!f.is_zero(), "cannot factor the zero polynomial");
+    let mut factors: Vec<(Poly, u32)> = Vec::new();
+    if f.degree() == Some(0) {
+        return Factorization { factors };
+    }
+    // Pull out the power of x first so that everything downstream can
+    // assume a nonzero constant term.
+    let mut g = f;
+    let xs = g.mask().trailing_zeros();
+    if xs > 0 {
+        factors.push((Poly::X, xs));
+        g = Poly::from_mask(g.mask() >> xs);
+    }
+    let mut rng = SplitMix64::new(0xFAC7_0E5E_ED01);
+    for (part, mult) in squarefree_decomposition(g) {
+        for (prod, d) in distinct_degree(part) {
+            for irred in equal_degree(prod, d, &mut rng) {
+                factors.push((irred, mult));
+            }
+        }
+    }
+    factors.sort_by_key(|&(p, _)| (p.degree().unwrap_or(0), p.mask()));
+    // Merge any duplicate factors (possible when different square-free
+    // multiplicities share an irreducible — cannot happen from a valid
+    // decomposition, but merging keeps the invariant obvious).
+    let mut merged: Vec<(Poly, u32)> = Vec::new();
+    for (p, m) in factors {
+        match merged.last_mut() {
+            Some((q, e)) if *q == p => *e += m,
+            _ => merged.push((p, m)),
+        }
+    }
+    Factorization { factors: merged }
+}
+
+/// Square-free decomposition in characteristic 2:
+/// returns pairwise-coprime square-free parts `gᵢ` with multiplicities
+/// `mᵢ` such that `f = Π gᵢ^mᵢ`. Degree-0 parts are dropped.
+fn squarefree_decomposition(f: Poly) -> Vec<(Poly, u32)> {
+    let mut out = Vec::new();
+    sff_into(f, 1, &mut out);
+    out
+}
+
+fn sff_into(f: Poly, scale: u32, out: &mut Vec<(Poly, u32)>) {
+    if f.degree().map_or(true, |d| d == 0) {
+        return;
+    }
+    let fd = f.derivative();
+    if fd.is_zero() {
+        // f is a perfect square: f = s(x)^2.
+        let s = f.sqrt().expect("zero derivative implies perfect square in char 2");
+        sff_into(s, scale * 2, out);
+        return;
+    }
+    let mut c = f.gcd(fd);
+    let mut w = f.div_rem(c).expect("gcd divides f").0;
+    let mut i = 1u32;
+    while w.degree() != Some(0) {
+        let y = w.gcd(c);
+        let z = w.div_rem(y).expect("y divides w").0;
+        if z.degree() != Some(0) {
+            out.push((z, i * scale));
+        }
+        i += 1;
+        w = y;
+        c = c.div_rem(y).expect("y divides c").0;
+    }
+    if c.degree() != Some(0) {
+        let s = c.sqrt().expect("residual part is a perfect square in char 2");
+        sff_into(s, scale * 2, out);
+    }
+}
+
+/// Distinct-degree factorization of a square-free `f`: returns pairs
+/// `(product of all irreducible factors of degree d, d)`.
+fn distinct_degree(f: Poly) -> Vec<(Poly, u32)> {
+    let mut out = Vec::new();
+    let mut rest = f;
+    // Handle a factor of x up front (x | f iff constant term is 0).
+    if !rest.has_constant_term() && !rest.is_zero() {
+        out.push((Poly::X, 1));
+        rest = rest.div_rem(Poly::X).expect("x divides").0;
+    }
+    let mut d = 1u32;
+    // h = x^(2^d) mod rest, maintained incrementally.
+    let mut ctx = match rest.degree() {
+        None | Some(0) => return out,
+        Some(_) => ModCtx::new(rest).expect("degree >= 1"),
+    };
+    let mut h = ctx.reduce(Poly::X);
+    loop {
+        let rd = match rest.degree() {
+            None | Some(0) => break,
+            Some(rd) => rd,
+        };
+        if d > rd / 2 {
+            // Whatever remains is a single irreducible.
+            out.push((rest, rd));
+            break;
+        }
+        h = ctx.square(h);
+        let g = rest.gcd(h + Poly::X);
+        if g.degree().map_or(false, |gd| gd > 0) {
+            out.push((g, d));
+            rest = rest.div_rem(g).expect("g divides rest").0;
+            if rest.degree().map_or(true, |rd| rd == 0) {
+                break;
+            }
+            ctx = ModCtx::new(rest).expect("degree >= 1");
+            h = ctx.reduce(h);
+        }
+        d += 1;
+    }
+    out
+}
+
+/// Equal-degree splitting (Cantor–Zassenhaus, char-2 trace variant):
+/// splits a product of distinct degree-`d` irreducibles into its factors.
+fn equal_degree(f: Poly, d: u32, rng: &mut SplitMix64) -> Vec<Poly> {
+    let fdeg = f.degree().expect("nonzero");
+    if fdeg == d {
+        return vec![f];
+    }
+    debug_assert!(fdeg % d == 0);
+    let ctx = ModCtx::new(f).expect("degree >= 1");
+    loop {
+        // Random residue of degree < deg f.
+        let a = Poly::from_mask(rng.next_u128() & ((1u128 << fdeg) - 1));
+        if a.is_zero() {
+            continue;
+        }
+        let t = ctx.trace(a, d);
+        let g = f.gcd(t);
+        if let Some(gd) = g.degree() {
+            if gd > 0 && gd < fdeg {
+                let other = f.div_rem(g).expect("g divides f").0;
+                let mut out = equal_degree(g, d, rng);
+                out.extend(equal_degree(other, d, rng));
+                return out;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::irred::{enumerate_irreducibles, is_irreducible};
+
+    #[test]
+    fn factors_constants_and_monomials() {
+        assert!(factor(Poly::ONE).factors().is_empty());
+        assert_eq!(factor(Poly::X).factors(), &[(Poly::X, 1)]);
+        assert_eq!(factor(Poly::from_mask(0b100)).factors(), &[(Poly::X, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero polynomial")]
+    fn zero_polynomial_panics() {
+        let _ = factor(Poly::ZERO);
+    }
+
+    #[test]
+    fn squarefree_products_round_trip() {
+        // (x+1)(x^2+x+1)(x^3+x+1)
+        let f = Poly::X_PLUS_1 * Poly::from_mask(0b111) * Poly::from_mask(0b1011);
+        let fac = factor(f);
+        assert_eq!(fac.product(), f);
+        assert_eq!(fac.signature().to_string(), "{1,2,3}");
+        assert!(fac.has_parity_factor());
+    }
+
+    #[test]
+    fn repeated_factors_found_with_multiplicity() {
+        // (x+1)^2 (x^3+x+1)^3
+        let p3 = Poly::from_mask(0b1011);
+        let mut f = Poly::X_PLUS_1 * Poly::X_PLUS_1;
+        for _ in 0..3 {
+            f = f * p3;
+        }
+        let fac = factor(f);
+        assert_eq!(fac.factors(), &[(Poly::X_PLUS_1, 2), (p3, 3)]);
+        assert_eq!(fac.signature().to_string(), "{1,1,3,3,3}");
+        assert_eq!(fac.product(), f);
+    }
+
+    #[test]
+    fn perfect_squares_of_high_power() {
+        // ((x^2+x+1)^4): derivative chain must recurse through sqrt twice.
+        let p = Poly::from_mask(0b111);
+        let f = (p * p) * (p * p);
+        let fac = factor(f);
+        assert_eq!(fac.factors(), &[(p, 4)]);
+    }
+
+    #[test]
+    fn exhaustive_cross_check_small_degrees() {
+        // Factor every polynomial of degree ≤ 10 and verify the product
+        // reconstructs and every factor is irreducible.
+        for mask in 2u128..(1 << 11) {
+            let f = Poly::from_mask(mask);
+            let fac = factor(f);
+            assert_eq!(fac.product(), f, "mask {mask:#x}");
+            for &(p, _) in fac.factors() {
+                assert!(is_irreducible(p), "factor {p} of {f} not irreducible");
+            }
+        }
+    }
+
+    #[test]
+    fn equal_degree_splitting_many_same_degree_factors() {
+        // Product of all 6 irreducibles of degree 5 → degree 30 poly.
+        let mut f = Poly::ONE;
+        let irreds: Vec<Poly> = enumerate_irreducibles(5).collect();
+        assert_eq!(irreds.len(), 6);
+        for &p in &irreds {
+            f = f * p;
+        }
+        let fac = factor(f);
+        let got: Vec<Poly> = fac.factors().iter().map(|&(p, _)| p).collect();
+        assert_eq!(got, irreds);
+    }
+
+    #[test]
+    fn paper_polynomial_classes() {
+        // Full 33-bit generator masks: ((K << 1) | 1) | (1 << 32).
+        let cases: [(u64, &str); 8] = [
+            (0x82608EDB, "{32}"),       // IEEE 802.3
+            (0x8F6E37A0, "{1,31}"),     // Castagnoli / iSCSI (CRC-32C)
+            (0xBA0DC66B, "{1,3,28}"),   // Koopman's headline polynomial
+            (0xFA567D89, "{1,1,15,15}"),// Castagnoli HD=6
+            (0x992C1A4C, "{1,1,30}"),   // Koopman
+            (0x90022004, "{1,1,30}"),   // Koopman low-tap HD=6
+            (0xD419CC15, "{32}"),       // Castagnoli HD=5
+            (0x80108400, "{32}"),       // Koopman low-tap HD=5
+        ];
+        for (k, sig) in cases {
+            let full = Poly::from_mask(((k as u128) << 1 | 1) | (1 << 32));
+            let fac = factor(full);
+            assert_eq!(fac.signature().to_string(), sig, "poly {k:#010X}");
+            assert_eq!(fac.product(), full);
+        }
+    }
+
+    #[test]
+    fn paper_published_factor_values() {
+        // §3: 0xBA0DC66B = (x+1)(x^3+x^2+1)(x^28+x^22+x^20+x^19+x^16+x^14
+        //                  +x^12+x^9+x^8+x^6+1)
+        let full = Poly::from_mask((0xBA0DC66Bu128 << 1 | 1) | (1 << 32));
+        let fac = factor(full);
+        let p3 = Poly::from_exponents(&[3, 2, 0]);
+        let p28 = Poly::from_exponents(&[28, 22, 20, 19, 16, 14, 12, 9, 8, 6, 0]);
+        assert_eq!(
+            fac.factors(),
+            &[(Poly::X_PLUS_1, 1), (p3, 1), (p28, 1)]
+        );
+    }
+
+    #[test]
+    fn signature_parsing() {
+        let sig: FactorSignature = "{1,1,15,15}".parse().unwrap();
+        assert_eq!(sig.degrees(), &[1, 1, 15, 15]);
+        assert_eq!(sig.factor_count(), 4);
+        assert!(sig.has_degree_one_factor());
+        assert!("{}".parse::<FactorSignature>().is_err());
+        assert!("1,2".parse::<FactorSignature>().is_err());
+        assert!("{0}".parse::<FactorSignature>().is_err());
+        // Order-insensitivity.
+        let a: FactorSignature = "{28,3,1}".parse().unwrap();
+        let b: FactorSignature = "{1,3,28}".parse().unwrap();
+        assert_eq!(a, b);
+    }
+}

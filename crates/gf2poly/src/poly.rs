@@ -1,0 +1,524 @@
+//! The [`Poly`] type: dense polynomials over GF(2) up to degree 127.
+
+use crate::{Error, Result};
+use std::fmt;
+use std::ops::{Add, AddAssign, BitXor, Mul, Rem};
+use std::str::FromStr;
+
+/// A polynomial over GF(2) with degree at most 127.
+///
+/// Bit *i* of the mask is the coefficient of `x^i`. The zero polynomial is
+/// the zero mask. `Poly` is `Copy` and totally ordered by its mask, which
+/// orders polynomials first by degree and then lexicographically by
+/// coefficients — convenient for canonical factor lists.
+///
+/// ```
+/// use gf2poly::Poly;
+/// let f = Poly::from_mask(0b1011); // x^3 + x + 1
+/// assert_eq!(f.degree(), Some(3));
+/// assert_eq!(f.to_string(), "x^3 + x + 1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Poly(u128);
+
+impl Poly {
+    /// The zero polynomial.
+    pub const ZERO: Poly = Poly(0);
+    /// The constant polynomial `1`.
+    pub const ONE: Poly = Poly(1);
+    /// The monomial `x`.
+    pub const X: Poly = Poly(2);
+    /// The polynomial `x + 1`, the only degree-1 irreducible with nonzero
+    /// constant term (ubiquitous in the paper: it provides the implicit
+    /// parity bit of every HD=6 polynomial found).
+    pub const X_PLUS_1: Poly = Poly(3);
+    /// Largest supported degree.
+    pub const MAX_DEGREE: u32 = 127;
+
+    /// Creates a polynomial from its coefficient mask (bit *i* ↦ `x^i`).
+    ///
+    /// ```
+    /// use gf2poly::Poly;
+    /// assert_eq!(Poly::from_mask(0x7).to_string(), "x^2 + x + 1");
+    /// ```
+    #[inline]
+    pub const fn from_mask(mask: u128) -> Poly {
+        Poly(mask)
+    }
+
+    /// Creates a polynomial as a sum of monomials `x^e` for each exponent.
+    ///
+    /// Duplicate exponents cancel (coefficients are in GF(2)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any exponent exceeds [`Poly::MAX_DEGREE`].
+    pub fn from_exponents(exponents: &[u32]) -> Poly {
+        let mut mask = 0u128;
+        for &e in exponents {
+            assert!(e <= Self::MAX_DEGREE, "exponent {e} exceeds max degree");
+            mask ^= 1u128 << e;
+        }
+        Poly(mask)
+    }
+
+    /// Returns the coefficient mask (bit *i* ↦ `x^i`).
+    #[inline]
+    pub const fn mask(self) -> u128 {
+        self.0
+    }
+
+    /// Returns the degree, or `None` for the zero polynomial.
+    #[inline]
+    pub const fn degree(self) -> Option<u32> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(127 - self.0.leading_zeros())
+        }
+    }
+
+    /// Returns `true` for the zero polynomial.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns `true` if the constant term (coefficient of `x^0`) is 1.
+    #[inline]
+    pub const fn has_constant_term(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Number of nonzero coefficients (the polynomial's weight).
+    ///
+    /// The generator polynomial itself is always an undetectable error
+    /// pattern once it fits into the codeword, so a generator's weight is an
+    /// upper bound on the achievable Hamming distance at any length.
+    #[inline]
+    pub const fn weight(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Evaluates the polynomial at `x = 1`, i.e. the parity of its weight.
+    ///
+    /// A polynomial is divisible by `x + 1` exactly when this returns 0.
+    #[inline]
+    pub const fn eval_at_one(self) -> u8 {
+        (self.0.count_ones() & 1) as u8
+    }
+
+    /// Returns `true` if `x + 1` divides the polynomial.
+    #[inline]
+    pub const fn divisible_by_x_plus_1(self) -> bool {
+        self.eval_at_one() == 0
+    }
+
+    /// Multiplication, returning an error if the product degree exceeds 127.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::DegreeOverflow`] if `deg(self) + deg(rhs) > 127`.
+    pub fn checked_mul(self, rhs: Poly) -> Result<Poly> {
+        match (self.degree(), rhs.degree()) {
+            (Some(a), Some(b)) if a + b > Self::MAX_DEGREE => Err(Error::DegreeOverflow),
+            (None, _) | (_, None) => Ok(Poly::ZERO),
+            _ => {
+                let mut acc = 0u128;
+                let mut a = self.0;
+                let mut b = rhs.0;
+                while b != 0 {
+                    if b & 1 == 1 {
+                        acc ^= a;
+                    }
+                    a <<= 1;
+                    b >>= 1;
+                }
+                Ok(Poly(acc))
+            }
+        }
+    }
+
+    /// Squares the polynomial (`f(x)^2 = f(x^2)` in characteristic 2).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::DegreeOverflow`] if `2·deg(self) > 127`.
+    pub fn checked_square(self) -> Result<Poly> {
+        self.checked_mul(self)
+    }
+
+    /// Polynomial division: returns `(quotient, remainder)` with
+    /// `self = q·rhs + r` and `deg r < deg rhs`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::DivisionByZero`] if `rhs` is zero.
+    pub fn div_rem(self, rhs: Poly) -> Result<(Poly, Poly)> {
+        let d = rhs.degree().ok_or(Error::DivisionByZero)?;
+        let mut rem = self.0;
+        let mut quot = 0u128;
+        while let Some(rd) = Poly(rem).degree() {
+            if rd < d {
+                break;
+            }
+            let shift = rd - d;
+            quot ^= 1u128 << shift;
+            rem ^= rhs.0 << shift;
+        }
+        Ok((Poly(quot), Poly(rem)))
+    }
+
+    /// Greatest common divisor (monic by construction over GF(2)).
+    ///
+    /// `gcd(0, 0)` is defined as `0`.
+    pub fn gcd(self, other: Poly) -> Poly {
+        let (mut a, mut b) = (self, other);
+        while !b.is_zero() {
+            let r = a.div_rem(b).expect("b is nonzero").1;
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Formal derivative. In GF(2) only odd-exponent terms survive,
+    /// dropping one degree: `d/dx x^(2k+1) = x^(2k)`.
+    pub fn derivative(self) -> Poly {
+        // Keep odd-position bits, shift down by one.
+        const ODD: u128 = 0xAAAA_AAAA_AAAA_AAAA_AAAA_AAAA_AAAA_AAAA;
+        Poly((self.0 & ODD) >> 1)
+    }
+
+    /// Exact square root when the polynomial is a perfect square
+    /// (all exponents even), i.e. `f(x) = g(x)^2 = g(x^2)`.
+    ///
+    /// Returns `None` if any odd-exponent coefficient is set.
+    pub fn sqrt(self) -> Option<Poly> {
+        const ODD: u128 = 0xAAAA_AAAA_AAAA_AAAA_AAAA_AAAA_AAAA_AAAA;
+        if self.0 & ODD != 0 {
+            return None;
+        }
+        let mut out = 0u128;
+        let mut v = self.0;
+        let mut i = 0;
+        while v != 0 {
+            if v & 1 == 1 {
+                out |= 1u128 << i;
+            }
+            v >>= 2;
+            i += 1;
+        }
+        Some(Poly(out))
+    }
+
+    /// The reciprocal polynomial: coefficients reversed about the degree.
+    ///
+    /// Reciprocal pairs have identical error-detection weight profiles
+    /// ([Peterson72], exploited by the paper to halve its search space).
+    ///
+    /// ```
+    /// use gf2poly::Poly;
+    /// let f = Poly::from_mask(0b1101);            // x^3 + x^2 + 1
+    /// assert_eq!(f.reciprocal(), Poly::from_mask(0b1011)); // x^3 + x + 1
+    /// ```
+    pub fn reciprocal(self) -> Poly {
+        match self.degree() {
+            None => Poly::ZERO,
+            Some(d) => Poly(self.0.reverse_bits() >> (127 - d)),
+        }
+    }
+
+    /// Returns `true` if the polynomial equals its own reciprocal
+    /// (a palindrome). Palindromes are the fixed points of reciprocal
+    /// pairing; the paper's count of 1,073,774,592 distinct 32-bit
+    /// polynomials is `2^30 + 2^15` because of them.
+    pub fn is_palindrome(self) -> bool {
+        self.reciprocal() == self
+    }
+
+    /// Multiplies by `x^k`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::DegreeOverflow`] if the shifted degree exceeds 127.
+    pub fn shl(self, k: u32) -> Result<Poly> {
+        match self.degree() {
+            None => Ok(Poly::ZERO),
+            Some(d) if d + k > Self::MAX_DEGREE => Err(Error::DegreeOverflow),
+            _ => Ok(Poly(self.0 << k)),
+        }
+    }
+
+    /// Iterates over the exponents with nonzero coefficients, ascending.
+    pub fn exponents(self) -> impl Iterator<Item = u32> {
+        let mut mask = self.0;
+        std::iter::from_fn(move || {
+            if mask == 0 {
+                None
+            } else {
+                let e = mask.trailing_zeros();
+                mask &= mask - 1;
+                Some(e)
+            }
+        })
+    }
+}
+
+impl Add for Poly {
+    type Output = Poly;
+    #[inline]
+    fn add(self, rhs: Poly) -> Poly {
+        Poly(self.0 ^ rhs.0)
+    }
+}
+
+impl AddAssign for Poly {
+    #[inline]
+    fn add_assign(&mut self, rhs: Poly) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl BitXor for Poly {
+    type Output = Poly;
+    #[inline]
+    fn bitxor(self, rhs: Poly) -> Poly {
+        Poly(self.0 ^ rhs.0)
+    }
+}
+
+impl Mul for Poly {
+    type Output = Poly;
+
+    /// Panicking multiplication; prefer [`Poly::checked_mul`] in library code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the product degree exceeds [`Poly::MAX_DEGREE`].
+    fn mul(self, rhs: Poly) -> Poly {
+        self.checked_mul(rhs).expect("polynomial product overflow")
+    }
+}
+
+impl Rem for Poly {
+    type Output = Poly;
+
+    /// Remainder of polynomial division.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    fn rem(self, rhs: Poly) -> Poly {
+        self.div_rem(rhs).expect("remainder by zero polynomial").1
+    }
+}
+
+impl fmt::Display for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for e in (0..=self.degree().unwrap()).rev() {
+            if self.0 >> e & 1 == 1 {
+                if !first {
+                    write!(f, " + ")?;
+                }
+                match e {
+                    0 => write!(f, "1")?,
+                    1 => write!(f, "x")?,
+                    _ => write!(f, "x^{e}")?,
+                }
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::LowerHex for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Binary for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl From<u128> for Poly {
+    fn from(mask: u128) -> Poly {
+        Poly(mask)
+    }
+}
+
+impl From<u64> for Poly {
+    fn from(mask: u64) -> Poly {
+        Poly(mask as u128)
+    }
+}
+
+impl FromStr for Poly {
+    type Err = Error;
+
+    /// Parses either a hex mask (`0x104c11db7`) or a term list
+    /// (`x^32 + x^26 + 1`, whitespace optional).
+    fn from_str(s: &str) -> Result<Poly> {
+        let t = s.trim();
+        if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+            let mask = u128::from_str_radix(hex, 16)
+                .map_err(|_| Error::Parse(format!("bad hex literal {t:?}")))?;
+            return Ok(Poly(mask));
+        }
+        if t == "0" {
+            return Ok(Poly::ZERO);
+        }
+        let mut mask = 0u128;
+        for term in t.split('+') {
+            let term = term.trim();
+            mask ^= match term {
+                "1" => 1,
+                "x" => 2,
+                _ => {
+                    let e = term
+                        .strip_prefix("x^")
+                        .and_then(|e| e.parse::<u32>().ok())
+                        .ok_or_else(|| Error::Parse(format!("bad term {term:?}")))?;
+                    if e > Self::MAX_DEGREE {
+                        return Err(Error::Parse(format!("exponent {e} too large")));
+                    }
+                    1u128 << e
+                }
+            };
+        }
+        Ok(Poly(mask))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_and_weight() {
+        assert_eq!(Poly::ZERO.degree(), None);
+        assert_eq!(Poly::ONE.degree(), Some(0));
+        assert_eq!(Poly::X.degree(), Some(1));
+        let p = Poly::from_exponents(&[32, 26, 0]);
+        assert_eq!(p.degree(), Some(32));
+        assert_eq!(p.weight(), 3);
+    }
+
+    #[test]
+    fn addition_is_xor_and_self_inverse() {
+        let a = Poly::from_mask(0b1011);
+        let b = Poly::from_mask(0b0110);
+        assert_eq!((a + b).mask(), 0b1101);
+        assert_eq!(a + a, Poly::ZERO);
+    }
+
+    #[test]
+    fn multiplication_small_cases() {
+        // (x + 1)(x + 1) = x^2 + 1
+        assert_eq!(Poly::X_PLUS_1 * Poly::X_PLUS_1, Poly::from_mask(0b101));
+        // (x^2 + x + 1)(x + 1) = x^3 + 1
+        let a = Poly::from_mask(0b111);
+        assert_eq!(a * Poly::X_PLUS_1, Poly::from_mask(0b1001));
+        assert_eq!(a * Poly::ZERO, Poly::ZERO);
+        assert_eq!(a * Poly::ONE, a);
+    }
+
+    #[test]
+    fn multiplication_overflow_detected() {
+        let big = Poly::from_mask(1u128 << 127);
+        assert_eq!(big.checked_mul(Poly::X), Err(Error::DegreeOverflow));
+        assert_eq!(big.checked_mul(Poly::ONE), Ok(big));
+    }
+
+    #[test]
+    fn division_round_trip() {
+        let a = Poly::from_mask(0x1_04C1_1DB7); // 802.3 generator
+        let b = Poly::from_mask(0b111_0101);
+        let (q, r) = a.div_rem(b).unwrap();
+        assert!(r.degree().map_or(true, |d| d < b.degree().unwrap()));
+        assert_eq!(q * b + r, a);
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        assert_eq!(Poly::ONE.div_rem(Poly::ZERO), Err(Error::DivisionByZero));
+    }
+
+    #[test]
+    fn gcd_basics() {
+        let a = Poly::from_mask(0b1001); // x^3+1 = (x+1)(x^2+x+1)
+        let b = Poly::from_mask(0b11);
+        assert_eq!(a.gcd(b), b);
+        assert_eq!(Poly::ZERO.gcd(a), a);
+        assert_eq!(a.gcd(Poly::ZERO), a);
+        // Coprime polynomials.
+        let p = Poly::from_mask(0b1011);
+        let q = Poly::from_mask(0b1101);
+        assert_eq!(p.gcd(q), Poly::ONE);
+    }
+
+    #[test]
+    fn derivative_and_sqrt() {
+        // d/dx (x^3 + x^2 + x + 1) = x^2 + 1
+        let f = Poly::from_mask(0b1111);
+        assert_eq!(f.derivative(), Poly::from_mask(0b101));
+        // (x^2+1) = (x+1)^2, sqrt = x+1
+        assert_eq!(Poly::from_mask(0b101).sqrt(), Some(Poly::X_PLUS_1));
+        assert_eq!(Poly::from_mask(0b111).sqrt(), None);
+        // A perfect square has zero derivative.
+        let sq = Poly::from_mask(0b101).checked_square().unwrap();
+        assert_eq!(sq.derivative(), Poly::ZERO);
+    }
+
+    #[test]
+    fn reciprocal_involution() {
+        let f = Poly::from_mask(0x1_04C1_1DB7);
+        assert_eq!(f.reciprocal().reciprocal(), f);
+        assert_eq!(f.reciprocal().degree(), f.degree());
+        // x^3 + x^2 + 1 <-> x^3 + x + 1
+        assert_eq!(Poly::from_mask(0b1101).reciprocal(), Poly::from_mask(0b1011));
+        assert!(Poly::from_mask(0b101).is_palindrome());
+    }
+
+    #[test]
+    fn x_plus_1_divisibility_matches_parity() {
+        let even = Poly::from_exponents(&[5, 3, 2, 0]);
+        let odd = Poly::from_exponents(&[5, 3, 0]);
+        assert!(even.divisible_by_x_plus_1());
+        assert!(!odd.divisible_by_x_plus_1());
+        assert_eq!(even % Poly::X_PLUS_1, Poly::ZERO);
+        assert_ne!(odd % Poly::X_PLUS_1, Poly::ZERO);
+    }
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        let f = Poly::from_exponents(&[32, 26, 23, 1, 0]);
+        let shown = f.to_string();
+        assert_eq!(shown, "x^32 + x^26 + x^23 + x + 1");
+        assert_eq!(shown.parse::<Poly>().unwrap(), f);
+        assert_eq!("0x104c11db7".parse::<Poly>().unwrap().mask(), 0x1_04C1_1DB7);
+        assert_eq!("0".parse::<Poly>().unwrap(), Poly::ZERO);
+        assert!("x^^3".parse::<Poly>().is_err());
+        assert!("x^200".parse::<Poly>().is_err());
+    }
+
+    #[test]
+    fn exponents_iterator_ascends() {
+        let f = Poly::from_exponents(&[7, 3, 0]);
+        assert_eq!(f.exponents().collect::<Vec<_>>(), vec![0, 3, 7]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the GF(2) polynomial algebra.
+
+use gf2poly::factor::factor;
+use gf2poly::irred::is_irreducible;
+use gf2poly::order::{order_of_x, order_of_x_by_scan};
+use gf2poly::{ModCtx, Poly};
+use proptest::prelude::*;
+
+/// Arbitrary polynomial of degree < 32 (mask below 2^32).
+fn small_poly() -> impl Strategy<Value = Poly> {
+    any::<u32>().prop_map(|m| Poly::from_mask(m as u128))
+}
+
+/// Arbitrary nonzero polynomial of degree < 24.
+fn nonzero_poly() -> impl Strategy<Value = Poly> {
+    (1u32..(1 << 24)).prop_map(|m| Poly::from_mask(m as u128))
+}
+
+proptest! {
+    #[test]
+    fn addition_commutes_and_cancels(a in small_poly(), b in small_poly()) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + b, a);
+        prop_assert_eq!(a + Poly::ZERO, a);
+    }
+
+    #[test]
+    fn multiplication_commutes_and_distributes(
+        a in small_poly(), b in small_poly(), c in small_poly()
+    ) {
+        prop_assert_eq!(a.checked_mul(b).unwrap(), b.checked_mul(a).unwrap());
+        let left = a.checked_mul(b + c).unwrap();
+        let right = a.checked_mul(b).unwrap() + a.checked_mul(c).unwrap();
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn multiplication_associates(a in small_poly(), b in small_poly(), c in small_poly()) {
+        // Keep degrees in range: reduce inputs to < 2^14 masks.
+        let a = Poly::from_mask(a.mask() & 0x3FFF);
+        let b = Poly::from_mask(b.mask() & 0x3FFF);
+        let c = Poly::from_mask(c.mask() & 0x3FFF);
+        let ab_c = a.checked_mul(b).unwrap().checked_mul(c).unwrap();
+        let a_bc = a.checked_mul(b.checked_mul(c).unwrap()).unwrap();
+        prop_assert_eq!(ab_c, a_bc);
+    }
+
+    #[test]
+    fn division_invariant(a in small_poly(), b in nonzero_poly()) {
+        let (q, r) = a.div_rem(b).unwrap();
+        prop_assert_eq!(q.checked_mul(b).unwrap() + r, a);
+        if let Some(rd) = r.degree() {
+            prop_assert!(rd < b.degree().unwrap());
+        }
+    }
+
+    #[test]
+    fn gcd_divides_both_and_is_symmetric(a in nonzero_poly(), b in nonzero_poly()) {
+        let g = a.gcd(b);
+        prop_assert_eq!(g, b.gcd(a));
+        prop_assert!(!g.is_zero());
+        prop_assert_eq!(a % g, Poly::ZERO);
+        prop_assert_eq!(b % g, Poly::ZERO);
+    }
+
+    #[test]
+    fn reciprocal_is_involutive_and_weight_preserving(a in nonzero_poly()) {
+        // Involution needs a nonzero constant term; x^k·f(1/x) drops
+        // trailing x factors otherwise (e.g. reciprocal of x^2 is 1).
+        let a = Poly::from_mask(a.mask() | 1);
+        prop_assert_eq!(a.reciprocal().reciprocal(), a);
+        prop_assert_eq!(a.reciprocal().weight(), a.weight());
+    }
+
+    #[test]
+    fn reciprocal_of_product_is_product_of_reciprocals(
+        a in (1u32..(1 << 12)), b in (1u32..(1 << 12))
+    ) {
+        let pa = Poly::from_mask(a as u128);
+        let pb = Poly::from_mask(b as u128);
+        // Reciprocal is multiplicative only when constant terms are nonzero
+        // (no x-power is silently dropped by the reversal).
+        prop_assume!(pa.has_constant_term() && pb.has_constant_term());
+        let prod = pa.checked_mul(pb).unwrap();
+        prop_assert_eq!(
+            prod.reciprocal(),
+            pa.reciprocal().checked_mul(pb.reciprocal()).unwrap()
+        );
+    }
+
+    #[test]
+    fn factorization_reconstructs_and_is_irreducible(a in (2u32..(1 << 20))) {
+        let f = Poly::from_mask(a as u128);
+        let fac = factor(f);
+        prop_assert_eq!(fac.product(), f);
+        for &(p, m) in fac.factors() {
+            prop_assert!(m >= 1);
+            prop_assert!(is_irreducible(p));
+        }
+        // Signature degree sums to the polynomial degree.
+        prop_assert_eq!(fac.signature().total_degree(), f.degree().unwrap());
+    }
+
+    #[test]
+    fn parity_factor_iff_even_weight(a in (2u32..(1 << 16))) {
+        let f = Poly::from_mask(a as u128);
+        let fac = factor(f);
+        prop_assert_eq!(fac.has_parity_factor(), f.divisible_by_x_plus_1());
+    }
+
+    #[test]
+    fn order_matches_scan_for_small_moduli(a in (3u32..(1 << 14))) {
+        let f = Poly::from_mask((a | 1) as u128); // force constant term
+        prop_assume!(f.degree().unwrap() >= 1);
+        let fast = order_of_x(f).unwrap();
+        // Order of x mod f divides lcm of subfield group orders; for
+        // degree ≤ 14 it is at most 2^14 ⋅ 2^4 — scan far enough.
+        let slow = order_of_x_by_scan(f, 1 << 20).unwrap();
+        prop_assert_eq!(slow, Some(fast as u64));
+    }
+
+    #[test]
+    fn modring_mul_matches_schoolbook(
+        m in (4u32..(1 << 16)), a in any::<u16>(), b in any::<u16>()
+    ) {
+        let modulus = Poly::from_mask(m as u128);
+        prop_assume!(modulus.degree().unwrap() >= 1);
+        let ctx = ModCtx::new(modulus).unwrap();
+        let pa = Poly::from_mask(a as u128);
+        let pb = Poly::from_mask(b as u128);
+        let expected = pa.checked_mul(pb).unwrap() % modulus;
+        prop_assert_eq!(ctx.mul(pa, pb), expected);
+    }
+
+    #[test]
+    fn display_parse_round_trip(a in small_poly()) {
+        let shown = a.to_string();
+        let parsed: Poly = shown.parse().unwrap();
+        prop_assert_eq!(parsed, a);
+    }
+}

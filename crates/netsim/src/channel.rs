@@ -1,0 +1,320 @@
+//! Bit-error channel models.
+
+use rand::Rng;
+use rand::SeedableRng;
+
+/// A channel that corrupts frames in place, reporting how many bits it
+/// flipped.
+pub trait Channel {
+    /// Corrupts `frame`, returning the number of flipped bits.
+    fn corrupt(&mut self, frame: &mut [u8]) -> u32;
+
+    /// Reseeds the channel's randomness for reproducible experiments.
+    fn reseed(&mut self, seed: u64);
+}
+
+/// The memoryless binary symmetric channel: every bit flips independently
+/// with probability `ber`.
+///
+/// ```
+/// use netsim::channel::{BscChannel, Channel};
+/// let mut ch = BscChannel::new(0.0);
+/// let mut frame = vec![0xAAu8; 64];
+/// assert_eq!(ch.corrupt(&mut frame), 0); // zero BER never corrupts
+/// ```
+#[derive(Debug, Clone)]
+pub struct BscChannel {
+    ber: f64,
+    rng: rand::rngs::StdRng,
+}
+
+impl BscChannel {
+    /// Creates a channel with the given bit error rate (0.0..=1.0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ber` is outside `[0, 1]` or not finite.
+    pub fn new(ber: f64) -> BscChannel {
+        assert!(ber.is_finite() && (0.0..=1.0).contains(&ber), "BER must be in [0,1]");
+        BscChannel {
+            ber,
+            rng: rand::rngs::StdRng::seed_from_u64(0xBE5C_0DE),
+        }
+    }
+
+    /// The configured bit error rate.
+    pub fn ber(&self) -> f64 {
+        self.ber
+    }
+}
+
+impl Channel for BscChannel {
+    fn corrupt(&mut self, frame: &mut [u8]) -> u32 {
+        if self.ber == 0.0 {
+            return 0;
+        }
+        let mut flipped = 0;
+        // Geometric skipping: draw the gap to the next flipped bit instead
+        // of testing every bit — exact for the BSC and far faster at the
+        // low BERs networking cares about.
+        let nbits = frame.len() as u64 * 8;
+        let mut pos = next_gap(&mut self.rng, self.ber);
+        while pos < nbits {
+            frame[(pos / 8) as usize] ^= 1 << (pos % 8);
+            flipped += 1;
+            pos += 1 + next_gap(&mut self.rng, self.ber);
+        }
+        flipped
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.rng = rand::rngs::StdRng::seed_from_u64(seed);
+    }
+}
+
+/// Draws a geometric gap (number of untouched bits before the next flip).
+fn next_gap(rng: &mut impl Rng, p: f64) -> u64 {
+    if p >= 1.0 {
+        return 0;
+    }
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    (u.ln() / (1.0 - p).ln()).floor() as u64
+}
+
+/// A burst channel: each corruption event flips a random nonzero pattern
+/// within a contiguous span of at most `max_span` bits.
+///
+/// CRCs detect every burst no longer than their width — the guarantee the
+/// paper notes "remains intact for all the codes we consider".
+#[derive(Debug, Clone)]
+pub struct BurstChannel {
+    max_span: u32,
+    rng: rand::rngs::StdRng,
+}
+
+impl BurstChannel {
+    /// Creates a burst channel with bursts spanning at most `max_span`
+    /// bits (≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_span` is 0 or exceeds 64.
+    pub fn new(max_span: u32) -> BurstChannel {
+        assert!((1..=64).contains(&max_span), "span must be in 1..=64");
+        BurstChannel {
+            max_span,
+            rng: rand::rngs::StdRng::seed_from_u64(0xB0B5),
+        }
+    }
+
+    /// Maximum burst span in bits.
+    pub fn max_span(&self) -> u32 {
+        self.max_span
+    }
+}
+
+impl Channel for BurstChannel {
+    fn corrupt(&mut self, frame: &mut [u8]) -> u32 {
+        let nbits = frame.len() as u64 * 8;
+        if nbits == 0 {
+            return 0;
+        }
+        let span = self.rng.gen_range(1..=self.max_span.min(nbits as u32));
+        // A burst of `span` bits: first and last bit set (defining the
+        // span), interior random.
+        let mut pattern: u64 = 1 | 1 << (span - 1);
+        if span > 2 {
+            let interior_mask = ((1u64 << (span - 2)) - 1) << 1;
+            pattern |= self.rng.gen::<u64>() & interior_mask;
+        }
+        let start = self.rng.gen_range(0..=nbits - span as u64);
+        let mut flipped = 0;
+        for i in 0..span as u64 {
+            if pattern >> i & 1 == 1 {
+                let pos = start + i;
+                frame[(pos / 8) as usize] ^= 1 << (pos % 8);
+                flipped += 1;
+            }
+        }
+        flipped
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.rng = rand::rngs::StdRng::seed_from_u64(seed);
+    }
+}
+
+/// The two-state Gilbert–Elliott bursty channel: a Markov chain switches
+/// between a good state (low BER) and a bad state (high BER), reproducing
+/// the clustered errors observed on real links — the reason Stone &
+/// Partridge saw CRCs exercised "once every few thousand packets".
+#[derive(Debug, Clone)]
+pub struct GilbertElliottChannel {
+    p_g2b: f64,
+    p_b2g: f64,
+    ber_good: f64,
+    ber_bad: f64,
+    in_bad: bool,
+    rng: rand::rngs::StdRng,
+}
+
+impl GilbertElliottChannel {
+    /// Creates a Gilbert–Elliott channel.
+    ///
+    /// `p_g2b`/`p_b2g` are per-bit transition probabilities; `ber_good`/
+    /// `ber_bad` are the flip probabilities in each state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1]`.
+    pub fn new(p_g2b: f64, p_b2g: f64, ber_good: f64, ber_bad: f64) -> GilbertElliottChannel {
+        for (name, p) in [
+            ("p_g2b", p_g2b),
+            ("p_b2g", p_b2g),
+            ("ber_good", ber_good),
+            ("ber_bad", ber_bad),
+        ] {
+            assert!(
+                p.is_finite() && (0.0..=1.0).contains(&p),
+                "{name} must be in [0,1]"
+            );
+        }
+        GilbertElliottChannel {
+            p_g2b,
+            p_b2g,
+            ber_good,
+            ber_bad,
+            in_bad: false,
+            rng: rand::rngs::StdRng::seed_from_u64(0x6E11),
+        }
+    }
+
+    /// Stationary probability of being in the bad state.
+    pub fn stationary_bad(&self) -> f64 {
+        if self.p_g2b + self.p_b2g == 0.0 {
+            0.0
+        } else {
+            self.p_g2b / (self.p_g2b + self.p_b2g)
+        }
+    }
+}
+
+impl Channel for GilbertElliottChannel {
+    fn corrupt(&mut self, frame: &mut [u8]) -> u32 {
+        let mut flipped = 0;
+        for byte in frame.iter_mut() {
+            for bit in 0..8 {
+                let transition = if self.in_bad { self.p_b2g } else { self.p_g2b };
+                if self.rng.gen::<f64>() < transition {
+                    self.in_bad = !self.in_bad;
+                }
+                let ber = if self.in_bad { self.ber_bad } else { self.ber_good };
+                if ber > 0.0 && self.rng.gen::<f64>() < ber {
+                    *byte ^= 1 << bit;
+                    flipped += 1;
+                }
+            }
+        }
+        flipped
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.rng = rand::rngs::StdRng::seed_from_u64(seed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bsc_flip_count_tracks_ber() {
+        let mut ch = BscChannel::new(0.01);
+        ch.reseed(42);
+        let mut total = 0u64;
+        let trials = 400;
+        for _ in 0..trials {
+            let mut frame = vec![0u8; 125]; // 1000 bits
+            total += ch.corrupt(&mut frame) as u64;
+        }
+        let mean = total as f64 / trials as f64;
+        // Expect ~10 flips/frame; allow generous slack for 400 trials.
+        assert!((8.0..12.0).contains(&mean), "mean flips {mean}");
+    }
+
+    #[test]
+    fn bsc_zero_and_one_extremes() {
+        let mut frame = vec![0u8; 16];
+        assert_eq!(BscChannel::new(0.0).corrupt(&mut frame), 0);
+        assert!(frame.iter().all(|&b| b == 0));
+        let mut all = BscChannel::new(1.0);
+        let flips = all.corrupt(&mut frame);
+        assert_eq!(flips, 128, "BER 1.0 flips every bit");
+        assert!(frame.iter().all(|&b| b == 0xFF));
+    }
+
+    #[test]
+    #[should_panic(expected = "BER must be in")]
+    fn bsc_rejects_bad_ber() {
+        let _ = BscChannel::new(1.5);
+    }
+
+    #[test]
+    fn bsc_is_reproducible_after_reseed() {
+        let mut ch = BscChannel::new(0.05);
+        let mut a = vec![0u8; 64];
+        let mut b = vec![0u8; 64];
+        ch.reseed(9);
+        ch.corrupt(&mut a);
+        ch.reseed(9);
+        ch.corrupt(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn burst_stays_within_span() {
+        let mut ch = BurstChannel::new(32);
+        ch.reseed(3);
+        for _ in 0..200 {
+            let mut frame = vec![0u8; 100];
+            let flips = ch.corrupt(&mut frame);
+            assert!(flips >= 1);
+            // All set bits must fit within a 32-bit window.
+            let positions: Vec<usize> = (0..800)
+                .filter(|&i| frame[i / 8] >> (i % 8) & 1 == 1)
+                .collect();
+            let span = positions.last().unwrap() - positions.first().unwrap() + 1;
+            assert!(span <= 32, "burst spanned {span} bits");
+        }
+    }
+
+    #[test]
+    fn gilbert_elliott_is_burstier_than_bsc_at_equal_average() {
+        // Same average BER; the GE channel should concentrate errors in
+        // fewer frames (higher variance of per-frame flips).
+        let frames = 600;
+        let frame_len = 250;
+        let avg_ber = 1e-3;
+        let mut bsc = BscChannel::new(avg_ber);
+        bsc.reseed(1);
+        // GE: bad state 1% of the time with 100x the error rate.
+        let mut ge = GilbertElliottChannel::new(1e-4, 9.9e-3, 0.0, avg_ber * 101.0);
+        ge.reseed(1);
+        assert!((ge.stationary_bad() - 0.0099).abs() < 1e-3);
+        let var = |ch: &mut dyn Channel| {
+            let mut counts = Vec::new();
+            for _ in 0..frames {
+                let mut f = vec![0u8; frame_len];
+                counts.push(ch.corrupt(&mut f) as f64);
+            }
+            let mean = counts.iter().sum::<f64>() / frames as f64;
+            counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / frames as f64
+        };
+        let v_bsc = var(&mut bsc);
+        let v_ge = var(&mut ge);
+        assert!(
+            v_ge > v_bsc,
+            "Gilbert–Elliott variance {v_ge} should exceed BSC variance {v_bsc}"
+        );
+    }
+}

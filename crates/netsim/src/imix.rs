@@ -1,0 +1,196 @@
+//! Internet-mix (IMIX) traffic workloads.
+//!
+//! The paper grounds its evaluation in the two most frequent Internet
+//! message sizes — 40-byte acknowledgments and 576-byte data packets —
+//! plus full-MTU frames (§3, Figure 1's marked lengths). This module
+//! models that mix explicitly so experiments can report error-detection
+//! behavior per packet class instead of a single frame size.
+
+use crate::channel::Channel;
+use crate::frame::FrameCodec;
+use crate::montecarlo::TrialStats;
+use rand::{Rng, SeedableRng};
+
+/// One packet class in a traffic mix: payload size and relative weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketClass {
+    /// Payload length in bytes (before the FCS).
+    pub payload_len: usize,
+    /// Relative frequency weight (need not be normalized).
+    pub weight: u32,
+    /// Human-readable label.
+    pub label: &'static str,
+}
+
+/// A weighted mix of packet classes.
+#[derive(Debug, Clone)]
+pub struct TrafficMix {
+    classes: Vec<PacketClass>,
+    total_weight: u32,
+}
+
+impl TrafficMix {
+    /// Builds a mix from classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is empty or all weights are zero.
+    pub fn new(classes: Vec<PacketClass>) -> TrafficMix {
+        assert!(!classes.is_empty(), "mix needs at least one class");
+        let total_weight = classes.iter().map(|c| c.weight).sum();
+        assert!(total_weight > 0, "mix needs positive total weight");
+        TrafficMix {
+            classes,
+            total_weight,
+        }
+    }
+
+    /// The classic "simple IMIX": 40-byte, 576-byte and 1500-byte packets
+    /// in 7:4:1 proportion — matching the paper's observation that 40-byte
+    /// acks and 512+40-byte data packets dominate Internet traffic.
+    pub fn simple_imix() -> TrafficMix {
+        TrafficMix::new(vec![
+            PacketClass {
+                payload_len: 40,
+                weight: 7,
+                label: "40B ack",
+            },
+            PacketClass {
+                payload_len: 576,
+                weight: 4,
+                label: "576B data",
+            },
+            PacketClass {
+                payload_len: 1500,
+                weight: 1,
+                label: "1500B MTU",
+            },
+        ])
+    }
+
+    /// The packet classes.
+    pub fn classes(&self) -> &[PacketClass] {
+        &self.classes
+    }
+
+    /// Draws a class index according to the weights.
+    fn draw(&self, rng: &mut impl Rng) -> usize {
+        let mut ticket = rng.gen_range(0..self.total_weight);
+        for (i, c) in self.classes.iter().enumerate() {
+            if ticket < c.weight {
+                return i;
+            }
+            ticket -= c.weight;
+        }
+        self.classes.len() - 1
+    }
+}
+
+/// Per-class tallies from a mixed-traffic run.
+#[derive(Debug, Clone)]
+pub struct MixStats {
+    /// One tally per packet class, in mix order.
+    pub per_class: Vec<(PacketClass, TrialStats)>,
+}
+
+impl MixStats {
+    /// Aggregate tally across all classes.
+    pub fn total(&self) -> TrialStats {
+        let mut out = TrialStats::default();
+        for (_, s) in &self.per_class {
+            out.clean += s.clean;
+            out.detected += s.detected;
+            out.undetected += s.undetected;
+            out.bits_flipped += s.bits_flipped;
+        }
+        out
+    }
+}
+
+/// Pushes `trials` mixed-size frames through a channel, tallying per class.
+pub fn run_mix(
+    codec: &FrameCodec,
+    channel: &mut dyn Channel,
+    mix: &TrafficMix,
+    trials: u64,
+    seed: u64,
+) -> MixStats {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    channel.reseed(seed ^ 0x1313_5717_1923_2931);
+    let mut per_class: Vec<(PacketClass, TrialStats)> = mix
+        .classes
+        .iter()
+        .map(|&c| (c, TrialStats::default()))
+        .collect();
+    let max_len = mix.classes.iter().map(|c| c.payload_len).max().unwrap_or(0);
+    let mut payload = vec![0u8; max_len];
+    for _ in 0..trials {
+        let idx = mix.draw(&mut rng);
+        let len = per_class[idx].0.payload_len;
+        rng.fill(&mut payload[..len]);
+        let mut frame = codec.encode(&payload[..len]);
+        let flips = channel.corrupt(&mut frame);
+        let stats = &mut per_class[idx].1;
+        stats.bits_flipped += flips as u64;
+        if flips == 0 {
+            stats.clean += 1;
+        } else if codec.verify(&frame) {
+            stats.undetected += 1;
+        } else {
+            stats.detected += 1;
+        }
+    }
+    MixStats { per_class }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::BscChannel;
+    use crckit::catalog;
+
+    #[test]
+    fn simple_imix_shape() {
+        let mix = TrafficMix::simple_imix();
+        assert_eq!(mix.classes().len(), 3);
+        assert_eq!(mix.total_weight, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn empty_mix_panics() {
+        let _ = TrafficMix::new(vec![]);
+    }
+
+    #[test]
+    fn draw_respects_weights() {
+        let mix = TrafficMix::simple_imix();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut counts = [0u32; 3];
+        for _ in 0..12_000 {
+            counts[mix.draw(&mut rng)] += 1;
+        }
+        // Expect roughly 7000 / 4000 / 1000.
+        assert!((6500..7500).contains(&counts[0]), "{counts:?}");
+        assert!((3500..4500).contains(&counts[1]), "{counts:?}");
+        assert!((700..1300).contains(&counts[2]), "{counts:?}");
+    }
+
+    #[test]
+    fn mixed_run_tallies_and_detects() {
+        let codec = FrameCodec::new(catalog::CRC32_ISO_HDLC);
+        let mut ch = BscChannel::new(1e-3);
+        let mix = TrafficMix::simple_imix();
+        let stats = run_mix(&codec, &mut ch, &mix, 6_000, 77);
+        let total = stats.total();
+        assert_eq!(total.clean + total.detected + total.undetected, 6_000);
+        assert_eq!(total.undetected, 0);
+        // Larger frames are corrupted more often.
+        let rate = |s: &TrialStats| {
+            s.detected as f64 / (s.clean + s.detected + s.undetected).max(1) as f64
+        };
+        let ack = rate(&stats.per_class[0].1);
+        let mtu = rate(&stats.per_class[2].1);
+        assert!(mtu > ack, "MTU frames must see more corruption ({mtu} vs {ack})");
+    }
+}

@@ -1,0 +1,285 @@
+//! Monte-Carlo corruption experiments and directed error injection.
+//!
+//! Two complementary modes validate the weight analysis of `crc-hd`:
+//!
+//! * **Random trials** ([`run_trials`], [`run_weighted_trials`]) measure
+//!   detected/undetected rates under a channel model. Undetected events
+//!   are astronomically rare for 32-bit CRCs (≈2⁻³² of corruptions), so
+//!   statistical validation uses small widths where the rate is
+//!   measurable (≈2⁻⁸ for CRC-8), exactly like the paper's 8/16-bit
+//!   validation searches.
+//! * **Directed injection** ([`inject_undetectable`]) XORs a *known
+//!   codeword* (a multiple of the generator) onto a frame, demonstrating
+//!   the blind spots the weight analysis predicts — without waiting 2³²
+//!   trials for one to occur naturally.
+
+use crate::channel::Channel;
+use crate::frame::FrameCodec;
+use crckit::CrcParams;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for a Monte-Carlo run.
+#[derive(Debug, Clone, Copy)]
+pub struct TrialConfig {
+    /// Payload length per frame, bytes.
+    pub payload_len: usize,
+    /// Number of frames to push through the channel.
+    pub trials: u64,
+    /// RNG seed (payloads and channel are derived deterministically).
+    pub seed: u64,
+}
+
+/// Tally of a Monte-Carlo run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrialStats {
+    /// Frames the channel left untouched.
+    pub clean: u64,
+    /// Corrupted frames the CRC caught.
+    pub detected: u64,
+    /// Corrupted frames the CRC accepted — undetected errors.
+    pub undetected: u64,
+    /// Total bits flipped across all frames.
+    pub bits_flipped: u64,
+}
+
+impl TrialStats {
+    /// Total frames.
+    pub fn total(&self) -> u64 {
+        self.clean + self.detected + self.undetected
+    }
+
+    /// Undetected fraction among corrupted frames (`None` if nothing was
+    /// corrupted).
+    pub fn undetected_rate(&self) -> Option<f64> {
+        let corrupted = self.detected + self.undetected;
+        if corrupted == 0 {
+            None
+        } else {
+            Some(self.undetected as f64 / corrupted as f64)
+        }
+    }
+}
+
+/// Pushes random frames through a channel and tallies CRC verdicts.
+pub fn run_trials(codec: &FrameCodec, channel: &mut dyn Channel, cfg: &TrialConfig) -> TrialStats {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+    channel.reseed(cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+    let mut stats = TrialStats::default();
+    let mut payload = vec![0u8; cfg.payload_len];
+    for _ in 0..cfg.trials {
+        rng.fill(&mut payload[..]);
+        let mut frame = codec.encode(&payload);
+        let flips = channel.corrupt(&mut frame);
+        stats.bits_flipped += flips as u64;
+        if flips == 0 {
+            stats.clean += 1;
+        } else if codec.verify(&frame) {
+            stats.undetected += 1;
+        } else {
+            stats.detected += 1;
+        }
+    }
+    stats
+}
+
+/// Flips exactly `k` distinct random bit positions per frame and tallies
+/// verdicts: the empirical estimate of the paper's `Wₖ / C(n+r, k)`
+/// undetected fraction.
+pub fn run_weighted_trials(
+    codec: &FrameCodec,
+    payload_len: usize,
+    k: u32,
+    trials: u64,
+    seed: u64,
+) -> TrialStats {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut stats = TrialStats::default();
+    let mut payload = vec![0u8; payload_len];
+    let mut positions: Vec<u64> = Vec::with_capacity(k as usize);
+    for _ in 0..trials {
+        rng.fill(&mut payload[..]);
+        let mut frame = codec.encode(&payload);
+        let nbits = frame.len() as u64 * 8;
+        positions.clear();
+        while positions.len() < k as usize {
+            let p = rng.gen_range(0..nbits);
+            if !positions.contains(&p) {
+                positions.push(p);
+            }
+        }
+        for &p in &positions {
+            frame[(p / 8) as usize] ^= 1 << (p % 8);
+        }
+        stats.bits_flipped += k as u64;
+        if codec.verify(&frame) {
+            stats.undetected += 1;
+        } else {
+            stats.detected += 1;
+        }
+    }
+    stats
+}
+
+/// Builds an undetectable error pattern for `params` sized for
+/// `payload_len`-byte frames: a random multiple of the generator,
+/// byte-aligned for reflected or unreflected conventions.
+///
+/// The returned vector has frame length (`payload_len` + FCS bytes);
+/// XORing it onto any valid frame yields another valid frame.
+pub fn undetectable_pattern(params: CrcParams, payload_len: usize, seed: u64) -> Vec<u8> {
+    // A codeword of the *pure* algorithm (init 0, no reflection, xorout 0)
+    // is a multiple of G in MSB-first bit order. For reflected algorithms
+    // the per-byte bit-reversal of a multiple is exactly an undetectable
+    // delta for the reflected computation, so we build pure and reflect as
+    // needed. init/xorout cancel in any XOR delta and need no handling.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let pure = CrcParams {
+        name: "PURE",
+        init: 0,
+        refin: false,
+        refout: false,
+        xorout: 0,
+        check: 0,
+        ..params
+    };
+    let codec = FrameCodec::new(pure);
+    let mut msg = vec![0u8; payload_len];
+    rng.fill(&mut msg[..]);
+    // Keep the pattern sparse-ish so tests exercise interesting weights.
+    for b in msg.iter_mut() {
+        if rng.gen::<f64>() < 0.9 {
+            *b = 0;
+        }
+    }
+    let mut pattern = codec.encode(&msg);
+    if params.refin {
+        for b in pattern.iter_mut() {
+            *b = b.reverse_bits();
+        }
+    }
+    pattern
+}
+
+/// XORs a known-undetectable pattern onto `frame`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn inject_undetectable(frame: &mut [u8], pattern: &[u8]) {
+    assert_eq!(frame.len(), pattern.len(), "pattern must match frame length");
+    for (f, p) in frame.iter_mut().zip(pattern) {
+        *f ^= p;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{BscChannel, BurstChannel};
+    use crckit::catalog;
+
+    #[test]
+    fn zero_ber_all_clean() {
+        let codec = FrameCodec::new(catalog::CRC32_ISO_HDLC);
+        let mut ch = BscChannel::new(0.0);
+        let cfg = TrialConfig {
+            payload_len: 64,
+            trials: 50,
+            seed: 1,
+        };
+        let s = run_trials(&codec, &mut ch, &cfg);
+        assert_eq!(s.clean, 50);
+        assert_eq!(s.undetected_rate(), None);
+    }
+
+    #[test]
+    fn crc32_catches_every_random_corruption() {
+        // 2000 corrupted frames is ~2^-21 of the way to an expected
+        // undetected event for a 32-bit CRC: zero undetected expected.
+        let codec = FrameCodec::new(catalog::CRC32_ISCSI);
+        let mut ch = BscChannel::new(5e-3);
+        let cfg = TrialConfig {
+            payload_len: 200,
+            trials: 2000,
+            seed: 2,
+        };
+        let s = run_trials(&codec, &mut ch, &cfg);
+        assert!(s.detected > 1000, "BER should corrupt most frames");
+        assert_eq!(s.undetected, 0);
+    }
+
+    #[test]
+    fn bursts_within_width_always_detected() {
+        let codec = FrameCodec::new(catalog::CRC32_MEF);
+        let mut ch = BurstChannel::new(32);
+        let cfg = TrialConfig {
+            payload_len: 150,
+            trials: 3000,
+            seed: 3,
+        };
+        let s = run_trials(&codec, &mut ch, &cfg);
+        assert_eq!(s.clean, 0, "burst channel always corrupts");
+        assert_eq!(s.undetected, 0, "bursts <= width are always detected");
+    }
+
+    #[test]
+    fn crc8_undetected_rate_matches_weight_prediction() {
+        // CRC-8/0x07 at a 2-byte payload: k=4 random flips go undetected
+        // at rate W4 / C(24, 4). Compute the exact rate from the code
+        // spectrum and compare with simulation.
+        let g = crc_hd_spectrum_rate();
+        let codec = FrameCodec::new(catalog::CRC8_SMBUS);
+        let s = run_weighted_trials(&codec, 2, 4, 60_000, 11);
+        let measured = s.undetected as f64 / s.total() as f64;
+        // 3-sigma tolerance for 60k Bernoulli trials.
+        let sigma = (g * (1.0 - g) / 60_000f64).sqrt();
+        assert!(
+            (measured - g).abs() < 4.0 * sigma + 1e-4,
+            "measured {measured}, predicted {g}"
+        );
+    }
+
+    /// Exact W4/C(24,4) for CRC-8/0x07 at 16 data bits via crc-hd.
+    fn crc_hd_spectrum_rate() -> f64 {
+        let g = crc_hd::GenPoly::from_normal(8, 0x07).unwrap();
+        let spec = crc_hd::spectrum::spectrum(&g, 16).unwrap();
+        let w4 = spec.count(4) as f64;
+        let total = crc_hd::costmodel::error_patterns(24, 4) as f64;
+        w4 / total
+    }
+
+    #[test]
+    fn injected_codewords_are_never_detected() {
+        for params in [
+            catalog::CRC32_ISO_HDLC,
+            catalog::CRC32_ISCSI,
+            catalog::CRC32_MEF,
+            catalog::CRC16_ARC,
+            catalog::CRC16_XMODEM,
+        ] {
+            let codec = FrameCodec::new(params);
+            let payload = vec![0x5Au8; 96];
+            let clean = codec.encode(&payload);
+            for seed in 0..10 {
+                let pattern = undetectable_pattern(params, payload.len(), seed);
+                let mut frame = clean.clone();
+                inject_undetectable(&mut frame, &pattern);
+                if frame == clean {
+                    continue; // the random multiple was zero — no error
+                }
+                assert!(
+                    codec.verify(&frame),
+                    "{}: injected codeword was detected (weight analysis broken)",
+                    params.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern must match")]
+    fn inject_length_mismatch_panics() {
+        let mut frame = vec![0u8; 8];
+        inject_undetectable(&mut frame, &[0u8; 4]);
+    }
+}

@@ -1,0 +1,44 @@
+//! Profile any polynomial you like — the paper's closing point: "the
+//! availability of a more efficient search capability … opens up the
+//! possibility of identifying optimal polynomials that are customized to
+//! the particular message lengths of specific applications".
+//!
+//! Run with:
+//! `cargo run --release --example custom_poly_profile -- 0x992C1A4C 70000`
+//! (arguments: Koopman-notation hex polynomial, max data-word length)
+
+use koopman_crc::crc_hd::{GenPoly, HdProfile};
+use koopman_crc::gf2poly::{factor, order_of_x};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let koopman = args
+        .get(1)
+        .map(|s| {
+            let t = s.trim_start_matches("0x").trim_start_matches("0X");
+            u64::from_str_radix(t, 16)
+        })
+        .transpose()?
+        .unwrap_or(0x992C_1A4C);
+    let max_len: u32 = args.get(2).map(|s| s.parse()).transpose()?.unwrap_or(70_000);
+
+    let g = GenPoly::from_koopman(32, koopman)?;
+    let fac = factor(g.to_poly());
+    println!("polynomial 0x{koopman:08X} (Koopman) = 0x{:08X} (normal)", g.normal());
+    println!("  = {fac}");
+    println!("  class {}, weight {}, divisible by x+1: {}",
+        fac.signature(), g.weight(), g.divisible_by_x_plus_1());
+    println!("  order of x: {}", order_of_x(g.to_poly())?);
+
+    let profile = HdProfile::compute(&g, max_len)?;
+    println!("\nHD profile to {max_len} bits:");
+    println!("  {:>8}  {:>8}  {}", "from", "to", "HD");
+    for band in profile.bands() {
+        match band.hd {
+            Some(hd) => println!("  {:>8}  {:>8}  {hd}", band.from, band.to),
+            None => println!("  {:>8}  {:>8}  >{}", band.from, band.to, profile.max_weight_explored()),
+        }
+    }
+    println!("\nminimal low-weight multiples (w, degree): {:?}", profile.dmins());
+    Ok(())
+}

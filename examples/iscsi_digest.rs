@@ -1,0 +1,61 @@
+//! The paper's §4.3 use case: choosing the data-digest CRC for iSCSI.
+//!
+//! Builds iSCSI-like PDUs with the draft-standard CRC-32C digests and with
+//! the paper's proposed 0xBA0DC66B, then shows what the choice buys:
+//! identical overhead and speed class, but HD=6 instead of HD=4 across a
+//! full-MTU data segment.
+//!
+//! Run with: `cargo run --release --example iscsi_digest`
+
+use koopman_crc::crc_hd::{GenPoly, HdProfile};
+use koopman_crc::netsim::frame::IscsiPdu;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Encode the same PDU under both digest choices.
+    let header = b"\x01\x00\x00\x00scsi-cmd";
+    let data = vec![0x42u8; 1460]; // one MTU-ish data segment
+    for (name, pdu) in [
+        ("CRC-32C (RFC 3720)", IscsiPdu::crc32c()),
+        ("0xBA0DC66B (paper)", IscsiPdu::koopman()),
+    ] {
+        let wire = pdu.encode(header, &data);
+        let verdict = pdu.verify(&wire).expect("well-formed");
+        println!(
+            "{name}: wire size {} bytes, digest overhead {} bytes, verified: {}",
+            wire.len(),
+            pdu.digest_overhead(),
+            verdict.header_ok && verdict.data_ok
+        );
+
+        // Corruption in the data segment is flagged by the data digest only.
+        let mut corrupted = wire.clone();
+        let n = corrupted.len();
+        corrupted[n - 10] ^= 0x04;
+        let v = pdu.verify(&corrupted).expect("well-formed");
+        assert!(v.header_ok && !v.data_ok);
+    }
+
+    // What the choice buys, from the exact HD analysis:
+    println!("\nGuaranteed detection for a single digest over an n-bit data segment:");
+    let mtu = 12_112;
+    for (name, k) in [
+        ("CRC-32C  0x8F6E37A0 {1,31}   ", 0x8F6E37A0u64),
+        ("Koopman  0xBA0DC66B {1,3,28} ", 0xBA0DC66B),
+    ] {
+        let g = GenPoly::from_koopman(32, k)?;
+        let p = HdProfile::compute(&g, 131_072)?;
+        println!(
+            "  {name}: HD={} at 1 MTU; HD=6 holds to {} bits; HD>=4 to {} bits",
+            p.hd_at(mtu).unwrap(),
+            p.max_len_for_hd(6).unwrap(),
+            p.max_len_for_hd(4).unwrap(),
+        );
+    }
+    println!(
+        "\nThe paper's point: iSCSI PDUs carry MTU-sized (and larger) segments under\n\
+         one digest, and 0xBA0DC66B keeps 5-bit-error detection through 16,360 bits\n\
+         while still covering 3-bit errors past 9 MTUs — CRC-32C drops to 3-bit\n\
+         detection before a single MTU."
+    );
+    Ok(())
+}

@@ -1,0 +1,90 @@
+//! Cross-crate property tests: invariants the paper's §4.5 validation
+//! monitored, checked over randomized polynomials and lengths.
+
+use koopman_crc::crc_hd::{dmin, spectrum, GenPoly, HdProfile};
+use proptest::prelude::*;
+
+/// Random 8-bit generator in Koopman notation (top bit forced).
+fn koopman8() -> impl Strategy<Value = GenPoly> {
+    (0x80u64..0x100).prop_map(|k| GenPoly::from_koopman(8, k).expect("top bit set"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// §4.5: "Polynomials divisible by (x+1) were checked to ensure that
+    /// all odd-numbered weights computed were in fact zero."
+    #[test]
+    fn parity_polynomials_have_no_odd_weights(g in koopman8(), n in 1u32..22) {
+        prop_assume!(g.divisible_by_x_plus_1());
+        let spec = spectrum::spectrum(&g, n).unwrap();
+        for k in (1..spec.counts().len()).step_by(2) {
+            prop_assert_eq!(spec.count(k as u32), 0, "odd weight {} present", k);
+        }
+    }
+
+    /// §4.5: "weight values were ensured to be non-decreasing when
+    /// computed over increasing payload lengths."
+    #[test]
+    fn weights_monotone_in_length(g in koopman8(), n in 2u32..20) {
+        let a = spectrum::spectrum(&g, n).unwrap();
+        let b = spectrum::spectrum(&g, n + 1).unwrap();
+        for k in 0..a.counts().len() {
+            prop_assert!(b.count(k as u32) >= a.count(k as u32), "W{} shrank", k);
+        }
+    }
+
+    /// HD is non-increasing in length (the fact behind increasing-length
+    /// staged filtering).
+    #[test]
+    fn hd_monotone_nonincreasing(g in koopman8(), n in 2u32..25) {
+        let a = spectrum::hd_exhaustive(&g, n).unwrap();
+        let b = spectrum::hd_exhaustive(&g, n + 1).unwrap();
+        prop_assert!(b <= a);
+    }
+
+    /// Reciprocal polynomials have identical weight profiles [Peterson72]
+    /// — the fact that halves the paper's search space.
+    #[test]
+    fn reciprocal_weight_profiles_match(g in koopman8(), n in 1u32..20) {
+        let r = g.reciprocal();
+        let a = spectrum::spectrum(&g, n).unwrap();
+        let b = spectrum::spectrum(&r, n).unwrap();
+        prop_assert_eq!(a.counts(), b.counts());
+    }
+
+    /// The fast d_min machinery agrees with exhaustive enumeration for
+    /// every weight it reports, on every random small polynomial.
+    #[test]
+    fn dmin_matches_spectrum(g in koopman8(), w in 3u32..7) {
+        let cap = 27u32; // degrees coverable by 20 data bits at width 8
+        let found = dmin::dmin(&g, w, cap).unwrap();
+        let mut truth = None;
+        // Degree d fits at data length n iff d <= n + 7, so covering
+        // degrees up to cap requires n up to cap - 7.
+        for n in 1..=(cap - 7) {
+            if spectrum::spectrum(&g, n).unwrap().count(w) > 0 {
+                truth = Some(n + 7);
+                break;
+            }
+        }
+        prop_assert_eq!(found, truth);
+    }
+
+    /// Profile bands tile the whole range and agree with ground truth at
+    /// every sampled point.
+    #[test]
+    fn profile_bands_tile_and_agree(g in koopman8(), n in 1u32..24) {
+        let p = HdProfile::compute(&g, 24).unwrap();
+        let bands = p.bands();
+        prop_assert_eq!(bands.first().unwrap().from, 1);
+        prop_assert_eq!(bands.last().unwrap().to, 24);
+        let exact = spectrum::hd_exhaustive(&g, n).unwrap();
+        if let Some(hd) = p.hd_at(n) {
+            prop_assert_eq!(hd, exact);
+        } else {
+            // Beyond the explored weight cap: the true HD must exceed it.
+            prop_assert!(exact > p.max_weight_explored());
+        }
+    }
+}

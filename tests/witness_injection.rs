@@ -1,0 +1,98 @@
+//! End-to-end demonstration of the paper's §4.1 worked example: the 802.3
+//! CRC's *first* undetectable 4-bit error appears at a 2975-bit data word
+//! ("there is in fact exactly one such undetected error"). We reconstruct
+//! that exact pattern and push it through a real framed CRC-32 check.
+
+use koopman_crc::crc_hd::witness::find_witness;
+use koopman_crc::crc_hd::{weights, GenPoly};
+use koopman_crc::crckit::catalog;
+use koopman_crc::netsim::frame::FrameCodec;
+
+#[test]
+fn the_celebrated_2975_bit_pattern_defeats_crc32_on_the_wire() {
+    let g = GenPoly::from_koopman(32, 0x82608EDB).unwrap();
+
+    // The minimal weight-4 multiple has degree 3006 = 2975 + 31.
+    let wit = find_witness(&g, 4, 3_006).unwrap().expect("exists at 3006");
+    assert_eq!(wit.degree(), 3_006);
+    assert_eq!(wit.weight(), 4);
+    assert!(wit.verify(&g));
+
+    // ...and it is unique at that length (W4 = 1 at 2975 bits).
+    let w = weights::weights234(&g, 2_975).unwrap();
+    assert_eq!(w.w4, 1);
+
+    // Frame a 376-byte payload (3008 data bits >= 2975) with an
+    // unreflected 802.3-polynomial CRC; init/xorout don't affect error
+    // deltas, and the unreflected bit layout matches the polynomial
+    // convention directly.
+    let codec = FrameCodec::new(catalog::CRC32_MPEG2);
+    let payload: Vec<u8> = (0..376u32).map(|i| (i * 97 + 13) as u8).collect();
+    let clean = codec.encode(&payload);
+    assert!(codec.verify(&clean));
+
+    // Inject the witness: four flipped bits, invisible to the CRC.
+    let pattern = wit.to_frame_pattern(clean.len()).unwrap();
+    assert_eq!(pattern.iter().map(|b| b.count_ones()).sum::<u32>(), 4);
+    let mut corrupted = clean.clone();
+    for (c, p) in corrupted.iter_mut().zip(&pattern) {
+        *c ^= p;
+    }
+    assert_ne!(corrupted, clean);
+    assert!(
+        codec.verify(&corrupted),
+        "the weight-4 codeword must slip past CRC-32 undetected"
+    );
+
+    // Any *other* 4-bit perturbation of those positions is caught: move
+    // one of the witness bits by one position.
+    let mut near_miss = clean.clone();
+    for (c, p) in near_miss.iter_mut().zip(&pattern) {
+        *c ^= p;
+    }
+    // Locate one set bit of the pattern and shift it.
+    let bit = pattern
+        .iter()
+        .enumerate()
+        .find_map(|(i, &b)| (b != 0).then(|| i * 8 + b.leading_zeros() as usize))
+        .expect("pattern has bits");
+    near_miss[bit / 8] ^= 0x80 >> (bit % 8); // clear the original bit
+    let shifted = bit + 1;
+    near_miss[shifted / 8] ^= 0x80 >> (shifted % 8); // set the neighbour
+    assert!(
+        !codec.verify(&near_miss),
+        "perturbing the pattern by one bit position must be detected"
+    );
+
+    // The paper's fix: under 0xBA0DC66B the same wire length is HD=6 —
+    // no 4-bit pattern exists at all (W4 = 0 up to 16,360 bits).
+    let better = GenPoly::from_koopman(32, 0xBA0DC66B).unwrap();
+    let wb = weights::weights234(&better, 3_008).unwrap();
+    assert_eq!((wb.w2, wb.w3, wb.w4), (0, 0, 0));
+}
+
+#[test]
+fn witness_injection_for_reflected_algorithms() {
+    // For reflected algorithms the same codeword defeats the CRC after
+    // per-byte bit reversal of the pattern.
+    let g = GenPoly::from_koopman(32, 0x8F6E37A0).unwrap(); // CRC-32C
+    let wit = find_witness(&g, 4, 5_275).unwrap().expect("d_min(4) = 5275");
+    assert_eq!(wit.degree(), 5_275);
+
+    let codec = FrameCodec::new(catalog::CRC32_ISCSI);
+    let payload = vec![0xC3u8; 660]; // 5280 data bits
+    let clean = codec.encode(&payload);
+    let mut pattern = wit.to_frame_pattern(clean.len()).unwrap();
+    for b in pattern.iter_mut() {
+        *b = b.reverse_bits();
+    }
+    let mut corrupted = clean.clone();
+    for (c, p) in corrupted.iter_mut().zip(&pattern) {
+        *c ^= p;
+    }
+    assert_ne!(corrupted, clean);
+    assert!(
+        codec.verify(&corrupted),
+        "CRC-32C must miss its own weight-4 codeword at 5280 bits"
+    );
+}
