@@ -2,10 +2,10 @@
 //! doubling-plus-bisection inverse-filtering strategy vs the exact
 //! incremental `d_min` scan, on the §4.1 worked examples.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crc_hd::dmin::dmin;
 use crc_hd::filter::breakpoint_search;
 use crc_hd::GenPoly;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn g32(k: u64) -> GenPoly {
     GenPoly::from_koopman(32, k).expect("valid")

@@ -2,11 +2,11 @@
 //! early-bailout filtering vs exact weights, FCS-first vs natural
 //! enumeration order, and short-length vs MTU-length filtering cost.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crc_hd::filter::enumerative::{check, EnumOrder};
 use crc_hd::filter::hd_filter;
 use crc_hd::weights::weights234;
 use crc_hd::GenPoly;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gf2poly::SplitMix64;
 
 fn g32(k: u64) -> GenPoly {
@@ -63,7 +63,9 @@ fn bench_length_staging(c: &mut Criterion) {
     // Filter a batch of random polynomials (mostly rejected, like the real
     // search population).
     let mut rng = SplitMix64::new(0xE7);
-    let batch: Vec<GenPoly> = (0..32).map(|_| g32(rng.next_u64() >> 32 | 1 << 31)).collect();
+    let batch: Vec<GenPoly> = (0..32)
+        .map(|_| g32(rng.next_u64() >> 32 | 1 << 31))
+        .collect();
     for len in [256u32, 1_024, 4_096, 12_112] {
         group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &len| {
             b.iter(|| {

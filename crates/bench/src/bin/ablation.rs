@@ -52,9 +52,7 @@ fn main() {
     // for the natural order to terminate in reasonable time.
     let rejected: Vec<GenPoly> = random_polys(4_000, 0xFC5)
         .into_iter()
-        .filter(|g| {
-            matches!(crc_hd::dmin::dmin(g, 4, 300), Ok(Some(_)))
-        })
+        .filter(|g| matches!(crc_hd::dmin::dmin(g, 4, 300), Ok(Some(_))))
         .take(6)
         .collect();
     let mut nat_total = 0u64;

@@ -31,12 +31,7 @@ fn main() {
     );
     let profiles: Vec<(u64, HdProfile)> = candidates
         .iter()
-        .map(|&(k, _)| {
-            (
-                k,
-                HdProfile::compute(&poly(k), 131_072).expect("profile"),
-            )
-        })
+        .map(|&(k, _)| (k, HdProfile::compute(&poly(k), 131_072).expect("profile")))
         .collect();
     for size in sizes {
         let mut row = vec![size.to_string()];
@@ -92,7 +87,10 @@ fn main() {
                 seed: 0x15C5,
             },
         );
-        assert_eq!(stats.undetected, 0, "32-bit CRCs see no undetected events at this scale");
+        assert_eq!(
+            stats.undetected, 0,
+            "32-bit CRCs see no undetected events at this scale"
+        );
         t.push_row([
             pdu_name.to_string(),
             stats.clean.to_string(),

@@ -13,7 +13,10 @@ use std::time::Instant;
 
 fn main() {
     // ----- 8-bit space: every polynomial, several lengths, HD census ----
-    println!("Exhaustive 8-bit search (all {} distinct polynomials):\n", PolySpace::new(8).distinct());
+    println!(
+        "Exhaustive 8-bit search (all {} distinct polynomials):\n",
+        PolySpace::new(8).distinct()
+    );
     let mut t = TextTable::new(["data bits", "HD>=4", "HD>=5", "HD>=6", "best HD"]);
     for n in [4u32, 8, 16, 24, 30] {
         let mut counts = [0usize; 3];
@@ -76,7 +79,7 @@ fn main() {
     }
     let mut t = TextTable::new(["class", "survivors"]);
     let mut rows: Vec<_> = by_class.into_iter().collect();
-    rows.sort_by(|a, b| b.1.cmp(&a.1));
+    rows.sort_by_key(|row| std::cmp::Reverse(row.1));
     for (class, count) in rows.iter().take(12) {
         t.push_row([class.clone(), count.to_string()]);
     }

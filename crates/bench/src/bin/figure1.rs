@@ -26,7 +26,10 @@ fn main() {
     println!("poly,length_bits,hd");
     for (k, p) in &profiles {
         for band in p.bands() {
-            let hd = band.hd.map(|h| h.to_string()).unwrap_or_else(|| "hi".into());
+            let hd = band
+                .hd
+                .map(|h| h.to_string())
+                .unwrap_or_else(|| "hi".into());
             println!("0x{k:08X},{},{hd}", band.from);
             println!("0x{k:08X},{},{hd}", band.to);
         }

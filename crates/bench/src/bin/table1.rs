@@ -36,10 +36,11 @@ fn main() {
             for _ in 0..2 {
                 scope.spawn(|_| loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    let Some((k, label)) = polys.get(i) else { return };
+                    let Some((k, label)) = polys.get(i) else {
+                        return;
+                    };
                     let t = Instant::now();
-                    let p = HdProfile::compute(&poly(*k), max_len)
-                        .expect("profile within budget");
+                    let p = HdProfile::compute(&poly(*k), max_len).expect("profile within budget");
                     eprintln!(
                         "  computed 0x{k:08X} in {:.2}s (order {})",
                         t.elapsed().as_secs_f64(),
@@ -94,7 +95,10 @@ fn main() {
         }
         matrix.push_row(row);
     }
-    println!("Summary (lengths in bits achieving each HD):\n{}", matrix.render());
+    println!(
+        "Summary (lengths in bits achieving each HD):\n{}",
+        matrix.render()
+    );
 
     // Verify the paper's published anchors.
     let mut ok = 0;

@@ -12,7 +12,10 @@ use std::time::Instant;
 
 fn main() {
     let len: u32 = arg_or("--len", 12_112);
-    println!("Exact weights at {len}-bit data words ({}-bit codewords):\n", len + 32);
+    println!(
+        "Exact weights at {len}-bit data words ({}-bit codewords):\n",
+        len + 32
+    );
 
     let mut t = TextTable::new(["poly", "class", "W2", "W3", "W4", "W4 / C(n+32,4)"]);
     for (k, _, class) in PAPER_POLYS {

@@ -69,7 +69,11 @@ pub fn dmin(g: &GenPoly, w: u32, cap: u32) -> Result<Option<u32>> {
     }
     if w == 2 {
         let e = dmin2(g);
-        return Ok(if e <= cap as u128 { Some(e as u32) } else { None });
+        return Ok(if e <= cap as u128 {
+            Some(e as u32)
+        } else {
+            None
+        });
     }
     if g.divisible_by_x_plus_1() && w % 2 == 1 {
         return Ok(None);
@@ -258,13 +262,20 @@ fn rec_probe(
 ) -> bool {
     if remaining == 0 {
         // acc = target ^ XOR(b-subset); need a disjoint a-subset with this XOR.
-        return map.any_match(acc, |packed| {
-            packed_disjoint_from(packed, a, &scratch[..b])
-        });
+        return map.any_match(acc, |packed| packed_disjoint_from(packed, a, &scratch[..b]));
     }
     for p in (remaining as u32..max_excl).rev() {
         scratch[remaining - 1] = p;
-        if rec_probe(syn, p, remaining - 1, acc ^ syn[p as usize], a, b, map, scratch) {
+        if rec_probe(
+            syn,
+            p,
+            remaining - 1,
+            acc ^ syn[p as usize],
+            a,
+            b,
+            map,
+            scratch,
+        ) {
             return true;
         }
     }
@@ -357,7 +368,10 @@ mod tests {
         // (one more than the paper's figure — see EXPERIMENTS.md), then
         // HD=5 to 2922 (d_min(4) = 2954), HD=4 beyond.
         let g = g32(0xFB567D89);
-        assert!(!g.divisible_by_x_plus_1(), "misprint loses the parity factor");
+        assert!(
+            !g.divisible_by_x_plus_1(),
+            "misprint loses the parity factor"
+        );
         assert_eq!(dmin(&g, 5, 1_000).unwrap(), Some(415));
         assert_eq!(dmin(&g, 4, 4_000).unwrap(), Some(2_954));
         // The correct polynomial keeps parity and has no weight-4

@@ -201,7 +201,16 @@ pub mod enumerative {
         }
         // Ascending positions; leave room for the remaining - 1 picks.
         for p in lo..=(hi - remaining as u32) {
-            if rec(syn, remaining - 1, p + 1, hi, acc ^ syn[p as usize], out, bail, is_hit) {
+            if rec(
+                syn,
+                remaining - 1,
+                p + 1,
+                hi,
+                acc ^ syn[p as usize],
+                out,
+                bail,
+                is_hit,
+            ) {
                 return true;
             }
         }
@@ -290,11 +299,7 @@ impl StagedFilter {
 /// # Errors
 ///
 /// Propagates filter errors.
-pub fn certify_hd_absent(
-    polys: &[GenPoly],
-    data_len: u32,
-    hd: u32,
-) -> Result<Option<GenPoly>> {
+pub fn certify_hd_absent(polys: &[GenPoly], data_len: u32, hd: u32) -> Result<Option<GenPoly>> {
     for g in polys {
         if hd_filter(g, data_len, hd)?.passed() {
             return Ok(Some(*g));
@@ -413,7 +418,7 @@ mod tests {
         // undetectable pattern with 1-2 FCS bits; trying those first
         // collapses a C(n,k) search into a C(n,k-1) one.
         let g = GenPoly::from_koopman(16, 0x8810).unwrap(); // CCITT
-        // CCITT has HD=4 at 1024 bits: weight-4 patterns exist.
+                                                            // CCITT has HD=4 at 1024 bits: weight-4 patterns exist.
         let nat = check(&g, 1024, 4, EnumOrder::Natural, true);
         let fcs = check(&g, 1024, 4, EnumOrder::FcsFirst, true);
         assert!(nat.found() && fcs.found());
@@ -444,7 +449,9 @@ mod tests {
         let staged = StagedFilter::new(vec![16, 32, 64], 4);
         let (survivors, stats) = staged.run(polys.iter().copied()).unwrap();
         assert_eq!(stats.len(), 3);
-        assert!(stats.windows(2).all(|w| w[0].survivors_out == w[1].candidates_in));
+        assert!(stats
+            .windows(2)
+            .all(|w| w[0].survivors_out == w[1].candidates_in));
         // Soundness: survivors equal a direct filter at the final length.
         let direct: Vec<GenPoly> = polys
             .iter()

@@ -141,7 +141,7 @@ impl GenPoly {
     #[inline]
     pub fn divisible_by_x_plus_1(&self) -> bool {
         // Parity of the full polynomial: normal bits + the implicit x^width.
-        (self.normal.count_ones() + 1) % 2 == 0
+        (self.normal.count_ones() + 1).is_multiple_of(2)
     }
 
     /// The reciprocal generator (coefficients reversed), which has an
@@ -193,9 +193,13 @@ mod tests {
     #[test]
     fn parity_divisibility() {
         // 0xBA0DC66B is {1,3,28}: divisible by x+1.
-        assert!(GenPoly::from_koopman(32, 0xBA0DC66B).unwrap().divisible_by_x_plus_1());
+        assert!(GenPoly::from_koopman(32, 0xBA0DC66B)
+            .unwrap()
+            .divisible_by_x_plus_1());
         // 802.3 {32} primitive is not.
-        assert!(!GenPoly::from_koopman(32, 0x82608EDB).unwrap().divisible_by_x_plus_1());
+        assert!(!GenPoly::from_koopman(32, 0x82608EDB)
+            .unwrap()
+            .divisible_by_x_plus_1());
     }
 
     #[test]

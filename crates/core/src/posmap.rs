@@ -239,11 +239,11 @@ mod tests {
     fn posmap_insert_get() {
         let mut m = PosMap::with_capacity(100);
         for i in 0..100u32 {
-            m.insert((i as u64) * 0x1234_5678_9ABC ^ 7, i);
+            m.insert(((i as u64) * 0x1234_5678_9ABC) ^ 7, i);
         }
         assert_eq!(m.len(), 100);
         for i in 0..100u32 {
-            assert_eq!(m.get((i as u64) * 0x1234_5678_9ABC ^ 7), Some(i));
+            assert_eq!(m.get(((i as u64) * 0x1234_5678_9ABC) ^ 7), Some(i));
         }
         assert_eq!(m.get(42), None);
     }

@@ -148,7 +148,10 @@ impl HdProfile {
     ///
     /// Panics if `n` is 0 or exceeds `max_len`.
     pub fn hd_at(&self, n: u32) -> Option<u32> {
-        assert!(n >= 1 && n <= self.max_len, "length {n} out of profile range");
+        assert!(
+            n >= 1 && n <= self.max_len,
+            "length {n} out of profile range"
+        );
         let d = n + self.g.width() - 1;
         // dmins is ascending in w and descending in d_min: the first entry
         // whose d_min fits is the minimum fitting weight.
@@ -292,11 +295,7 @@ mod tests {
             let p = HdProfile::compute(&g, 24).unwrap();
             for n in [1u32, 2, 5, 9, 13, 20, 24] {
                 let exhaustive = crate::spectrum::hd_exhaustive(&g, n).unwrap();
-                assert_eq!(
-                    p.hd_at(n),
-                    Some(exhaustive),
-                    "poly {koopman:#x} at n={n}"
-                );
+                assert_eq!(p.hd_at(n), Some(exhaustive), "poly {koopman:#x} at n={n}");
             }
         }
     }

@@ -105,7 +105,7 @@ pub fn with_commas(n: u128) -> String {
     let mut out = String::with_capacity(digits.len() + digits.len() / 3);
     let offset = digits.len() % 3;
     for (i, c) in digits.chars().enumerate() {
-        if i > 0 && (i + 3 - offset) % 3 == 0 {
+        if i > 0 && (i + 3 - offset).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);

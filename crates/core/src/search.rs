@@ -47,9 +47,12 @@ impl PolySpace {
 
     /// Iterates every generator in the space.
     pub fn iter_all(&self) -> impl Iterator<Item = GenPoly> + '_ {
+        // Invariant: `PolySpace::new` asserts 3 <= width <= 32, so both
+        // shifts are in range and `(1 << width) - 1` cannot overflow —
+        // no width-64 special case is reachable here.
         let width = self.width;
         let lo = 1u64 << (width - 1);
-        let hi = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+        let hi = (1u64 << width) - 1;
         (lo..=hi).map(move |k| {
             GenPoly::from_koopman(width, k).expect("top bit set by range construction")
         })

@@ -154,7 +154,7 @@ pub fn weight2(g: &GenPoly, data_len: u32) -> Result<u128> {
     let e = dmin2(g);
     let mut w2: u128 = 0;
     let mut d = e;
-    while d <= l - 1 {
+    while d < l {
         w2 += l - d;
         d += e;
     }

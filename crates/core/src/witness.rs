@@ -61,8 +61,7 @@ impl Witness {
         let mut acc = 0u64;
         let mut pos_iter = self.positions.iter().peekable();
         let mut i = 0u32;
-        loop {
-            let Some(&&next) = pos_iter.peek() else { break };
+        while let Some(&&next) = pos_iter.peek() {
             if i == next {
                 acc ^= seq.peek();
                 pos_iter.next();

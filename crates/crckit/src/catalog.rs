@@ -39,7 +39,11 @@ pub const KOOPMAN_CASTAGNOLI_MISPRINT: u64 = 0xFB56_7D89;
 /// All eight paper polynomials as `(koopman, label, factorization class)`.
 pub const PAPER_POLYS: [(u64, &str, &str); 8] = [
     (KOOPMAN_IEEE_802_3, "IEEE 802.3", "{32}"),
-    (KOOPMAN_CASTAGNOLI_ISCSI, "Castagnoli iSCSI 0x8F6E37A0", "{1,31}"),
+    (
+        KOOPMAN_CASTAGNOLI_ISCSI,
+        "Castagnoli iSCSI 0x8F6E37A0",
+        "{1,31}",
+    ),
     (KOOPMAN_BA0DC66B, "Koopman 0xBA0DC66B", "{1,3,28}"),
     (KOOPMAN_FA567D89, "Castagnoli 0xFA567D89", "{1,1,15,15}"),
     (KOOPMAN_992C1A4C, "Koopman 0x992C1A4C", "{1,1,30}"),

@@ -56,7 +56,7 @@ pub fn combine(params: &CrcParams, crc_a: u64, crc_b: u64, len_b: u64) -> u64 {
     // contribution is already inside reg_b once, so only reg_a's state
     // minus a fresh init must be propagated.
     let shifted = shift_register(params, reg_a ^ init, len_b.saturating_mul(8));
-    wrap(reg_b ^ shifted ^ 0) // reg_b already carries init propagated through B
+    wrap(reg_b ^ shifted) // reg_b already carries init propagated through B
 }
 
 /// Multiplies an (unreflected) register value by `x^nbits` modulo the
@@ -106,7 +106,11 @@ mod tests {
     fn combine_is_associative_over_three_parts() {
         let params = catalog::CRC32_ISCSI;
         let crc = Crc::new(params);
-        let (a, b, c) = (b"first-".as_slice(), b"second-".as_slice(), b"third".as_slice());
+        let (a, b, c) = (
+            b"first-".as_slice(),
+            b"second-".as_slice(),
+            b"third".as_slice(),
+        );
         let whole: Vec<u8> = [a, b, c].concat();
         let ab = combine(&params, crc.checksum(a), crc.checksum(b), b.len() as u64);
         let abc = combine(&params, ab, crc.checksum(c), c.len() as u64);

@@ -1,0 +1,190 @@
+//! The Chorba-style tableless tier.
+//!
+//! Russell's Chorba construction computes CRC32 with no lookup tables and
+//! no multiplier by XOR-shifting message words along the terms of a
+//! *sparse multiple* of the generator. This module generalizes the idea
+//! to every Rocksoft parameter set with a deterministic choice of
+//! multiple: **the generator spread by repeated squaring**. Over GF(2),
+//! squaring doubles every exponent (`G(x)² = G(x²)`), so `G^64 = G(x^64)`
+//! keeps the generator's term count while stretching every term gap by
+//! 64× — which makes each term offset an exact multiple of the machine
+//! word:
+//!
+//! `x^(64w) ≡ Σⱼ x^(64gⱼ) (mod G)  ⟹  W ≡ Σⱼ W·x^(-64(w-gⱼ))`.
+//!
+//! A whole message word is therefore consumed by XORing a copy of it into
+//! `weight(G)−1` *word-aligned* positions up to `w` words later in the
+//! stream — one XOR per generator term, no shifts, no table, no
+//! multiplier, and identical code for both bit-order conventions (a
+//! word-aligned rewrite is blind to bit order inside the word). Pending
+//! carries live in a ≤512-byte ring buffer: the engine's entire working
+//! set, versus 16–32 KiB of slicing tables. For sparse generators (the
+//! paper's low-tap `0x90022004`/`0x80108400`, CRC-32/XFER, CRC-64/GO-ISO)
+//! the loop is a handful of XORs per word; for dense generators it trades
+//! speed for the zero cache footprint.
+//!
+//! The last `w` words plus the byte tail drain through the slicing engine
+//! after their carries are applied — by construction no carry reaches
+//! past that window, and the rewrite subtracts `x^(P−64w)·G^64` from the
+//! message (a multiple of `G` whenever the current word sits at least
+//! `64w` bits above the message end, which stopping the loop one window
+//! early guarantees).
+
+use super::Crc;
+use crate::params::CrcParams;
+
+/// Carry-ring capacity: one word per bit of the widest supported CRC.
+const MAX_RING: usize = 64;
+
+/// The derived rewrite schedule for one parameter set.
+#[derive(Debug, Clone)]
+pub(crate) struct ChorbaPlan {
+    /// Forward word gaps, one per term of the generator below `x^w`:
+    /// `w - g` for each term degree `g` of `poly`.
+    taps: Vec<usize>,
+    /// Carry ring length: `w` words (the furthest tap is the constant
+    /// term at gap `w`; x-divisible generators still need the full `64w`
+    /// bits of drain window for the rewrite to stay a multiple of `G`).
+    ring: usize,
+}
+
+impl ChorbaPlan {
+    /// Derives the schedule by spreading `G` with six squarings.
+    pub(crate) fn derive(params: &CrcParams) -> ChorbaPlan {
+        let w = params.width as usize;
+        let taps: Vec<usize> = (0..params.width)
+            .filter(|&g| params.poly >> g & 1 == 1)
+            .map(|g| (params.width - g) as usize)
+            .collect();
+        ChorbaPlan { taps, ring: w }
+    }
+
+    /// Words of pending-carry state (exposed for tests and sizing the
+    /// fallback threshold).
+    pub(crate) fn ring(&self) -> usize {
+        self.ring
+    }
+}
+
+#[inline(always)]
+fn load_word(refin: bool, bytes: &[u8], word: usize) -> u64 {
+    let chunk = &bytes[word * 8..word * 8 + 8];
+    if refin {
+        u64::from_le_bytes(chunk.try_into().expect("8-byte word"))
+    } else {
+        u64::from_be_bytes(chunk.try_into().expect("8-byte word"))
+    }
+}
+
+/// Advances a raw state over `bytes` on the Chorba tier.
+pub(crate) fn update(crc: &Crc, plan: &ChorbaPlan, state: u64, bytes: &[u8]) -> u64 {
+    let d = plan.ring();
+    let n_words = bytes.len() / 8;
+    // Below one carry window (plus slack) the setup outweighs the win.
+    if n_words < d + 8 {
+        return crc.update_raw(state, bytes);
+    }
+    let refin = crc.params().refin;
+    let mut ring = [0u64; MAX_RING];
+    let mut pos = 0usize;
+    // Stop one full window early: carries from word `i` reach at most
+    // word `i + d`, so every carry lands inside the drained suffix.
+    let stop = n_words - d;
+    for i in 0..stop {
+        let mut cur = load_word(refin, bytes, i) ^ ring[pos];
+        if i == 0 {
+            cur ^= state;
+        }
+        ring[pos] = 0;
+        // `pos < d` and `gap ≤ d`, so the ring index wraps by one
+        // conditional subtraction (an integer division here would
+        // dominate the whole loop). `gap == d` lands back on `pos`,
+        // which was just cleared — that carry belongs to word `i + d`.
+        for &gap in &plan.taps {
+            let at = pos + gap;
+            let at = if at >= d { at - d } else { at };
+            ring[at] ^= cur;
+        }
+        pos += 1;
+        if pos == d {
+            pos = 0;
+        }
+    }
+    // Drain: the suffix words with their carries applied, plus the byte
+    // tail, are polynomially congruent to the whole message.
+    let mut scratch = [0u8; MAX_RING * 8 + 8];
+    let mut m = 0;
+    for j in 0..d {
+        let at = pos + j;
+        let at = if at >= d { at - d } else { at };
+        let word = load_word(refin, bytes, stop + j) ^ ring[at];
+        let enc = if refin {
+            word.to_le_bytes()
+        } else {
+            word.to_be_bytes()
+        };
+        scratch[m..m + 8].copy_from_slice(&enc);
+        m += 8;
+    }
+    let tail = &bytes[n_words * 8..];
+    scratch[m..m + tail.len()].copy_from_slice(tail);
+    crc.update_raw(0, &scratch[..m + tail.len()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::EngineKind;
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn plans_mirror_the_generator() {
+        for params in catalog::ALL {
+            let plan = ChorbaPlan::derive(&params);
+            assert_eq!(plan.ring(), params.width as usize, "{}", params.name);
+            assert_eq!(
+                plan.taps.len() as u32,
+                params.poly.count_ones(),
+                "{}: one tap per lower term",
+                params.name
+            );
+            for &gap in &plan.taps {
+                assert!(
+                    (1..=plan.ring()).contains(&gap),
+                    "{}: taps must land strictly forward within the ring",
+                    params.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_generators_get_few_taps() {
+        // CRC-64/GO-ISO (poly 0x1B) reduces with 4 XORs per 8 bytes —
+        // the shape Chorba is fastest on.
+        assert_eq!(ChorbaPlan::derive(&catalog::CRC64_GO_ISO).taps.len(), 4);
+        assert_eq!(ChorbaPlan::derive(&catalog::CRC32_XFER).taps.len(), 6);
+    }
+
+    #[test]
+    fn chorba_matches_reference_across_catalog() {
+        let data: Vec<u8> = (0..4096u32).map(|i| (i * 101 + 13) as u8).collect();
+        for params in catalog::ALL {
+            let crc = crate::Crc::new(params);
+            // Lengths around the fallback threshold and word boundaries.
+            let d = crc.chorba.ring();
+            let min = (d + 8) * 8;
+            for len in [0, 7, min - 1, min, min + 1, min + 7, min + 8, 1500, 4096] {
+                if len > data.len() {
+                    continue;
+                }
+                assert_eq!(
+                    crc.checksum_with(EngineKind::Chorba, &data[..len]),
+                    crc.checksum_bitwise(&data[..len]),
+                    "{} len {len}",
+                    params.name
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Per-polynomial folding constants for the carryless-multiply tier.
+//!
+//! Folding rewrites a 128-bit accumulator `S` sliding `D` bits down a
+//! message as `S·x^D ≡ S_hi_half·(x^(D+64) mod G) ⊕ S_lo_half·(x^D mod G)`,
+//! turning an arbitrarily long division into a chain of 64×64 carryless
+//! multiplies by *constants* — `x^k mod G` values this module derives
+//! through [`gf2poly::modring::fold_constants`] for **any** generator, not
+//! just the hardcoded CRC32 tables of production libraries.
+//!
+//! Bit-order bookkeeping: in the reflected domain a carryless multiply of
+//! two 64-bit-reflected values yields the 127-bit product reflected
+//! across 128 bits, i.e. shifted down by one — compensated here by using
+//! exponents one lower (`x^(D-1)`, `x^(D+63)`) and storing the constants
+//! bit-reversed, so the kernels never need a corrective shift.
+
+use crate::params::CrcParams;
+use gf2poly::modring::fold_constants;
+
+/// Carryless-multiply key schedule: one `(k_hi, k_lo)` pair per fold
+/// distance, domain-adjusted (bit-reversed for reflected algorithms).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FoldTable {
+    /// 512-bit fold: the 4-accumulator bulk loop stride.
+    pub k512: (u64, u64),
+    /// 384-bit fold: accumulator 0 → final combine.
+    pub k384: (u64, u64),
+    /// 256-bit fold: accumulator 1 → final combine.
+    pub k256: (u64, u64),
+    /// 128-bit fold: accumulator 2 → combine, and the tail-chunk stride.
+    pub k128: (u64, u64),
+}
+
+impl FoldTable {
+    /// Derives the schedule for one parameter set.
+    pub(crate) fn derive(params: &CrcParams) -> FoldTable {
+        // Reflected-domain products land one bit lower (see module docs).
+        let delta = u64::from(params.refin);
+        let exponents: Vec<u64> = [512u64, 384, 256, 128]
+            .iter()
+            .flat_map(|&d| [d + 64 - delta, d - delta])
+            .collect();
+        let raw = fold_constants(params.width, params.poly, &exponents)
+            .expect("width validated by CrcParams");
+        let adjust = |v: u64| if params.refin { v.reverse_bits() } else { v };
+        let pair = |i: usize| (adjust(raw[2 * i]), adjust(raw[2 * i + 1]));
+        FoldTable {
+            k512: pair(0),
+            k384: pair(1),
+            k256: pair(2),
+            k128: pair(3),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reflected_constants_are_bit_reversals_of_shifted_exponents() {
+        let refl = FoldTable::derive(&crate::catalog::CRC32_ISO_HDLC);
+        let norm = FoldTable::derive(&crate::catalog::CRC32_BZIP2);
+        // Same polynomial: the reflected schedule must be the bit-reversal
+        // of the normal schedule's exponent-shifted counterpart.
+        let shifted =
+            fold_constants(32, 0x04C1_1DB7, &[575, 511, 447, 383, 319, 255, 191, 127]).unwrap();
+        assert_eq!(refl.k512.0, shifted[0].reverse_bits());
+        assert_eq!(refl.k512.1, shifted[1].reverse_bits());
+        assert_eq!(refl.k128.0, shifted[6].reverse_bits());
+        assert_eq!(refl.k128.1, shifted[7].reverse_bits());
+        let plain = fold_constants(32, 0x04C1_1DB7, &[576, 512]).unwrap();
+        assert_eq!(norm.k512, (plain[0], plain[1]));
+    }
+
+    #[test]
+    fn constants_fit_the_width_before_reflection() {
+        for params in crate::catalog::ALL {
+            let raw = fold_constants(params.width, params.poly, &[128, 192, 512, 576]).unwrap();
+            for k in raw {
+                if params.width < 64 {
+                    assert!(k < 1 << params.width, "{}: constant overflows", params.name);
+                }
+            }
+        }
+    }
+}

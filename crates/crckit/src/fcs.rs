@@ -117,7 +117,11 @@ mod tests {
         // all the codes we consider": any error burst of length ≤ r cannot
         // be a multiple of the generator, hence is always detected.
         let message: Vec<u8> = (0..200u8).collect();
-        for params in [catalog::CRC32_ISO_HDLC, catalog::CRC32_ISCSI, catalog::CRC32_MEF] {
+        for params in [
+            catalog::CRC32_ISO_HDLC,
+            catalog::CRC32_ISCSI,
+            catalog::CRC32_MEF,
+        ] {
             let crc = Crc::new(params);
             let framed = append(&crc, &message);
             // Sweep a 32-bit all-ones burst across every byte offset.

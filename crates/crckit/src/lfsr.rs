@@ -136,9 +136,7 @@ mod tests {
         // §4.2: 0x90022004 has five nonzero coefficients in its hex
         // representation; 0x80108400 achieves "the minimum possible number
         // of non-zero coefficients" for HD=5 to ~64Kb.
-        let taps = |k: u64| {
-            GaloisLfsr::new(PolyForm::from_koopman(32, k).unwrap()).tap_count()
-        };
+        let taps = |k: u64| GaloisLfsr::new(PolyForm::from_koopman(32, k).unwrap()).tap_count();
         // Normal form of 0x90022004 is 0x20044009: weight 5 ⇒ 4 XOR taps.
         assert_eq!(taps(0x9002_2004), 4);
         // Normal form of 0x80108400 is 0x00210801: weight 4 ⇒ 3 XOR taps.

@@ -2,13 +2,12 @@
 //!
 //! This crate is the "downstream user" face of the Koopman DSN 2002
 //! reproduction: everything needed to actually *use* the polynomials the
-//! paper evaluates — a Rocksoft-parameter model, three interchangeable
-//! engines (bit-at-a-time reference, 256-entry table, slice-by-8), notation
-//! conversions between the paper's Koopman form and the normal/reflected
-//! forms found in standards documents, frame FCS handling, a catalog of
-//! standard algorithms with check values, and a Galois-LFSR "hardware view"
-//! exposing the feedback tap counts the paper cares about for high-speed
-//! implementations.
+//! paper evaluates — a Rocksoft-parameter model, a pluggable multi-tier
+//! engine (see below), notation conversions between the paper's Koopman
+//! form and the normal/reflected forms found in standards documents,
+//! frame FCS handling, a catalog of standard algorithms with check
+//! values, and a Galois-LFSR "hardware view" exposing the feedback tap
+//! counts the paper cares about for high-speed implementations.
 //!
 //! # Quick start
 //!
@@ -20,8 +19,44 @@
 //! let crc = Crc::new(catalog::CRC32_ISCSI);
 //! assert_eq!(crc.checksum(b"123456789"), 0xE306_9283);
 //! ```
+//!
+//! # Engine tiers
+//!
+//! [`Crc::new`] detects the host CPU at construction and selects the
+//! fastest of six interchangeable engine tiers ([`EngineKind`]); every
+//! tier is bit-identical on every parameter set, enforced by the §4.5
+//! differential test suite. [`Crc::checksum_with`] pins a tier
+//! explicitly; `CRCKIT_FORCE_ENGINE=<name>` in the environment overrides
+//! auto-selection process-wide; building with `--no-default-features`
+//! compiles the intrinsic kernels out entirely.
+//!
+//! | tier | technique | working set | measured GiB/s* |
+//! |------|-----------|-------------|-----------------|
+//! | [`EngineKind::Bitwise`]  | shift register, 1 bit/step | none | 0.08 |
+//! | [`EngineKind::Bytewise`] | 256-entry table | 2 KiB | 0.33 |
+//! | [`EngineKind::Slice8`]   | slicing-by-8 | 16 KiB | 1.3 |
+//! | [`EngineKind::Slice16`]  | slicing-by-16 | 32 KiB | 1.7 |
+//! | [`EngineKind::Chorba`]   | tableless spread-generator XOR | ≤ 0.5 KiB | 0.7–1.8 |
+//! | [`EngineKind::Clmul`]    | PCLMULQDQ/PMULL folding | 64 B of keys | 10–21 |
+//!
+//! \* CRC-32/ISO-HDLC (Chorba range: dense 802.3 → sparse generators) on
+//! 64 KiB buffers, one Skylake-class x86_64 core; regenerate with
+//! `cargo run --release -p crc-experiments --bin crc_throughput`, which
+//! also writes the machine-readable `BENCH_crc_throughput.json`.
+//!
+//! The CLMUL tier derives its folding constants (`x^k mod G`) from
+//! `gf2poly` at construction, so *every* catalog polynomial — not just
+//! the CRC32 variants production libraries hardcode — gets hardware
+//! folding; on CPUs without carryless multiply it transparently runs a
+//! bit-identical portable software multiply. The Chorba tier generalizes
+//! Russell's tableless CRC32 construction to any generator by spreading
+//! the polynomial with repeated squaring until every term offset is
+//! word-aligned.
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide and re-allowed in exactly one place: the
+// CPU-intrinsic kernels of `engine::clmul`, which are differentially
+// validated against the safe portable implementation.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod catalog;
@@ -34,7 +69,7 @@ pub mod notation;
 pub mod params;
 
 pub use digest::Digest;
-pub use engine::Crc;
+pub use engine::{Crc, EngineKind};
 pub use lfsr::GaloisLfsr;
 pub use params::CrcParams;
 
@@ -61,6 +96,8 @@ pub enum Error {
         /// Minimum length required.
         need: usize,
     },
+    /// An engine name did not match any [`EngineKind`].
+    UnknownEngine,
 }
 
 impl fmt::Display for Error {
@@ -68,10 +105,26 @@ impl fmt::Display for Error {
         match self {
             Error::UnsupportedWidth(w) => write!(f, "unsupported CRC width {w} (need 8..=64)"),
             Error::ValueTooWide { field, value } => {
-                write!(f, "parameter {field} = {value:#x} does not fit the CRC width")
+                write!(
+                    f,
+                    "parameter {field} = {value:#x} does not fit the CRC width"
+                )
             }
             Error::FrameTooShort { len, need } => {
-                write!(f, "frame of {len} bytes is shorter than the {need}-byte minimum")
+                write!(
+                    f,
+                    "frame of {len} bytes is shorter than the {need}-byte minimum"
+                )
+            }
+            Error::UnknownEngine => {
+                write!(f, "unknown engine name (expected one of: ")?;
+                for (i, kind) in EngineKind::ALL.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{kind}")?;
+                }
+                write!(f, ")")
             }
         }
     }

@@ -209,7 +209,10 @@ mod tests {
         let p = CrcParams::new("T", 16, 0x1021).unwrap().xorout(u64::MAX);
         assert!(matches!(
             p.validate(),
-            Err(Error::ValueTooWide { field: "xorout", .. })
+            Err(Error::ValueTooWide {
+                field: "xorout",
+                ..
+            })
         ));
     }
 }

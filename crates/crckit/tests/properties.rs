@@ -13,7 +13,11 @@ fn arbitrary_params() -> impl Strategy<Value = CrcParams> {
         any::<u64>(),
     )
         .prop_map(|(width, poly, init, refin, refout, xorout)| {
-            let mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+            let mask = if width == 64 {
+                u64::MAX
+            } else {
+                (1 << width) - 1
+            };
             // Force an odd polynomial (constant term) as all real CRCs have.
             let poly = (poly & mask) | 1;
             CrcParams::new("PROP", width, poly)

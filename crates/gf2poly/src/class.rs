@@ -185,7 +185,10 @@ fn binomial(n: u128, k: u32) -> u128 {
 ///
 /// Panics for `r < 2` or odd `r` (CRC widths of interest are even).
 pub fn distinct_search_space(r: u32) -> u64 {
-    assert!(r >= 2 && r % 2 == 0, "width must be an even integer >= 2");
+    assert!(
+        r >= 2 && r.is_multiple_of(2),
+        "width must be an even integer >= 2"
+    );
     // Space: coefficients of x^(r-1)..x^1 free, x^r and x^0 fixed to 1.
     // Reciprocal pairing identifies p with its coefficient reversal.
     // Palindromes are fixed points: coefficient pairs (i, r-i) for

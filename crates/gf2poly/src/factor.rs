@@ -29,7 +29,9 @@ impl Factorization {
         let mut acc = Poly::ONE;
         for &(p, m) in &self.factors {
             for _ in 0..m {
-                acc = acc.checked_mul(p).expect("factor product fits by construction");
+                acc = acc
+                    .checked_mul(p)
+                    .expect("factor product fits by construction");
             }
         }
         acc
@@ -226,13 +228,15 @@ fn squarefree_decomposition(f: Poly) -> Vec<(Poly, u32)> {
 }
 
 fn sff_into(f: Poly, scale: u32, out: &mut Vec<(Poly, u32)>) {
-    if f.degree().map_or(true, |d| d == 0) {
+    if f.degree().is_none_or(|d| d == 0) {
         return;
     }
     let fd = f.derivative();
     if fd.is_zero() {
         // f is a perfect square: f = s(x)^2.
-        let s = f.sqrt().expect("zero derivative implies perfect square in char 2");
+        let s = f
+            .sqrt()
+            .expect("zero derivative implies perfect square in char 2");
         sff_into(s, scale * 2, out);
         return;
     }
@@ -250,7 +254,9 @@ fn sff_into(f: Poly, scale: u32, out: &mut Vec<(Poly, u32)>) {
         c = c.div_rem(y).expect("y divides c").0;
     }
     if c.degree() != Some(0) {
-        let s = c.sqrt().expect("residual part is a perfect square in char 2");
+        let s = c
+            .sqrt()
+            .expect("residual part is a perfect square in char 2");
         sff_into(s, scale * 2, out);
     }
 }
@@ -284,10 +290,10 @@ fn distinct_degree(f: Poly) -> Vec<(Poly, u32)> {
         }
         h = ctx.square(h);
         let g = rest.gcd(h + Poly::X);
-        if g.degree().map_or(false, |gd| gd > 0) {
+        if g.degree().is_some_and(|gd| gd > 0) {
             out.push((g, d));
             rest = rest.div_rem(g).expect("g divides rest").0;
-            if rest.degree().map_or(true, |rd| rd == 0) {
+            if rest.degree().is_none_or(|rd| rd == 0) {
                 break;
             }
             ctx = ModCtx::new(rest).expect("degree >= 1");
@@ -305,7 +311,7 @@ fn equal_degree(f: Poly, d: u32, rng: &mut SplitMix64) -> Vec<Poly> {
     if fdeg == d {
         return vec![f];
     }
-    debug_assert!(fdeg % d == 0);
+    debug_assert!(fdeg.is_multiple_of(d));
     let ctx = ModCtx::new(f).expect("degree >= 1");
     loop {
         // Random residue of degree < deg f.
@@ -409,14 +415,14 @@ mod tests {
     fn paper_polynomial_classes() {
         // Full 33-bit generator masks: ((K << 1) | 1) | (1 << 32).
         let cases: [(u64, &str); 8] = [
-            (0x82608EDB, "{32}"),       // IEEE 802.3
-            (0x8F6E37A0, "{1,31}"),     // Castagnoli / iSCSI (CRC-32C)
-            (0xBA0DC66B, "{1,3,28}"),   // Koopman's headline polynomial
-            (0xFA567D89, "{1,1,15,15}"),// Castagnoli HD=6
-            (0x992C1A4C, "{1,1,30}"),   // Koopman
-            (0x90022004, "{1,1,30}"),   // Koopman low-tap HD=6
-            (0xD419CC15, "{32}"),       // Castagnoli HD=5
-            (0x80108400, "{32}"),       // Koopman low-tap HD=5
+            (0x82608EDB, "{32}"),        // IEEE 802.3
+            (0x8F6E37A0, "{1,31}"),      // Castagnoli / iSCSI (CRC-32C)
+            (0xBA0DC66B, "{1,3,28}"),    // Koopman's headline polynomial
+            (0xFA567D89, "{1,1,15,15}"), // Castagnoli HD=6
+            (0x992C1A4C, "{1,1,30}"),    // Koopman
+            (0x90022004, "{1,1,30}"),    // Koopman low-tap HD=6
+            (0xD419CC15, "{32}"),        // Castagnoli HD=5
+            (0x80108400, "{32}"),        // Koopman low-tap HD=5
         ];
         for (k, sig) in cases {
             let full = Poly::from_mask(((k as u128) << 1 | 1) | (1 << 32));
@@ -434,10 +440,7 @@ mod tests {
         let fac = factor(full);
         let p3 = Poly::from_exponents(&[3, 2, 0]);
         let p28 = Poly::from_exponents(&[28, 22, 20, 19, 16, 14, 12, 9, 8, 6, 0]);
-        assert_eq!(
-            fac.factors(),
-            &[(Poly::X_PLUS_1, 1), (p3, 1), (p28, 1)]
-        );
+        assert_eq!(fac.factors(), &[(Poly::X_PLUS_1, 1), (p3, 1), (p28, 1)]);
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub fn is_prime(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
@@ -203,7 +203,7 @@ pub fn factor_u64(n: u64) -> Vec<(u64, u32)> {
 ///
 /// Panics if `d == 0` or `d > 64`.
 pub fn factor_two_pow_minus_1(d: u32) -> Vec<(u64, u32)> {
-    assert!(d >= 1 && d <= 64, "degree must be in 1..=64");
+    assert!((1..=64).contains(&d), "degree must be in 1..=64");
     let n = if d == 64 { u64::MAX } else { (1u64 << d) - 1 };
     factor_u64(n)
 }
@@ -243,10 +243,7 @@ mod tests {
     fn factorization_reconstructs_value() {
         for n in [1u64, 2, 12, 360, 1 << 20, 999_999_937, 0xFFFF_FFFF] {
             let f = factor_u64(n);
-            let prod: u128 = f
-                .iter()
-                .map(|&(p, e)| (p as u128).pow(e))
-                .product();
+            let prod: u128 = f.iter().map(|&(p, e)| (p as u128).pow(e)).product();
             if n >= 2 {
                 assert_eq!(prod, n as u128, "n={n}");
                 for &(p, _) in &f {
@@ -271,10 +268,7 @@ mod tests {
             factor_two_pow_minus_1(30),
             vec![(3, 2), (7, 1), (11, 1), (31, 1), (151, 1), (331, 1)]
         );
-        assert_eq!(
-            factor_two_pow_minus_1(15),
-            vec![(7, 1), (31, 1), (151, 1)]
-        );
+        assert_eq!(factor_two_pow_minus_1(15), vec![(7, 1), (31, 1), (151, 1)]);
         assert_eq!(
             factor_two_pow_minus_1(28),
             vec![(3, 1), (5, 1), (29, 1), (43, 1), (113, 1), (127, 1)]
@@ -293,7 +287,15 @@ mod tests {
         // 2^64 - 1 = 3 · 5 · 17 · 257 · 641 · 65537 · 6700417
         assert_eq!(
             factor_two_pow_minus_1(64),
-            vec![(3, 1), (5, 1), (17, 1), (257, 1), (641, 1), (65537, 1), (6700417, 1)]
+            vec![
+                (3, 1),
+                (5, 1),
+                (17, 1),
+                (257, 1),
+                (641, 1),
+                (65537, 1),
+                (6700417, 1)
+            ]
         );
     }
 

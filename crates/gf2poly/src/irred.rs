@@ -120,10 +120,10 @@ fn is_primitive_deg64(f: Poly) -> bool {
 ///
 /// Panics if `d == 0` or `d > 64`.
 pub fn count_irreducibles(d: u32) -> u64 {
-    assert!(d >= 1 && d <= 64, "degree must be in 1..=64");
+    assert!((1..=64).contains(&d), "degree must be in 1..=64");
     let mut total: i128 = 0;
     for e in 1..=d {
-        if d % e != 0 {
+        if !d.is_multiple_of(e) {
             continue;
         }
         let mu = moebius(e as u64);
@@ -145,7 +145,7 @@ fn moebius(n: u64) -> i32 {
     let f = crate::int::factor_u64(n);
     if f.iter().any(|&(_, e)| e > 1) {
         0
-    } else if f.len() % 2 == 0 {
+    } else if f.len().is_multiple_of(2) {
         1
     } else {
         -1
@@ -156,7 +156,10 @@ fn moebius(n: u64) -> i32 {
 /// mask order. Intended for small degrees (the iteration space is `2^(d-1)`
 /// candidates); the exhaustive-search experiments use it up to `d ≈ 16`.
 pub fn enumerate_irreducibles(d: u32) -> impl Iterator<Item = Poly> {
-    assert!(d >= 1 && d <= 32, "enumeration supported for degree 1..=32");
+    assert!(
+        (1..=32).contains(&d),
+        "enumeration supported for degree 1..=32"
+    );
     let lo = 1u128 << d;
     let hi = 1u128 << (d + 1);
     (lo..hi).map(Poly::from_mask).filter(move |p| {
@@ -229,7 +232,9 @@ mod tests {
     #[test]
     fn known_irreducible_counts() {
         // OEIS A001037.
-        let expect = [2u64, 1, 2, 3, 6, 9, 18, 30, 56, 99, 186, 335, 630, 1161, 2182, 4080];
+        let expect = [
+            2u64, 1, 2, 3, 6, 9, 18, 30, 56, 99, 186, 335, 630, 1161, 2182, 4080,
+        ];
         for (i, &e) in expect.iter().enumerate() {
             assert_eq!(count_irreducibles(i as u32 + 1), e, "degree {}", i + 1);
         }

@@ -47,7 +47,7 @@ pub mod rng;
 pub use class::FactorClass;
 pub use factor::{factor, FactorSignature, Factorization};
 pub use irred::{count_irreducibles, is_irreducible, is_primitive};
-pub use modring::ModCtx;
+pub use modring::{fold_constants, ModCtx};
 pub use order::order_of_x;
 pub use poly::Poly;
 pub use rng::SplitMix64;

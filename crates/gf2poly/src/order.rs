@@ -37,11 +37,15 @@ pub fn order_of_x_irreducible(p: Poly) -> Result<u64> {
     }
     let ctx = ModCtx::new(p)?;
     let group = (1u64 << d) - 1;
-    debug_assert_eq!(ctx.x_pow(group), Poly::ONE, "x^(2^d-1) must be 1 mod irreducible");
+    debug_assert_eq!(
+        ctx.x_pow(group),
+        Poly::ONE,
+        "x^(2^d-1) must be 1 mod irreducible"
+    );
     let mut e = group;
     for (q, mult) in factor_u64(group) {
         for _ in 0..mult {
-            if e % q == 0 && ctx.x_pow(e / q) == Poly::ONE {
+            if e.is_multiple_of(q) && ctx.x_pow(e / q) == Poly::ONE {
                 e /= q;
             } else {
                 break;

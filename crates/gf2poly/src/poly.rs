@@ -242,6 +242,8 @@ impl Poly {
     /// # Errors
     ///
     /// [`Error::DegreeOverflow`] if the shifted degree exceeds 127.
+    // Not the `Shl` trait: that cannot signal overflow, and this must.
+    #[allow(clippy::should_implement_trait)]
     pub fn shl(self, k: u32) -> Result<Poly> {
         match self.degree() {
             None => Ok(Poly::ZERO),
@@ -267,6 +269,8 @@ impl Poly {
 
 impl Add for Poly {
     type Output = Poly;
+    // GF(2) addition IS xor; the lint expects integer semantics.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     #[inline]
     fn add(self, rhs: Poly) -> Poly {
         Poly(self.0 ^ rhs.0)
@@ -274,6 +278,8 @@ impl Add for Poly {
 }
 
 impl AddAssign for Poly {
+    // GF(2) addition IS xor; the lint expects integer semantics.
+    #[allow(clippy::suspicious_op_assign_impl)]
     #[inline]
     fn add_assign(&mut self, rhs: Poly) {
         self.0 ^= rhs.0;
@@ -449,7 +455,7 @@ mod tests {
         let a = Poly::from_mask(0x1_04C1_1DB7); // 802.3 generator
         let b = Poly::from_mask(0b111_0101);
         let (q, r) = a.div_rem(b).unwrap();
-        assert!(r.degree().map_or(true, |d| d < b.degree().unwrap()));
+        assert!(r.degree().is_none_or(|d| d < b.degree().unwrap()));
         assert_eq!(q * b + r, a);
     }
 
@@ -490,7 +496,10 @@ mod tests {
         assert_eq!(f.reciprocal().reciprocal(), f);
         assert_eq!(f.reciprocal().degree(), f.degree());
         // x^3 + x^2 + 1 <-> x^3 + x + 1
-        assert_eq!(Poly::from_mask(0b1101).reciprocal(), Poly::from_mask(0b1011));
+        assert_eq!(
+            Poly::from_mask(0b1101).reciprocal(),
+            Poly::from_mask(0b1011)
+        );
         assert!(Poly::from_mask(0b101).is_palindrome());
     }
 

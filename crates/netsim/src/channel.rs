@@ -35,10 +35,13 @@ impl BscChannel {
     ///
     /// Panics if `ber` is outside `[0, 1]` or not finite.
     pub fn new(ber: f64) -> BscChannel {
-        assert!(ber.is_finite() && (0.0..=1.0).contains(&ber), "BER must be in [0,1]");
+        assert!(
+            ber.is_finite() && (0.0..=1.0).contains(&ber),
+            "BER must be in [0,1]"
+        );
         BscChannel {
             ber,
-            rng: rand::rngs::StdRng::seed_from_u64(0xBE5C_0DE),
+            rng: rand::rngs::StdRng::seed_from_u64(0x0BE5_C0DE),
         }
     }
 
@@ -208,7 +211,11 @@ impl Channel for GilbertElliottChannel {
                 if self.rng.gen::<f64>() < transition {
                     self.in_bad = !self.in_bad;
                 }
-                let ber = if self.in_bad { self.ber_bad } else { self.ber_good };
+                let ber = if self.in_bad {
+                    self.ber_bad
+                } else {
+                    self.ber_good
+                };
                 if ber > 0.0 && self.rng.gen::<f64>() < ber {
                     *byte ^= 1 << bit;
                     flipped += 1;

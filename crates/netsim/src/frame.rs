@@ -1,25 +1,48 @@
 //! Framing: payload + FCS codecs and an iSCSI-like PDU with separate
 //! header and data digests.
 
-use crckit::{catalog, fcs, Crc, CrcParams};
+use crckit::{catalog, fcs, Crc, CrcParams, EngineKind};
 
 /// A payload ↔ framed-codeword codec over one CRC algorithm.
+///
+/// The codec rides whatever engine tier [`Crc::new`] selects — CLMUL
+/// folding on capable hardware — so per-frame digest work in Monte-Carlo
+/// corruption runs no longer pays software-slicing cost.
 #[derive(Debug, Clone)]
 pub struct FrameCodec {
     crc: Crc,
 }
 
 impl FrameCodec {
-    /// Builds a codec for the given algorithm.
+    /// Builds a codec for the given algorithm on the fastest engine tier
+    /// the host supports.
     pub fn new(params: CrcParams) -> FrameCodec {
         FrameCodec {
             crc: Crc::new(params),
         }
     }
 
+    /// Builds a codec pinned to a specific engine tier (e.g. the
+    /// tableless [`EngineKind::Chorba`] when the surrounding workload
+    /// needs the cache the slicing tables would occupy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters fail validation, like [`Crc::new`].
+    pub fn with_engine(params: CrcParams, kind: EngineKind) -> FrameCodec {
+        FrameCodec {
+            crc: Crc::try_with_engine(params, kind).expect("invalid CRC parameters"),
+        }
+    }
+
     /// The underlying engine.
     pub fn crc(&self) -> &Crc {
         &self.crc
+    }
+
+    /// The engine tier frames are digested on.
+    pub fn engine(&self) -> EngineKind {
+        self.crc.engine()
     }
 
     /// Frames a payload (appends the FCS).
@@ -30,6 +53,12 @@ impl FrameCodec {
     /// Verifies a received frame; `true` means the FCS matches.
     pub fn verify(&self, frame: &[u8]) -> bool {
         fcs::verify(&self.crc, frame).unwrap_or(false)
+    }
+
+    /// Verifies a burst of received frames (the receive-queue shape of a
+    /// packet loop); equivalent to mapping [`FrameCodec::verify`].
+    pub fn verify_batch(&self, frames: &[&[u8]]) -> Vec<bool> {
+        frames.iter().map(|frame| self.verify(frame)).collect()
     }
 
     /// Overhead added per frame, in bytes.
@@ -121,6 +150,32 @@ mod tests {
         assert_eq!(frame.len(), 14 + 4);
         assert!(codec.verify(&frame));
         assert_eq!(codec.overhead(), 4);
+    }
+
+    #[test]
+    fn batch_verify_matches_individual() {
+        let codec = FrameCodec::new(catalog::CRC32_ISO_HDLC);
+        let mut frames: Vec<Vec<u8>> = (0..8usize)
+            .map(|i| codec.encode(&vec![i as u8; 64 + i * 100]))
+            .collect();
+        frames[3][10] ^= 0x01; // corrupt one
+        frames[6][0] ^= 0x80; // and another
+        let refs: Vec<&[u8]> = frames.iter().map(|f| f.as_slice()).collect();
+        let verdicts = codec.verify_batch(&refs);
+        for (i, (frame, got)) in refs.iter().zip(&verdicts).enumerate() {
+            assert_eq!(*got, codec.verify(frame), "frame {i}");
+        }
+        assert_eq!(verdicts.iter().filter(|&&ok| !ok).count(), 2);
+    }
+
+    #[test]
+    fn pinned_engine_codec_round_trips() {
+        for kind in [crckit::EngineKind::Chorba, crckit::EngineKind::Clmul] {
+            let codec = FrameCodec::with_engine(catalog::CRC32_ISCSI, kind);
+            assert_eq!(codec.engine(), kind);
+            let frame = codec.encode(&vec![0x5A; 2000]);
+            assert!(codec.verify(&frame));
+        }
     }
 
     #[test]

@@ -191,6 +191,9 @@ mod tests {
         };
         let ack = rate(&stats.per_class[0].1);
         let mtu = rate(&stats.per_class[2].1);
-        assert!(mtu > ack, "MTU frames must see more corruption ({mtu} vs {ack})");
+        assert!(
+            mtu > ack,
+            "MTU frames must see more corruption ({mtu} vs {ack})"
+        );
     }
 }

@@ -166,7 +166,11 @@ pub fn undetectable_pattern(params: CrcParams, payload_len: usize, seed: u64) ->
 ///
 /// Panics if the lengths differ.
 pub fn inject_undetectable(frame: &mut [u8], pattern: &[u8]) {
-    assert_eq!(frame.len(), pattern.len(), "pattern must match frame length");
+    assert_eq!(
+        frame.len(),
+        pattern.len(),
+        "pattern must match frame length"
+    );
     for (f, p) in frame.iter_mut().zip(pattern) {
         *f ^= p;
     }

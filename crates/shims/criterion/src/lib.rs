@@ -1,0 +1,230 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships a minimal wall-clock harness with the same API shape the bench
+//! files use: [`Criterion::benchmark_group`], [`BenchmarkGroup`] with
+//! `sample_size`/`throughput`/`bench_function`/`bench_with_input`/`finish`,
+//! [`BenchmarkId`], [`Throughput`], [`black_box`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurements are median-of-samples wall-clock timings with an automatic
+//! per-sample iteration count targeted at ~20 ms; adequate for relative
+//! engine comparisons, with none of criterion's statistical machinery.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting a
+/// benchmarked computation.
+#[inline]
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Units a benchmark's throughput is reported in.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus parameter label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Identifier with both a function name and a parameter.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the last run, for the group report.
+    last_nanos: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median per-iteration duration.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut routine: F) {
+        // Calibrate an iteration count giving ~20 ms per sample.
+        let probe = Instant::now();
+        black_box(routine());
+        let once = probe.elapsed().max(Duration::from_nanos(20));
+        let iters = (Duration::from_millis(20).as_nanos() / once.as_nanos()).clamp(1, 1_000_000);
+        let mut sample_nanos: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            sample_nanos.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        sample_nanos.sort_by(|a, b| a.total_cmp(b));
+        self.last_nanos = sample_nanos[sample_nanos.len() / 2];
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(3);
+        self
+    }
+
+    /// Declares per-iteration throughput for reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: self.samples,
+            last_nanos: 0.0,
+        };
+        f(&mut bencher);
+        self.report(&id.to_string(), bencher.last_nanos);
+        self
+    }
+
+    /// Runs one named benchmark receiving a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: self.samples,
+            last_nanos: 0.0,
+        };
+        f(&mut bencher, input);
+        self.report(&id.to_string(), bencher.last_nanos);
+        self
+    }
+
+    /// Closes the group (reporting happens per benchmark as it runs).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, nanos: f64) {
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(bytes)) if nanos > 0.0 => {
+                let gib_s = bytes as f64 / nanos / 1.073_741_824;
+                format!("  {gib_s:8.3} GiB/s")
+            }
+            Some(Throughput::Elements(n)) if nanos > 0.0 => {
+                let me_s = n as f64 * 1e3 / nanos;
+                format!("  {me_s:8.3} Melem/s")
+            }
+            _ => String::new(),
+        };
+        println!("{}/{id:<40} {:>12.1} ns/iter{rate}", self.name, nanos);
+    }
+}
+
+/// The top-level harness handle, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a benchmark group function list, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim_smoke");
+        group.sample_size(3);
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..1024u64).sum::<u64>());
+        });
+        group.bench_with_input(BenchmarkId::new("sum_n", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 12).to_string(), "f/12");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+}

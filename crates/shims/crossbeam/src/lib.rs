@@ -1,0 +1,75 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no access to crates.io; the workspace only
+//! uses `crossbeam::scope` with `Scope::spawn`, which maps directly onto
+//! `std::thread::scope` (stabilized long after crossbeam pioneered the
+//! API). One behavioral difference: if a spawned thread panics, this shim
+//! propagates the panic out of [`scope`] (std semantics) instead of
+//! returning `Err` — every caller in the workspace immediately
+//! `.expect()`s the result, so the observable behavior is identical.
+
+#![forbid(unsafe_code)]
+
+use std::any::Any;
+
+/// A fork-join scope handle, mirroring `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a thread joined at scope exit. The closure receives the
+    /// scope handle (crossbeam convention) for nested spawns.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Creates a scope in which borrowed-data threads can be spawned; all
+/// threads are joined before `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scoped_threads_share_borrows() {
+        let counter = AtomicU64::new(0);
+        let data: Vec<u64> = (0..100).collect();
+        super::scope(|scope| {
+            for chunk in data.chunks(25) {
+                scope.spawn(|_| {
+                    let sum: u64 = chunk.iter().sum();
+                    counter.fetch_add(sum, Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(counter.into_inner(), (0..100).sum::<u64>());
+    }
+
+    #[test]
+    fn nested_spawn_through_handle() {
+        let flag = AtomicU64::new(0);
+        super::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| {
+                    flag.store(7, Ordering::SeqCst);
+                });
+            });
+        })
+        .expect("no panics");
+        assert_eq!(flag.into_inner(), 7);
+    }
+}

@@ -1,0 +1,91 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! The build environment has no access to crates.io; the workspace uses
+//! `parking_lot::Mutex` for its poison-free `lock()` ergonomics, which
+//! this shim reproduces over `std::sync::Mutex`. A poisoned std mutex
+//! (a panic while the lock was held) aborts via `expect`, matching
+//! parking_lot's practical behavior in this workspace where lock-holding
+//! code never panics.
+
+#![forbid(unsafe_code)]
+
+use std::sync::{Mutex as StdMutex, MutexGuard, RwLock as StdRwLock};
+
+/// A mutex whose `lock` does not return a poison `Result`.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex guarding `value`.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the guarded value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().expect("mutex not poisoned")
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().expect("mutex not poisoned")
+    }
+}
+
+/// A reader-writer lock whose guards do not return poison `Result`s.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: StdRwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a lock guarding `value`.
+    pub fn new(value: T) -> RwLock<T> {
+        RwLock {
+            inner: StdRwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the guarded value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().expect("rwlock not poisoned")
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read guard.
+    pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
+        self.inner.read().expect("rwlock not poisoned")
+    }
+
+    /// Acquires an exclusive write guard.
+    pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
+        self.inner.write().expect("rwlock not poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_round_trip() {
+        let m = Mutex::new(vec![1, 2, 3]);
+        m.lock().push(4);
+        assert_eq!(m.into_inner(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn rwlock_round_trip() {
+        let l = RwLock::new(5u32);
+        assert_eq!(*l.read(), 5);
+        *l.write() += 1;
+        assert_eq!(l.into_inner(), 6);
+    }
+}

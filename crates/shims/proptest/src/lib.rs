@@ -1,0 +1,416 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships a minimal property-testing harness covering exactly the surface
+//! the test suites use: the [`proptest!`] macro (with optional
+//! `#![proptest_config(...)]`), [`Strategy`] with `prop_map`, tuple and
+//! range strategies, [`any`], [`Just`], [`prop_oneof!`],
+//! [`collection::vec`], and the `prop_assert*` / [`prop_assume!`] macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! * no shrinking — a failing case reports its inputs via the panic
+//!   message of the underlying `assert!`, but is not minimized;
+//! * `prop_assume!` skips the case without drawing a replacement, so the
+//!   effective case count can be lower than configured;
+//! * case generation is a fixed deterministic stream per test name, so
+//!   failures always reproduce.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Deterministic RNG driving case generation (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Derives a per-test deterministic generator from the test's name.
+    pub fn for_test(name: &str) -> TestRng {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng::new(h)
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Test-run configuration (the `cases` knob of real proptest).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property is exercised with.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed alternatives ([`prop_oneof!`]).
+pub struct Union<T>(pub Vec<Box<dyn Strategy<Value = T>>>);
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.0.is_empty(), "prop_oneof! needs at least one arm");
+        let idx = (rng.next_u64() % self.0.len() as u64) as usize;
+        self.0[idx].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                // Via i128 so signed ranges with negative starts compute
+                // their true span; the truncating cast plus wrapping add
+                // is exact because the result lies in [start, end).
+                let span = (self.end as i128 - self.start as i128) as u128;
+                self.start.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 range strategy");
+        let v = self.start + rng.unit_f64() * (self.end - self.start);
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}
+
+/// Types with a canonical full-domain strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Draws a uniform value over the whole domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.unit_f64()
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-domain strategy for `T` (`any::<u8>()` etc.).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with a size drawn from a range.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// `Vec` strategy: `size` elements of `elem` (`vec(any::<u8>(), 0..300)`).
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(self.size.start < self.size.end, "empty vec size range");
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a test file needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a property (panics with context on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when its precondition does not hold.
+///
+/// Expands to an early `return` from the per-case closure the
+/// [`proptest!`] macro wraps each body in.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Boxes a oneof arm. A generic fn (rather than an `as Box<dyn ...>` cast
+/// in the macro) so integer-literal arms like `Just(16)` unify with the
+/// first arm's type through return-type inference.
+#[doc(hidden)]
+pub fn __oneof_arm<T, S: Strategy<Value = T> + 'static>(strat: S) -> Box<dyn Strategy<Value = T>> {
+    Box::new(strat)
+}
+
+/// Uniform choice among strategies yielding the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union(vec![$($crate::__oneof_arm($strat)),+])
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let mut body = move || $body;
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&mut body));
+                if let Err(payload) = outcome {
+                    eprintln!(
+                        "proptest case {}/{} of {} failed",
+                        case + 1,
+                        config.cases,
+                        stringify!($name),
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn doubled() -> impl Strategy<Value = u32> {
+        (1u32..100).prop_map(|v| v * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Mapped strategies apply their function.
+        #[test]
+        fn map_applies(v in doubled()) {
+            prop_assert_eq!(v % 2, 0);
+        }
+
+        #[test]
+        fn ranges_respect_bounds(a in 3u32..17, b in 0.25f64..0.75, c in -5i32..5) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((0.25..0.75).contains(&b));
+            prop_assert!((-5..5).contains(&c));
+        }
+
+        #[test]
+        fn tuples_and_oneof(pair in (any::<u8>(), prop_oneof![Just(1u32), Just(2)])) {
+            let (_, chosen) = pair;
+            prop_assert!(chosen == 1 || chosen == 2);
+        }
+
+        #[test]
+        fn assume_skips(v in 0u32..10) {
+            prop_assume!(v % 2 == 0);
+            prop_assert_eq!(v % 2, 0);
+        }
+
+        #[test]
+        fn vec_sizes(data in crate::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!((2..5).contains(&data.len()));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = crate::TestRng::for_test("x");
+        let mut b = crate::TestRng::for_test("x");
+        let mut c = crate::TestRng::for_test("y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let _ = c.next_u64();
+    }
+}

@@ -20,25 +20,44 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .transpose()?
         .unwrap_or(0x992C_1A4C);
-    let max_len: u32 = args.get(2).map(|s| s.parse()).transpose()?.unwrap_or(70_000);
+    let max_len: u32 = args
+        .get(2)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(70_000);
 
     let g = GenPoly::from_koopman(32, koopman)?;
     let fac = factor(g.to_poly());
-    println!("polynomial 0x{koopman:08X} (Koopman) = 0x{:08X} (normal)", g.normal());
+    println!(
+        "polynomial 0x{koopman:08X} (Koopman) = 0x{:08X} (normal)",
+        g.normal()
+    );
     println!("  = {fac}");
-    println!("  class {}, weight {}, divisible by x+1: {}",
-        fac.signature(), g.weight(), g.divisible_by_x_plus_1());
+    println!(
+        "  class {}, weight {}, divisible by x+1: {}",
+        fac.signature(),
+        g.weight(),
+        g.divisible_by_x_plus_1()
+    );
     println!("  order of x: {}", order_of_x(g.to_poly())?);
 
     let profile = HdProfile::compute(&g, max_len)?;
     println!("\nHD profile to {max_len} bits:");
-    println!("  {:>8}  {:>8}  {}", "from", "to", "HD");
+    println!("  {:>8}  {:>8}  HD", "from", "to");
     for band in profile.bands() {
         match band.hd {
             Some(hd) => println!("  {:>8}  {:>8}  {hd}", band.from, band.to),
-            None => println!("  {:>8}  {:>8}  >{}", band.from, band.to, profile.max_weight_explored()),
+            None => println!(
+                "  {:>8}  {:>8}  >{}",
+                band.from,
+                band.to,
+                profile.max_weight_explored()
+            ),
         }
     }
-    println!("\nminimal low-weight multiples (w, degree): {:?}", profile.dmins());
+    println!(
+        "\nminimal low-weight multiples (w, degree): {:?}",
+        profile.dmins()
+    );
     Ok(())
 }

@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         s.clean,
         s.detected,
         s.undetected,
-        if s.detected > 0 { s.total() / s.detected } else { 0 }
+        s.total().checked_div(s.detected).unwrap_or(0)
     );
     assert_eq!(s.undetected, 0, "a 32-bit CRC sees ~2^-32 of corruptions");
 

@@ -57,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Show it working as an actual CRC.
     let params = CrcParams::new("CRC-16/CUSTOM", width, winner.normal())?;
     let crc = Crc::try_new(params)?;
-    println!("checksum(\"123456789\") under the winner: {:#06X}", crc.checksum(b"123456789"));
+    println!(
+        "checksum(\"123456789\") under the winner: {:#06X}",
+        crc.checksum(b"123456789")
+    );
 
     // And double-check the claimed HD by exhaustive spectrum when small
     // enough (ground truth, not just the filter).

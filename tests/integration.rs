@@ -52,7 +52,10 @@ fn search_to_traffic_pipeline() {
                 }
                 frame[c / 8] ^= 1 << (c % 8);
             }
-            assert!(!fcs::verify(&crc, &frame).unwrap(), "undetected at ({a},{b})");
+            assert!(
+                !fcs::verify(&crc, &frame).unwrap(),
+                "undetected at ({a},{b})"
+            );
             tested += 1;
         }
     }

@@ -111,5 +111,8 @@ fn section4_2_low_tap_polynomials() {
 #[test]
 fn search_space_count() {
     // "The entire set of 1,073,774,592 distinct polynomials".
-    assert_eq!(koopman_crc::gf2poly::class::distinct_search_space(32), 1_073_774_592);
+    assert_eq!(
+        koopman_crc::gf2poly::class::distinct_search_space(32),
+        1_073_774_592
+    );
 }

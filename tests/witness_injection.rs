@@ -76,7 +76,9 @@ fn witness_injection_for_reflected_algorithms() {
     // For reflected algorithms the same codeword defeats the CRC after
     // per-byte bit reversal of the pattern.
     let g = GenPoly::from_koopman(32, 0x8F6E37A0).unwrap(); // CRC-32C
-    let wit = find_witness(&g, 4, 5_275).unwrap().expect("d_min(4) = 5275");
+    let wit = find_witness(&g, 4, 5_275)
+        .unwrap()
+        .expect("d_min(4) = 5275");
     assert_eq!(wit.degree(), 5_275);
 
     let codec = FrameCodec::new(catalog::CRC32_ISCSI);
