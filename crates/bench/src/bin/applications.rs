@@ -12,7 +12,7 @@ use crc_hd::weights::weights234;
 use crckit::catalog;
 use netsim::channel::{BurstChannel, GilbertElliottChannel};
 use netsim::frame::{FrameCodec, IscsiPdu};
-use netsim::montecarlo::{run_trials, TrialConfig};
+use netsim::montecarlo::{Simulator, TrialConfig};
 
 fn main() {
     let trials: u64 = arg_or("--trials", 20_000);
@@ -70,17 +70,25 @@ fn main() {
     );
 
     // ---- End-to-end PDU exercise over bursty channels -------------------
+    // Sharded batch engine, all cores; same seed => same table anywhere.
+    let sim = Simulator::new();
     println!("[netsim] iSCSI-like PDUs over a Gilbert–Elliott channel ({trials} trials):");
-    let mut t = TextTable::new(["digest", "clean", "detected", "undetected"]);
+    let mut t = TextTable::new([
+        "digest",
+        "clean",
+        "detected",
+        "undetected",
+        "95% rate bound",
+    ]);
     for (pdu_name, params) in [
         ("CRC-32C", catalog::CRC32_ISCSI),
         ("0xBA0DC66B/MEF", catalog::CRC32_MEF),
     ] {
         let codec = FrameCodec::new(params);
-        let mut ch = GilbertElliottChannel::new(5e-5, 5e-3, 1e-7, 5e-3);
-        let stats = run_trials(
+        let ch = GilbertElliottChannel::new(5e-5, 5e-3, 1e-7, 5e-3);
+        let stats = sim.run(
             &codec,
-            &mut ch,
+            &ch,
             &TrialConfig {
                 payload_len: 1_514,
                 trials,
@@ -91,11 +99,16 @@ fn main() {
             stats.undetected, 0,
             "32-bit CRCs see no undetected events at this scale"
         );
+        let bound = stats
+            .undetected_ci95()
+            .map(|(_, hi)| format!("< {hi:.1e}"))
+            .unwrap_or_else(|| "n/a".to_string());
         t.push_row([
             pdu_name.to_string(),
             stats.clean.to_string(),
             stats.detected.to_string(),
             stats.undetected.to_string(),
+            bound,
         ]);
     }
     println!("{}", t.render());
@@ -104,10 +117,9 @@ fn main() {
     let pdu = IscsiPdu::koopman();
     let wire = pdu.encode(b"op", &vec![0u8; 4096]);
     let codec = FrameCodec::new(catalog::CRC32_MEF);
-    let mut burst = BurstChannel::new(32);
-    let stats = run_trials(
+    let stats = sim.run(
         &codec,
-        &mut burst,
+        &BurstChannel::new(32),
         &TrialConfig {
             payload_len: wire.len() - 4,
             trials: trials / 4,

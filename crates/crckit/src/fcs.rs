@@ -18,16 +18,24 @@ use crate::{Error, Result};
 /// the Ethernet wire), big-endian otherwise (as in the polynomial
 /// arithmetic view).
 pub fn append(crc: &Crc, message: &[u8]) -> Vec<u8> {
-    let width_bytes = fcs_len(crc);
-    let mut framed = Vec::with_capacity(message.len() + width_bytes);
+    let mut framed = Vec::with_capacity(message.len() + fcs_len(crc));
     framed.extend_from_slice(message);
-    let fcs = crc.checksum(message);
-    if crc.params().refout {
-        framed.extend_from_slice(&fcs.to_le_bytes()[..width_bytes]);
-    } else {
-        framed.extend_from_slice(&fcs.to_be_bytes()[8 - width_bytes..]);
-    }
+    append_in_place(crc, &mut framed);
     framed
+}
+
+/// Appends the FCS over the current contents of `frame` in place — the
+/// allocation-free form of [`append`] for buffer-reuse loops such as the
+/// netsim batch engine, which seals thousands of frames per burst without
+/// a per-frame `Vec`.
+pub fn append_in_place(crc: &Crc, frame: &mut Vec<u8>) {
+    let width_bytes = fcs_len(crc);
+    let fcs = crc.checksum(frame);
+    if crc.params().refout {
+        frame.extend_from_slice(&fcs.to_le_bytes()[..width_bytes]);
+    } else {
+        frame.extend_from_slice(&fcs.to_be_bytes()[8 - width_bytes..]);
+    }
 }
 
 /// Splits a codeword into `(message, received_fcs)` and recomputes the CRC.

@@ -1,16 +1,72 @@
 //! Bit-error channel models.
+//!
+//! Channels are **batch-first**: the sharded simulator corrupts frames in
+//! bursts through [`Channel::corrupt_batch`], and spawns one independent
+//! channel per shard with [`Channel::fork`] so results are a pure function
+//! of `(seed, shard index)` — identical no matter how many worker threads
+//! process the shards.
 
 use rand::Rng;
 use rand::SeedableRng;
 
 /// A channel that corrupts frames in place, reporting how many bits it
 /// flipped.
-pub trait Channel {
+///
+/// Implementations must be `Send + Sync` so a prototype channel can be
+/// shared across the simulator's worker threads, each of which [`fork`]s
+/// its own deterministic instance per shard.
+///
+/// [`fork`]: Channel::fork
+pub trait Channel: Send + Sync {
     /// Corrupts `frame`, returning the number of flipped bits.
     fn corrupt(&mut self, frame: &mut [u8]) -> u32;
 
-    /// Reseeds the channel's randomness for reproducible experiments.
+    /// Reseeds the channel's randomness — and resets any channel state
+    /// (e.g. a Markov chain's current state) — for reproducible
+    /// experiments: after `reseed(s)` the corruption stream is a pure
+    /// function of `s`.
     fn reseed(&mut self, seed: u64);
+
+    /// Returns an independent copy of this channel reseeded with `seed`,
+    /// ignoring the prototype's accumulated RNG state.
+    ///
+    /// This is the simulator's seed-splitting primitive: shard `i` runs on
+    /// `channel.fork(shard_seed(cfg.seed, i, ..))`, so the corruption each
+    /// shard applies depends only on the configuration, never on which
+    /// thread happens to process it.
+    fn fork(&self, seed: u64) -> Box<dyn Channel>;
+
+    /// Returns `true` when this channel's corruption is a
+    /// **content-independent XOR delta**: the set of flipped bit positions
+    /// never depends on the bytes of the frame, only on the channel's own
+    /// randomness and the frame *length*.
+    ///
+    /// Every model in this module has that property, and it is what lets
+    /// the simulator corrupt an all-zero delta frame first and skip CRC
+    /// work entirely for frames the channel leaves untouched: because the
+    /// CRC is linear, `verify(frame ⊕ δ)` depends on the payload and `δ`
+    /// in a way that composing the delta afterwards reproduces exactly.
+    /// Channels that inspect frame content (e.g. a jammer targeting sync
+    /// words) must keep the default `false`, which routes them through
+    /// the eager encode→corrupt→verify path.
+    fn content_independent(&self) -> bool {
+        false
+    }
+
+    /// Corrupts a burst of frames, recording per-frame flip counts into
+    /// `flips` (cleared and resized to `frames.len()`).
+    ///
+    /// The default implementation applies [`Channel::corrupt`] frame by
+    /// frame, preserving any cross-frame state evolution (as for the
+    /// Gilbert–Elliott chain). Channels may override it with a faster
+    /// batch path as long as the *distribution* of corruptions is
+    /// unchanged; [`BscChannel`] carries its geometric skip across frame
+    /// boundaries, which is exact for a memoryless channel and skips the
+    /// per-frame overshoot draw.
+    fn corrupt_batch(&mut self, frames: &mut [Vec<u8>], flips: &mut Vec<u32>) {
+        flips.clear();
+        flips.extend(frames.iter_mut().map(|frame| self.corrupt(frame)));
+    }
 }
 
 /// The memoryless binary symmetric channel: every bit flips independently
@@ -52,6 +108,10 @@ impl BscChannel {
 }
 
 impl Channel for BscChannel {
+    fn content_independent(&self) -> bool {
+        true
+    }
+
     fn corrupt(&mut self, frame: &mut [u8]) -> u32 {
         if self.ber == 0.0 {
             return 0;
@@ -72,6 +132,37 @@ impl Channel for BscChannel {
 
     fn reseed(&mut self, seed: u64) {
         self.rng = rand::rngs::StdRng::seed_from_u64(seed);
+    }
+
+    fn fork(&self, seed: u64) -> Box<dyn Channel> {
+        let mut ch = self.clone();
+        ch.reseed(seed);
+        Box::new(ch)
+    }
+
+    fn corrupt_batch(&mut self, frames: &mut [Vec<u8>], flips: &mut Vec<u32>) {
+        flips.clear();
+        flips.resize(frames.len(), 0);
+        if self.ber == 0.0 {
+            return;
+        }
+        // One geometric stream across the whole burst: because the BSC is
+        // memoryless, carrying the overshoot of the last gap into the next
+        // frame is exact, and at low BER a single draw skips many clean
+        // frames — the main RNG saving of the batch path.
+        let mut idx = 0;
+        let mut pos = next_gap(&mut self.rng, self.ber);
+        while idx < frames.len() {
+            let nbits = frames[idx].len() as u64 * 8;
+            if pos >= nbits {
+                pos -= nbits;
+                idx += 1;
+                continue;
+            }
+            frames[idx][(pos / 8) as usize] ^= 1 << (pos % 8);
+            flips[idx] += 1;
+            pos += 1 + next_gap(&mut self.rng, self.ber);
+        }
     }
 }
 
@@ -117,6 +208,10 @@ impl BurstChannel {
 }
 
 impl Channel for BurstChannel {
+    fn content_independent(&self) -> bool {
+        true
+    }
+
     fn corrupt(&mut self, frame: &mut [u8]) -> u32 {
         let nbits = frame.len() as u64 * 8;
         if nbits == 0 {
@@ -144,6 +239,12 @@ impl Channel for BurstChannel {
 
     fn reseed(&mut self, seed: u64) {
         self.rng = rand::rngs::StdRng::seed_from_u64(seed);
+    }
+
+    fn fork(&self, seed: u64) -> Box<dyn Channel> {
+        let mut ch = self.clone();
+        ch.reseed(seed);
+        Box::new(ch)
     }
 }
 
@@ -203,6 +304,10 @@ impl GilbertElliottChannel {
 }
 
 impl Channel for GilbertElliottChannel {
+    fn content_independent(&self) -> bool {
+        true
+    }
+
     fn corrupt(&mut self, frame: &mut [u8]) -> u32 {
         let mut flipped = 0;
         for byte in frame.iter_mut() {
@@ -226,7 +331,84 @@ impl Channel for GilbertElliottChannel {
     }
 
     fn reseed(&mut self, seed: u64) {
+        // Reset the Markov state too: reproducibility demands the whole
+        // corruption stream be a function of the seed alone.
+        self.in_bad = false;
         self.rng = rand::rngs::StdRng::seed_from_u64(seed);
+    }
+
+    fn fork(&self, seed: u64) -> Box<dyn Channel> {
+        let mut ch = self.clone();
+        ch.reseed(seed);
+        Box::new(ch)
+    }
+}
+
+/// A directed-error channel that flips exactly `weight` distinct random
+/// bit positions per frame — the empirical probe of the paper's
+/// `Wₖ / C(n+r, k)` undetected fraction, packaged as a [`Channel`] so
+/// weighted trials ride the same sharded simulator as random traffic.
+#[derive(Debug, Clone)]
+pub struct FixedWeightChannel {
+    weight: u32,
+    rng: rand::rngs::StdRng,
+    scratch: Vec<u64>,
+}
+
+impl FixedWeightChannel {
+    /// Creates a channel flipping exactly `weight` bits per frame (≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is 0.
+    pub fn new(weight: u32) -> FixedWeightChannel {
+        assert!(weight >= 1, "weight must be at least 1");
+        FixedWeightChannel {
+            weight,
+            rng: rand::rngs::StdRng::seed_from_u64(0x3162),
+            scratch: Vec::with_capacity(weight as usize),
+        }
+    }
+
+    /// The number of bits flipped per frame.
+    pub fn weight(&self) -> u32 {
+        self.weight
+    }
+}
+
+impl Channel for FixedWeightChannel {
+    fn content_independent(&self) -> bool {
+        true
+    }
+
+    fn corrupt(&mut self, frame: &mut [u8]) -> u32 {
+        let nbits = frame.len() as u64 * 8;
+        assert!(
+            self.weight as u64 <= nbits,
+            "frame of {nbits} bits cannot hold {} distinct flips",
+            self.weight
+        );
+        self.scratch.clear();
+        while self.scratch.len() < self.weight as usize {
+            let p = self.rng.gen_range(0..nbits);
+            if !self.scratch.contains(&p) {
+                self.scratch.push(p);
+            }
+        }
+        for &p in &self.scratch {
+            frame[(p / 8) as usize] ^= 1 << (p % 8);
+        }
+        self.weight
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.rng = rand::rngs::StdRng::seed_from_u64(seed);
+    }
+
+    fn fork(&self, seed: u64) -> Box<dyn Channel> {
+        let mut ch = self.clone();
+        ch.reseed(seed);
+        Box::new(ch)
     }
 }
 
@@ -261,6 +443,36 @@ mod tests {
     }
 
     #[test]
+    fn bsc_batch_extremes_match_sequential() {
+        let mut ch = BscChannel::new(1.0);
+        let mut frames = vec![vec![0u8; 16], vec![0u8; 3]];
+        let mut flips = Vec::new();
+        ch.corrupt_batch(&mut frames, &mut flips);
+        assert_eq!(flips, vec![128, 24]);
+        assert!(frames.iter().flatten().all(|&b| b == 0xFF));
+
+        let mut zero = BscChannel::new(0.0);
+        zero.corrupt_batch(&mut frames, &mut flips);
+        assert_eq!(flips, vec![0, 0]);
+    }
+
+    #[test]
+    fn bsc_batch_flip_count_tracks_ber() {
+        let mut ch = BscChannel::new(0.01);
+        ch.reseed(42);
+        let mut total = 0u64;
+        let bursts = 4;
+        let mut flips = Vec::new();
+        for _ in 0..bursts {
+            let mut frames = vec![vec![0u8; 125]; 100]; // 1000 bits each
+            ch.corrupt_batch(&mut frames, &mut flips);
+            total += flips.iter().map(|&f| f as u64).sum::<u64>();
+        }
+        let mean = total as f64 / (bursts * 100) as f64;
+        assert!((8.0..12.0).contains(&mean), "mean flips {mean}");
+    }
+
+    #[test]
     #[should_panic(expected = "BER must be in")]
     fn bsc_rejects_bad_ber() {
         let _ = BscChannel::new(1.5);
@@ -279,6 +491,37 @@ mod tests {
     }
 
     #[test]
+    fn forks_are_independent_and_deterministic() {
+        let mut proto = BscChannel::new(0.05);
+        // Disturb the prototype's RNG: forks must not care.
+        let mut junk = vec![0u8; 256];
+        proto.corrupt(&mut junk);
+        let mut a = proto.fork(123);
+        let mut b = BscChannel::new(0.05).fork(123);
+        let mut fa = vec![0u8; 64];
+        let mut fb = vec![0u8; 64];
+        a.corrupt(&mut fa);
+        b.corrupt(&mut fb);
+        assert_eq!(fa, fb, "fork output is a function of the fork seed only");
+    }
+
+    #[test]
+    fn ge_fork_resets_markov_state() {
+        // Drive the prototype hard so it is almost surely in the bad state,
+        // then check a fork reproduces a fresh channel bit-for-bit.
+        let mut proto = GilbertElliottChannel::new(0.9, 0.0, 0.0, 1.0);
+        let mut junk = vec![0u8; 64];
+        proto.corrupt(&mut junk);
+        let mut forked = proto.fork(7);
+        let mut fresh = GilbertElliottChannel::new(0.9, 0.0, 0.0, 1.0).fork(7);
+        let mut fa = vec![0u8; 64];
+        let mut fb = vec![0u8; 64];
+        forked.corrupt(&mut fa);
+        fresh.corrupt(&mut fb);
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
     fn burst_stays_within_span() {
         let mut ch = BurstChannel::new(32);
         ch.reseed(3);
@@ -293,6 +536,26 @@ mod tests {
             let span = positions.last().unwrap() - positions.first().unwrap() + 1;
             assert!(span <= 32, "burst spanned {span} bits");
         }
+    }
+
+    #[test]
+    fn fixed_weight_flips_exactly_k() {
+        let mut ch = FixedWeightChannel::new(5);
+        ch.reseed(11);
+        for _ in 0..100 {
+            let mut frame = vec![0u8; 32];
+            assert_eq!(ch.corrupt(&mut frame), 5);
+            let ones: u32 = frame.iter().map(|b| b.count_ones()).sum();
+            assert_eq!(ones, 5, "exactly k distinct positions flipped");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn fixed_weight_rejects_short_frames() {
+        let mut ch = FixedWeightChannel::new(9);
+        let mut frame = vec![0u8; 1];
+        ch.corrupt(&mut frame);
     }
 
     #[test]

@@ -50,6 +50,22 @@ impl FrameCodec {
         fcs::append(&self.crc, payload)
     }
 
+    /// Seals a payload already sitting in `frame` by appending its FCS in
+    /// place — the allocation-free encode the batch engine uses when
+    /// reusing frame buffers across bursts.
+    ///
+    /// ```
+    /// use netsim::frame::FrameCodec;
+    /// use crckit::catalog;
+    /// let codec = FrameCodec::new(catalog::CRC32_ISO_HDLC);
+    /// let mut frame = b"hello ethernet".to_vec();
+    /// codec.seal(&mut frame);
+    /// assert_eq!(frame, codec.encode(b"hello ethernet"));
+    /// ```
+    pub fn seal(&self, frame: &mut Vec<u8>) {
+        fcs::append_in_place(&self.crc, frame);
+    }
+
     /// Verifies a received frame; `true` means the FCS matches.
     pub fn verify(&self, frame: &[u8]) -> bool {
         fcs::verify(&self.crc, frame).unwrap_or(false)

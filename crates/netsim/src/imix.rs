@@ -5,10 +5,18 @@
 //! plus full-MTU frames (§3, Figure 1's marked lengths). This module
 //! models that mix explicitly so experiments can report error-detection
 //! behavior per packet class instead of a single frame size.
+//!
+//! Mixed-traffic runs ride the same sharded engine as fixed-size trials:
+//! [`Simulator::run_mix`] partitions the run into shards, draws classes
+//! and payloads from per-shard RNG streams, and merges per-class tallies
+//! with exact sums — deterministic for any worker thread count.
 
 use crate::channel::Channel;
 use crate::frame::FrameCodec;
-use crate::montecarlo::TrialStats;
+use crate::montecarlo::{
+    run_shard_bursts, shard_seed, BurstScratch, Merge, Simulator, TrialStats, STREAM_CHANNEL,
+    STREAM_PAYLOAD,
+};
 use rand::{Rng, SeedableRng};
 
 /// One packet class in a traffic mix: payload size and relative weight.
@@ -87,7 +95,7 @@ impl TrafficMix {
 }
 
 /// Per-class tallies from a mixed-traffic run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct MixStats {
     /// One tally per packet class, in mix order.
     pub per_class: Vec<(PacketClass, TrialStats)>,
@@ -98,16 +106,108 @@ impl MixStats {
     pub fn total(&self) -> TrialStats {
         let mut out = TrialStats::default();
         for (_, s) in &self.per_class {
-            out.clean += s.clean;
-            out.detected += s.detected;
-            out.undetected += s.undetected;
-            out.bits_flipped += s.bits_flipped;
+            out.merge(s);
         }
         out
     }
+
+    /// Accumulates another per-class tally (from another shard of the
+    /// same mix) into this one. An empty `MixStats` (the [`Default`])
+    /// merges as the identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both sides are non-empty with different class lists.
+    pub fn merge(&mut self, other: &MixStats) {
+        if self.per_class.is_empty() {
+            self.per_class = other.per_class.clone();
+            return;
+        }
+        if other.per_class.is_empty() {
+            return;
+        }
+        assert_eq!(
+            self.per_class.len(),
+            other.per_class.len(),
+            "cannot merge tallies of different mixes"
+        );
+        for ((class, stats), (other_class, other_stats)) in
+            self.per_class.iter_mut().zip(&other.per_class)
+        {
+            assert_eq!(
+                class, other_class,
+                "cannot merge tallies of different mixes"
+            );
+            stats.merge(other_stats);
+        }
+    }
 }
 
-/// Pushes `trials` mixed-size frames through a channel, tallying per class.
+impl Merge for MixStats {
+    fn merge_from(&mut self, other: MixStats) {
+        self.merge(&other);
+    }
+}
+
+impl Simulator {
+    /// Pushes mixed-size frames through forks of `channel`, tallying per
+    /// class — the sharded, batch-driven form of [`run_mix`].
+    pub fn run_mix(
+        &self,
+        codec: &FrameCodec,
+        channel: &dyn Channel,
+        mix: &TrafficMix,
+        trials: u64,
+        seed: u64,
+    ) -> MixStats {
+        let batch = Simulator::DEFAULT_BATCH;
+        let stats = self.run_sharded(trials, || {
+            let mut scratch = BurstScratch::new(batch);
+            move |shard, count| {
+                let mut rng =
+                    rand::rngs::StdRng::seed_from_u64(shard_seed(seed, shard, STREAM_PAYLOAD));
+                let mut ch = channel.fork(shard_seed(seed, shard, STREAM_CHANNEL));
+                let mut per_class: Vec<(PacketClass, TrialStats)> = mix
+                    .classes
+                    .iter()
+                    .map(|&c| (c, TrialStats::default()))
+                    .collect();
+                // The class index rides the burst driver's frame tag, so
+                // the plan and sink closures need no shared buffer.
+                run_shard_bursts(
+                    codec,
+                    ch.as_mut(),
+                    &mut rng,
+                    count,
+                    &mut scratch,
+                    |rng| {
+                        let class = mix.draw(rng);
+                        (mix.classes[class].payload_len, class)
+                    },
+                    |class, flips, verdict| per_class[class].1.tally_frame(flips, verdict),
+                );
+                MixStats { per_class }
+            }
+        });
+        // A zero-trial run never touched a shard: report empty classes.
+        if stats.per_class.is_empty() && trials == 0 {
+            return MixStats {
+                per_class: mix
+                    .classes
+                    .iter()
+                    .map(|&c| (c, TrialStats::default()))
+                    .collect(),
+            };
+        }
+        stats
+    }
+}
+
+/// Pushes `trials` mixed-size frames through a channel, tallying per
+/// class. Convenience wrapper over [`Simulator::run_mix`] with default
+/// sharding and all available cores; like [`crate::run_trials`], the
+/// channel argument is only the fork prototype — its current RNG state
+/// is ignored and left untouched.
 pub fn run_mix(
     codec: &FrameCodec,
     channel: &mut dyn Channel,
@@ -115,38 +215,13 @@ pub fn run_mix(
     trials: u64,
     seed: u64,
 ) -> MixStats {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    channel.reseed(seed ^ 0x1313_5717_1923_2931);
-    let mut per_class: Vec<(PacketClass, TrialStats)> = mix
-        .classes
-        .iter()
-        .map(|&c| (c, TrialStats::default()))
-        .collect();
-    let max_len = mix.classes.iter().map(|c| c.payload_len).max().unwrap_or(0);
-    let mut payload = vec![0u8; max_len];
-    for _ in 0..trials {
-        let idx = mix.draw(&mut rng);
-        let len = per_class[idx].0.payload_len;
-        rng.fill(&mut payload[..len]);
-        let mut frame = codec.encode(&payload[..len]);
-        let flips = channel.corrupt(&mut frame);
-        let stats = &mut per_class[idx].1;
-        stats.bits_flipped += flips as u64;
-        if flips == 0 {
-            stats.clean += 1;
-        } else if codec.verify(&frame) {
-            stats.undetected += 1;
-        } else {
-            stats.detected += 1;
-        }
-    }
-    MixStats { per_class }
+    Simulator::new().run_mix(codec, &*channel, mix, trials, seed)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::channel::BscChannel;
+    use crate::channel::{BscChannel, GilbertElliottChannel};
     use crckit::catalog;
 
     #[test]
@@ -183,17 +258,46 @@ mod tests {
         let mix = TrafficMix::simple_imix();
         let stats = run_mix(&codec, &mut ch, &mix, 6_000, 77);
         let total = stats.total();
-        assert_eq!(total.clean + total.detected + total.undetected, 6_000);
+        assert_eq!(total.total(), 6_000);
         assert_eq!(total.undetected, 0);
         // Larger frames are corrupted more often.
-        let rate = |s: &TrialStats| {
-            s.detected as f64 / (s.clean + s.detected + s.undetected).max(1) as f64
-        };
+        let rate = |s: &TrialStats| s.detected as f64 / s.total().max(1) as f64;
         let ack = rate(&stats.per_class[0].1);
         let mtu = rate(&stats.per_class[2].1);
         assert!(
             mtu > ack,
             "MTU frames must see more corruption ({mtu} vs {ack})"
         );
+    }
+
+    #[test]
+    fn mix_stats_are_identical_across_thread_counts() {
+        let codec = FrameCodec::new(catalog::CRC32_ISCSI);
+        let mix = TrafficMix::simple_imix();
+        let ch = GilbertElliottChannel::new(1e-4, 1e-2, 1e-7, 1e-2);
+        let one = Simulator::new()
+            .threads(1)
+            .run_mix(&codec, &ch, &mix, 4_000, 5);
+        let four = Simulator::new()
+            .threads(4)
+            .run_mix(&codec, &ch, &mix, 4_000, 5);
+        assert_eq!(one.per_class.len(), four.per_class.len());
+        for ((ca, sa), (cb, sb)) in one.per_class.iter().zip(&four.per_class) {
+            assert_eq!(ca, cb);
+            assert_eq!(sa, sb, "per-class divergence for {}", ca.label);
+        }
+    }
+
+    #[test]
+    fn mix_merge_identity_and_sums() {
+        let codec = FrameCodec::new(catalog::CRC32_ISO_HDLC);
+        let mix = TrafficMix::simple_imix();
+        let ch = BscChannel::new(1e-3);
+        let sim = Simulator::new().threads(1);
+        let run = sim.run_mix(&codec, &ch, &mix, 2_000, 9);
+        let mut acc = MixStats::default();
+        acc.merge(&run);
+        acc.merge(&run);
+        assert_eq!(acc.total().total(), 2 * run.total().total());
     }
 }

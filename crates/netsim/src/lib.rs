@@ -6,28 +6,69 @@
 //! crate provides that context as an executable substrate:
 //!
 //! * [`channel`] — bit-error models: the memoryless binary symmetric
-//!   channel, fixed-span burst errors, and a two-state Gilbert–Elliott
-//!   model for bursty Internet-like links.
+//!   channel, fixed-span burst errors, a two-state Gilbert–Elliott model
+//!   for bursty Internet-like links, and a fixed-weight directed-error
+//!   channel. All are batch-first ([`Channel::corrupt_batch`]) and
+//!   forkable ([`Channel::fork`]) for the sharded engine.
 //! * [`frame`] — Ethernet-like framing and iSCSI-like PDUs (separate
-//!   header and data digests) over any `crckit` algorithm.
-//! * [`montecarlo`] — trial harnesses measuring detected/undetected
-//!   corruption rates, with directed injection of known-undetectable
-//!   patterns (multiples of the generator) to exercise the blind spots
-//!   the paper's weight analysis predicts.
+//!   header and data digests) over any `crckit` algorithm, with in-place
+//!   sealing and batch verification feeding the CLMUL engine contiguous
+//!   work.
+//! * [`montecarlo`] — the sharded, batch-driven [`Simulator`] measuring
+//!   detected/undetected corruption rates (with Wilson confidence
+//!   intervals), plus directed injection of known-undetectable patterns
+//!   (multiples of the generator) to exercise the blind spots the paper's
+//!   weight analysis predicts.
+//! * [`imix`] — mixed-size Internet traffic workloads on the same engine.
+//!
+//! # The sharded architecture
+//!
+//! A run of `trials` frames is split into fixed-size shards (default
+//! [`Simulator::DEFAULT_SHARD_FRAMES`] = 1024 frames; the tail shard may
+//! be short). Worker threads — one per core by default — claim shard
+//! indices from an atomic counter, so scheduling is dynamic, but the
+//! *work* inside shard `i` is a pure function of the configuration:
+//!
+//! * the payload RNG is seeded with [`montecarlo::shard_seed`]
+//!   `(cfg.seed, i, 0)`;
+//! * the channel is [`Channel::fork`]ed with `shard_seed(cfg.seed, i, 1)`,
+//!   which resets all channel state (RNG *and* e.g. the Gilbert–Elliott
+//!   Markov state);
+//! * tallies merge by exact integer sums ([`TrialStats::merge`]),
+//!   commutative and associative.
+//!
+//! Same seed ⇒ bit-identical [`TrialStats`] at 1 thread or 64. Within a
+//! shard, frames are processed in bursts of [`Simulator::DEFAULT_BATCH`]
+//! (256): payloads are filled and sealed in place in reused buffers
+//! ([`FrameCodec::seal`]), corrupted in one [`Channel::corrupt_batch`]
+//! call (the BSC carries its geometric skip across frame boundaries —
+//! exact for a memoryless channel and far fewer RNG draws at low BER),
+//! and the corrupted subset is verified in one
+//! [`FrameCodec::verify_batch`] call.
+//!
+//! # Reproducing a CI simulation run locally
+//!
+//! CI's `sim-determinism` job runs
+//! `cargo run --release -p crc-experiments --bin sim_determinism -- --threads T --out out.json`
+//! at `T = 1` and `T = 4` and requires byte-identical JSON. To reproduce
+//! any of its scenarios, build the same `Simulator` (the defaults —
+//! `DEFAULT_SHARD_FRAMES` and any thread count — match CI) with the seed
+//! printed in the JSON; per-shard streams derive from
+//! [`montecarlo::shard_seed`] as described above, so even a single shard
+//! can be replayed in isolation.
 //!
 //! # Quick start
 //!
 //! ```
 //! use netsim::channel::BscChannel;
 //! use netsim::frame::FrameCodec;
-//! use netsim::montecarlo::{run_trials, TrialConfig};
+//! use netsim::montecarlo::{Simulator, TrialConfig};
 //! use crckit::catalog;
 //!
 //! let codec = FrameCodec::new(catalog::CRC32_ISCSI);
-//! let mut channel = BscChannel::new(1e-3);
-//! let stats = run_trials(
+//! let stats = Simulator::new().run(
 //!     &codec,
-//!     &mut channel,
+//!     &BscChannel::new(1e-3),
 //!     &TrialConfig { payload_len: 256, trials: 200, seed: 7 },
 //! );
 //! assert_eq!(stats.total(), 200);
@@ -43,6 +84,6 @@ pub mod frame;
 pub mod imix;
 pub mod montecarlo;
 
-pub use channel::{BscChannel, BurstChannel, Channel, GilbertElliottChannel};
+pub use channel::{BscChannel, BurstChannel, Channel, FixedWeightChannel, GilbertElliottChannel};
 pub use frame::FrameCodec;
-pub use montecarlo::{run_trials, TrialConfig, TrialStats};
+pub use montecarlo::{run_trials, Simulator, TrialConfig, TrialStats};

@@ -2,21 +2,37 @@
 //!
 //! Two complementary modes validate the weight analysis of `crc-hd`:
 //!
-//! * **Random trials** ([`run_trials`], [`run_weighted_trials`]) measure
-//!   detected/undetected rates under a channel model. Undetected events
-//!   are astronomically rare for 32-bit CRCs (≈2⁻³² of corruptions), so
-//!   statistical validation uses small widths where the rate is
-//!   measurable (≈2⁻⁸ for CRC-8), exactly like the paper's 8/16-bit
-//!   validation searches.
+//! * **Random trials** ([`run_trials`], [`run_weighted_trials`], or the
+//!   underlying [`Simulator`]) measure detected/undetected rates under a
+//!   channel model. Undetected events are astronomically rare for 32-bit
+//!   CRCs (≈2⁻³² of corruptions), so statistical validation uses small
+//!   widths where the rate is measurable (≈2⁻⁸ for CRC-8), exactly like
+//!   the paper's 8/16-bit validation searches.
 //! * **Directed injection** ([`inject_undetectable`]) XORs a *known
 //!   codeword* (a multiple of the generator) onto a frame, demonstrating
 //!   the blind spots the weight analysis predicts — without waiting 2³²
 //!   trials for one to occur naturally.
+//!
+//! # The sharded engine
+//!
+//! [`Simulator`] partitions a run into fixed-size **shards** (default
+//! [`Simulator::DEFAULT_SHARD_FRAMES`] frames). Shard `i` derives its
+//! payload RNG and its [`Channel::fork`] seed from
+//! [`shard_seed`]`(cfg.seed, i, stream)`, so the work inside a shard is a
+//! pure function of the configuration. Worker threads claim shard indices
+//! from an atomic counter and merge [`TrialStats`] with exact integer
+//! sums — commutative, so the tally is **bit-identical for any thread
+//! count**. Within a shard, frames are processed in bursts of
+//! [`Simulator::DEFAULT_BATCH`]: payloads are filled and sealed in place
+//! (no per-frame allocation), corrupted through
+//! [`Channel::corrupt_batch`], and verified through
+//! [`FrameCodec::verify_batch`] so the CLMUL engine sees contiguous work.
 
-use crate::channel::Channel;
+use crate::channel::{Channel, FixedWeightChannel};
 use crate::frame::FrameCodec;
 use crckit::CrcParams;
 use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Configuration for a Monte-Carlo run.
 #[derive(Debug, Clone, Copy)]
@@ -48,43 +64,449 @@ impl TrialStats {
         self.clean + self.detected + self.undetected
     }
 
+    /// Frames the channel corrupted (detected or not).
+    pub fn corrupted(&self) -> u64 {
+        self.detected + self.undetected
+    }
+
+    /// Accumulates another tally into this one — exact integer sums, so
+    /// merging is commutative and associative: shard results can be
+    /// combined in any order with an identical outcome.
+    pub fn merge(&mut self, other: &TrialStats) {
+        self.clean += other.clean;
+        self.detected += other.detected;
+        self.undetected += other.undetected;
+        self.bits_flipped += other.bits_flipped;
+    }
+
+    /// Folds one frame's outcome into the tally: `verdict` is `None` for
+    /// an untouched frame, otherwise whether the corrupted frame still
+    /// verified (an undetected error).
+    pub(crate) fn tally_frame(&mut self, flips: u32, verdict: Option<bool>) {
+        self.bits_flipped += flips as u64;
+        match verdict {
+            None => self.clean += 1,
+            Some(true) => self.undetected += 1,
+            Some(false) => self.detected += 1,
+        }
+    }
+
     /// Undetected fraction among corrupted frames (`None` if nothing was
     /// corrupted).
     pub fn undetected_rate(&self) -> Option<f64> {
-        let corrupted = self.detected + self.undetected;
+        let corrupted = self.corrupted();
         if corrupted == 0 {
             None
         } else {
             Some(self.undetected as f64 / corrupted as f64)
         }
     }
+
+    /// Wilson score interval for the undetected rate at critical value
+    /// `z` (`None` if nothing was corrupted).
+    ///
+    /// Unlike the normal approximation, Wilson stays inside `[0, 1]` and
+    /// gives a meaningful upper bound even when zero undetected events
+    /// were observed — the usual situation for 32-bit CRCs, where the
+    /// interesting number is "how small a rate have the trials excluded".
+    pub fn undetected_wilson(&self, z: f64) -> Option<(f64, f64)> {
+        let n = self.corrupted() as f64;
+        if n == 0.0 {
+            return None;
+        }
+        let p = self.undetected as f64 / n;
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+        // Pin the degenerate endpoints: algebraically the bound is exactly
+        // 0 (or 1) there, but `center - half` leaves float residue.
+        let lo = if self.undetected == 0 {
+            0.0
+        } else {
+            (center - half).max(0.0)
+        };
+        let hi = if self.undetected == self.corrupted() {
+            1.0
+        } else {
+            (center + half).min(1.0)
+        };
+        Some((lo, hi))
+    }
+
+    /// The 95% Wilson interval ([`TrialStats::undetected_wilson`] at
+    /// z = 1.96).
+    pub fn undetected_ci95(&self) -> Option<(f64, f64)> {
+        self.undetected_wilson(1.959_963_984_540_054)
+    }
+}
+
+/// Derives the deterministic seed for one shard of a run.
+///
+/// `stream` separates independent random streams inside the same shard
+/// (stream 0 drives payload generation, stream 1 the channel fork); the
+/// SplitMix64 finalizer decorrelates the structured inputs. This function
+/// is the whole seeding scheme: any shard of any CI run can be reproduced
+/// locally from `(seed, shard, stream)` alone.
+pub fn shard_seed(seed: u64, shard: u64, stream: u64) -> u64 {
+    let mut z = seed
+        ^ shard.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ stream.wrapping_mul(0xA076_1D64_78BD_642F);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Random stream index for payload generation within a shard.
+pub(crate) const STREAM_PAYLOAD: u64 = 0;
+/// Random stream index for the channel fork within a shard.
+pub(crate) const STREAM_CHANNEL: u64 = 1;
+
+/// The sharded, batch-driven trial engine.
+///
+/// ```
+/// use netsim::channel::BscChannel;
+/// use netsim::frame::FrameCodec;
+/// use netsim::montecarlo::{Simulator, TrialConfig};
+/// use crckit::catalog;
+///
+/// let codec = FrameCodec::new(catalog::CRC32_ISCSI);
+/// let cfg = TrialConfig { payload_len: 256, trials: 4_000, seed: 7 };
+/// let one = Simulator::new().threads(1).run(&codec, &BscChannel::new(1e-3), &cfg);
+/// let four = Simulator::new().threads(4).run(&codec, &BscChannel::new(1e-3), &cfg);
+/// assert_eq!(one, four); // same seed => identical stats, any thread count
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    threads: usize,
+    batch: usize,
+    shard_frames: u64,
+}
+
+impl Default for Simulator {
+    fn default() -> Simulator {
+        Simulator::new()
+    }
+}
+
+impl Simulator {
+    /// Frames per burst fed through `corrupt_batch`/`verify_batch`.
+    pub const DEFAULT_BATCH: usize = 256;
+    /// Frames per shard — the determinism unit. Small enough that modest
+    /// runs still fan out across workers, large enough that per-shard
+    /// setup (channel fork, RNG init) is noise.
+    pub const DEFAULT_SHARD_FRAMES: u64 = 1024;
+
+    /// A simulator with default sharding that uses every available core.
+    pub fn new() -> Simulator {
+        Simulator {
+            threads: 0,
+            batch: Self::DEFAULT_BATCH,
+            shard_frames: Self::DEFAULT_SHARD_FRAMES,
+        }
+    }
+
+    /// Sets the worker thread count (0 = one per available core).
+    ///
+    /// Thread count affects wall-clock only, never results: shards are
+    /// claimed dynamically but their contents depend only on the seed.
+    pub fn threads(mut self, threads: usize) -> Simulator {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the burst size (frames encoded/corrupted/verified together).
+    ///
+    /// Like [`Simulator::shard_frames`], this is part of the random-stream
+    /// layout for channels whose `corrupt_batch` override spans frame
+    /// boundaries (e.g. [`BscChannel`]): exact tallies are reproducible at
+    /// equal `batch`; the distribution is identical at any `batch`.
+    pub fn batch(mut self, batch: usize) -> Simulator {
+        assert!(batch >= 1, "batch must be at least 1");
+        self.batch = batch;
+        self
+    }
+
+    /// Sets the shard size in frames.
+    ///
+    /// Changing this changes which RNG stream each frame draws from, so
+    /// runs are only comparable bit-for-bit at equal `shard_frames`.
+    pub fn shard_frames(mut self, shard_frames: u64) -> Simulator {
+        assert!(shard_frames >= 1, "shard_frames must be at least 1");
+        self.shard_frames = shard_frames;
+        self
+    }
+
+    /// The resolved worker count for a run of `shards` shards.
+    fn worker_count(&self, shards: u64) -> usize {
+        let auto = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let requested = if self.threads == 0 {
+            auto
+        } else {
+            self.threads
+        };
+        requested.clamp(1, shards.max(1) as usize)
+    }
+
+    /// Shard-pool driver: claims shard indices from an atomic counter,
+    /// runs `make_worker()`'s closure on each, and merges the partial
+    /// tallies. `make_worker` is called once per worker so burst scratch
+    /// buffers are reused across that worker's shards.
+    pub(crate) fn run_sharded<S, G, F>(&self, trials: u64, make_worker: G) -> S
+    where
+        S: Default + Send + Merge,
+        G: Fn() -> F + Sync,
+        F: FnMut(u64, u64) -> S,
+    {
+        let shard_frames = self.shard_frames;
+        let shards = trials.div_ceil(shard_frames);
+        let shard_len = |shard: u64| shard_frames.min(trials - shard * shard_frames);
+        let workers = self.worker_count(shards);
+        if workers <= 1 {
+            let mut acc = S::default();
+            let mut work = make_worker();
+            for shard in 0..shards {
+                acc.merge_from(work(shard, shard_len(shard)));
+            }
+            return acc;
+        }
+        let next = AtomicU64::new(0);
+        let partials: Vec<S> = crossbeam::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|_| {
+                        let mut local = S::default();
+                        let mut work = make_worker();
+                        loop {
+                            let shard = next.fetch_add(1, Ordering::Relaxed);
+                            if shard >= shards {
+                                break;
+                            }
+                            local.merge_from(work(shard, shard_len(shard)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("simulator worker"))
+                .collect()
+        })
+        .expect("simulator scope");
+        let mut acc = S::default();
+        for partial in partials {
+            acc.merge_from(partial);
+        }
+        acc
+    }
+
+    /// Pushes random frames through forks of `channel`, tallying CRC
+    /// verdicts. Deterministic for a given `(cfg, shard_frames)`
+    /// regardless of `threads`. Exact tallies are also reproducible at
+    /// equal `batch`; a channel whose `corrupt_batch` override carries a
+    /// random stream across frame boundaries (e.g. [`BscChannel`]'s
+    /// geometric skip) lays that stream out per burst, so a *different*
+    /// batch size can regroup it — same distribution, different draws.
+    ///
+    /// For [`Channel::content_independent`] channels the engine runs the
+    /// **delta path**: the burst is corrupted as all-zero delta frames
+    /// first, frames the channel left untouched are tallied clean with no
+    /// payload or CRC work at all, and only the corrupted minority is
+    /// filled, sealed, composed with its delta and batch-verified. CRC
+    /// linearity makes the verdict distribution identical to the eager
+    /// encode→corrupt→verify path, which content-dependent channels
+    /// still take.
+    pub fn run(&self, codec: &FrameCodec, channel: &dyn Channel, cfg: &TrialConfig) -> TrialStats {
+        let batch = self.batch;
+        self.run_sharded(cfg.trials, || {
+            let mut scratch = BurstScratch::new(batch);
+            move |shard, count| {
+                let mut rng =
+                    rand::rngs::StdRng::seed_from_u64(shard_seed(cfg.seed, shard, STREAM_PAYLOAD));
+                let mut ch = channel.fork(shard_seed(cfg.seed, shard, STREAM_CHANNEL));
+                let mut stats = TrialStats::default();
+                run_shard_bursts(
+                    codec,
+                    ch.as_mut(),
+                    &mut rng,
+                    count,
+                    &mut scratch,
+                    |_| (cfg.payload_len, 0),
+                    |_, flips, verdict| stats.tally_frame(flips, verdict),
+                );
+                stats
+            }
+        })
+    }
+
+    /// Flips exactly `k` distinct random bit positions per frame and
+    /// tallies verdicts: the empirical estimate of the paper's
+    /// `Wₖ / C(n+r, k)` undetected fraction, on the sharded engine.
+    pub fn run_weighted(
+        &self,
+        codec: &FrameCodec,
+        payload_len: usize,
+        k: u32,
+        trials: u64,
+        seed: u64,
+    ) -> TrialStats {
+        let channel = FixedWeightChannel::new(k);
+        self.run(
+            codec,
+            &channel,
+            &TrialConfig {
+                payload_len,
+                trials,
+                seed,
+            },
+        )
+    }
+}
+
+/// Reusable per-worker buffers for the burst loop.
+pub(crate) struct BurstScratch {
+    batch: usize,
+    frames: Vec<Vec<u8>>,
+    work: Vec<u8>,
+    flips: Vec<u32>,
+    tags: Vec<usize>,
+}
+
+impl BurstScratch {
+    pub(crate) fn new(batch: usize) -> BurstScratch {
+        BurstScratch {
+            batch,
+            frames: vec![Vec::new(); batch],
+            work: Vec::new(),
+            flips: Vec::new(),
+            tags: vec![0; batch],
+        }
+    }
+}
+
+/// One shard's burst loop — the single home of the delta/eager burst
+/// machinery, shared by [`Simulator::run`] and [`Simulator::run_mix`].
+///
+/// `frame_plan(rng)` fixes the next frame's payload length before
+/// corruption, drawing any per-frame randomness (e.g. a traffic-mix
+/// class) and returning `(payload_len, tag)`; the opaque `tag` is handed
+/// back to `sink` so callers can tally per class without sharing a
+/// buffer across the two closures. `sink(tag, flips, verdict)` is called
+/// once per frame, with `verdict = None` for frames the channel left
+/// untouched.
+pub(crate) fn run_shard_bursts(
+    codec: &FrameCodec,
+    ch: &mut dyn Channel,
+    rng: &mut rand::rngs::StdRng,
+    count: u64,
+    scratch: &mut BurstScratch,
+    mut frame_plan: impl FnMut(&mut rand::rngs::StdRng) -> (usize, usize),
+    mut sink: impl FnMut(usize, u32, Option<bool>),
+) {
+    let overhead = codec.overhead();
+    let lazy = ch.content_independent();
+    let BurstScratch {
+        batch,
+        frames,
+        work,
+        flips,
+        tags,
+    } = scratch;
+    let mut left = count;
+    while left > 0 {
+        let burst = (*batch as u64).min(left) as usize;
+        if lazy {
+            // Delta path: frames are kept all-zero between bursts; the
+            // channel writes its XOR delta onto them, so untouched
+            // frames cost nothing.
+            for (frame, tag) in frames[..burst].iter_mut().zip(tags.iter_mut()) {
+                let (payload_len, t) = frame_plan(rng);
+                *tag = t;
+                // Growing re-zeroes exactly the truncated bytes, so the
+                // all-zero invariant holds across length changes.
+                frame.resize(payload_len + overhead, 0);
+            }
+            ch.corrupt_batch(&mut frames[..burst], flips);
+            for (frame, &f) in frames[..burst].iter_mut().zip(flips.iter()) {
+                if f == 0 {
+                    continue;
+                }
+                // Compose a real frame under this delta: (payload ‖ FCS) ⊕ δ.
+                work.clear();
+                work.resize(frame.len() - overhead, 0);
+                rng.fill(&mut work[..]);
+                codec.seal(work);
+                for (d, w) in frame.iter_mut().zip(work.iter()) {
+                    *d ^= w;
+                }
+            }
+        } else {
+            for (frame, tag) in frames[..burst].iter_mut().zip(tags.iter_mut()) {
+                let (payload_len, t) = frame_plan(rng);
+                *tag = t;
+                frame.clear();
+                frame.resize(payload_len, 0);
+                rng.fill(&mut frame[..]);
+                codec.seal(frame);
+            }
+            ch.corrupt_batch(&mut frames[..burst], flips);
+        }
+        // Verify the corrupted subset in one contiguous batch.
+        let corrupted: Vec<&[u8]> = frames[..burst]
+            .iter()
+            .zip(flips.iter())
+            .filter(|(_, &f)| f > 0)
+            .map(|(frame, _)| frame.as_slice())
+            .collect();
+        let verdicts = codec.verify_batch(&corrupted);
+        let mut v = verdicts.iter();
+        for (&tag, &f) in tags[..burst].iter().zip(flips.iter()) {
+            let verdict = if f == 0 {
+                None
+            } else {
+                Some(*v.next().expect("one verdict per corrupted frame"))
+            };
+            sink(tag, f, verdict);
+        }
+        if lazy {
+            // Restore the all-zero invariant on dirty frames.
+            for (frame, &f) in frames[..burst].iter_mut().zip(flips.iter()) {
+                if f > 0 {
+                    frame.iter_mut().for_each(|b| *b = 0);
+                }
+            }
+        }
+        left -= burst as u64;
+    }
+}
+
+/// Mergeable partial results for the shard-pool driver.
+pub(crate) trait Merge {
+    /// Folds `other` into `self`; must be commutative and associative so
+    /// shard completion order cannot affect the merged result.
+    fn merge_from(&mut self, other: Self);
+}
+
+impl Merge for TrialStats {
+    fn merge_from(&mut self, other: TrialStats) {
+        self.merge(&other);
+    }
 }
 
 /// Pushes random frames through a channel and tallies CRC verdicts.
+///
+/// Convenience wrapper over [`Simulator::run`] with default sharding and
+/// all available cores; the channel argument is the fork prototype (its
+/// current RNG state is ignored, as [`run_trials`] has always reseeded).
 pub fn run_trials(codec: &FrameCodec, channel: &mut dyn Channel, cfg: &TrialConfig) -> TrialStats {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
-    channel.reseed(cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
-    let mut stats = TrialStats::default();
-    let mut payload = vec![0u8; cfg.payload_len];
-    for _ in 0..cfg.trials {
-        rng.fill(&mut payload[..]);
-        let mut frame = codec.encode(&payload);
-        let flips = channel.corrupt(&mut frame);
-        stats.bits_flipped += flips as u64;
-        if flips == 0 {
-            stats.clean += 1;
-        } else if codec.verify(&frame) {
-            stats.undetected += 1;
-        } else {
-            stats.detected += 1;
-        }
-    }
-    stats
+    Simulator::new().run(codec, &*channel, cfg)
 }
 
 /// Flips exactly `k` distinct random bit positions per frame and tallies
-/// verdicts: the empirical estimate of the paper's `Wₖ / C(n+r, k)`
-/// undetected fraction.
+/// verdicts. Convenience wrapper over [`Simulator::run_weighted`].
 pub fn run_weighted_trials(
     codec: &FrameCodec,
     payload_len: usize,
@@ -92,32 +514,7 @@ pub fn run_weighted_trials(
     trials: u64,
     seed: u64,
 ) -> TrialStats {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let mut stats = TrialStats::default();
-    let mut payload = vec![0u8; payload_len];
-    let mut positions: Vec<u64> = Vec::with_capacity(k as usize);
-    for _ in 0..trials {
-        rng.fill(&mut payload[..]);
-        let mut frame = codec.encode(&payload);
-        let nbits = frame.len() as u64 * 8;
-        positions.clear();
-        while positions.len() < k as usize {
-            let p = rng.gen_range(0..nbits);
-            if !positions.contains(&p) {
-                positions.push(p);
-            }
-        }
-        for &p in &positions {
-            frame[(p / 8) as usize] ^= 1 << (p % 8);
-        }
-        stats.bits_flipped += k as u64;
-        if codec.verify(&frame) {
-            stats.undetected += 1;
-        } else {
-            stats.detected += 1;
-        }
-    }
-    stats
+    Simulator::new().run_weighted(codec, payload_len, k, trials, seed)
 }
 
 /// Builds an undetectable error pattern for `params` sized for
@@ -179,7 +576,7 @@ pub fn inject_undetectable(frame: &mut [u8], pattern: &[u8]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::channel::{BscChannel, BurstChannel};
+    use crate::channel::{BscChannel, BurstChannel, GilbertElliottChannel};
     use crckit::catalog;
 
     #[test]
@@ -194,6 +591,7 @@ mod tests {
         let s = run_trials(&codec, &mut ch, &cfg);
         assert_eq!(s.clean, 50);
         assert_eq!(s.undetected_rate(), None);
+        assert_eq!(s.undetected_ci95(), None);
     }
 
     #[test]
@@ -227,6 +625,102 @@ mod tests {
     }
 
     #[test]
+    fn stats_are_identical_across_thread_counts() {
+        let codec = FrameCodec::new(catalog::CRC32_ISO_HDLC);
+        let cfg = TrialConfig {
+            payload_len: 300,
+            trials: 5_000,
+            seed: 0xDE7E_2717,
+        };
+        for channel in [
+            &BscChannel::new(1e-3) as &dyn Channel,
+            &BurstChannel::new(24),
+            &GilbertElliottChannel::new(1e-4, 1e-2, 1e-7, 1e-2),
+        ] {
+            let one = Simulator::new().threads(1).run(&codec, channel, &cfg);
+            let three = Simulator::new().threads(3).run(&codec, channel, &cfg);
+            let eight = Simulator::new().threads(8).run(&codec, channel, &cfg);
+            assert_eq!(one, three, "1-thread vs 3-thread divergence");
+            assert_eq!(one, eight, "1-thread vs 8-thread divergence");
+        }
+    }
+
+    #[test]
+    fn stats_are_invariant_under_batch_size() {
+        // For channels on the default per-frame corrupt_batch path (like
+        // Gilbert–Elliott), batch size only groups work and must not
+        // change the per-shard corruption sequence. (BscChannel's
+        // cross-frame override is exempt: its gap stream is laid out per
+        // burst, so it is reproducible at equal batch only.)
+        let codec = FrameCodec::new(catalog::CRC32_ISCSI);
+        let cfg = TrialConfig {
+            payload_len: 128,
+            trials: 3_000,
+            seed: 99,
+        };
+        let ch = GilbertElliottChannel::new(1e-3, 1e-2, 0.0, 0.05);
+        let small = Simulator::new().batch(7).run(&codec, &ch, &cfg);
+        let large = Simulator::new().batch(512).run(&codec, &ch, &cfg);
+        assert_eq!(small, large);
+    }
+
+    #[test]
+    fn merge_is_exact() {
+        let a = TrialStats {
+            clean: 1,
+            detected: 2,
+            undetected: 3,
+            bits_flipped: 10,
+        };
+        let mut m = TrialStats::default();
+        m.merge(&a);
+        m.merge(&a);
+        assert_eq!(
+            m,
+            TrialStats {
+                clean: 2,
+                detected: 4,
+                undetected: 6,
+                bits_flipped: 20
+            }
+        );
+        assert_eq!(m.total(), 12);
+        assert_eq!(m.corrupted(), 10);
+    }
+
+    #[test]
+    fn wilson_interval_brackets_the_rate() {
+        let s = TrialStats {
+            clean: 0,
+            detected: 900,
+            undetected: 100,
+            bits_flipped: 0,
+        };
+        let (lo, hi) = s.undetected_ci95().unwrap();
+        let p = s.undetected_rate().unwrap();
+        assert!(lo < p && p < hi, "CI [{lo}, {hi}] must bracket {p}");
+        assert!(lo > 0.08 && hi < 0.13, "CI [{lo}, {hi}] is too loose");
+        // Zero observed events still give a meaningful upper bound.
+        let none = TrialStats {
+            clean: 0,
+            detected: 10_000,
+            undetected: 0,
+            bits_flipped: 0,
+        };
+        let (lo0, hi0) = none.undetected_ci95().unwrap();
+        assert_eq!(lo0, 0.0);
+        assert!(hi0 > 0.0 && hi0 < 1e-3, "upper bound {hi0}");
+    }
+
+    #[test]
+    fn shard_seed_separates_streams_and_shards() {
+        assert_ne!(shard_seed(1, 0, 0), shard_seed(1, 0, 1));
+        assert_ne!(shard_seed(1, 0, 0), shard_seed(1, 1, 0));
+        assert_ne!(shard_seed(1, 0, 0), shard_seed(2, 0, 0));
+        assert_eq!(shard_seed(7, 3, 1), shard_seed(7, 3, 1));
+    }
+
+    #[test]
     fn crc8_undetected_rate_matches_weight_prediction() {
         // CRC-8/0x07 at a 2-byte payload: k=4 random flips go undetected
         // at rate W4 / C(24, 4). Compute the exact rate from the code
@@ -234,13 +728,17 @@ mod tests {
         let g = crc_hd_spectrum_rate();
         let codec = FrameCodec::new(catalog::CRC8_SMBUS);
         let s = run_weighted_trials(&codec, 2, 4, 60_000, 11);
-        let measured = s.undetected as f64 / s.total() as f64;
+        let measured = s.undetected_rate().unwrap_or(0.0);
+        assert_eq!(s.corrupted(), s.total(), "every weighted frame corrupts");
         // 3-sigma tolerance for 60k Bernoulli trials.
         let sigma = (g * (1.0 - g) / 60_000f64).sqrt();
         assert!(
             (measured - g).abs() < 4.0 * sigma + 1e-4,
             "measured {measured}, predicted {g}"
         );
+        // The Wilson interval agrees with the point estimate's story.
+        let (lo, hi) = s.undetected_ci95().unwrap();
+        assert!(lo <= g + 4.0 * sigma && g - 4.0 * sigma <= hi);
     }
 
     /// Exact W4/C(24,4) for CRC-8/0x07 at 16 data bits via crc-hd.

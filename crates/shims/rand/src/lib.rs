@@ -54,15 +54,20 @@ pub trait SeedableRng: Sized {
 }
 
 /// Types that can be produced uniformly at random by [`Rng::gen`].
+///
+/// Generic over the concrete generator (like upstream `rand`'s
+/// `Distribution<T>` for `Standard`): monomorphization lets the compiler
+/// inline `next_u64` into hot simulation loops, where a `dyn` indirection
+/// per draw would dominate the per-bit cost of the channel models.
 pub trait Standard: Sized {
     /// Draws a uniform value from `rng`.
-    fn draw(rng: &mut dyn RngCore) -> Self;
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
 }
 
 macro_rules! impl_standard_int {
     ($($t:ty),*) => {$(
         impl Standard for $t {
-            fn draw(rng: &mut dyn RngCore) -> $t {
+            fn draw<R: RngCore + ?Sized>(rng: &mut R) -> $t {
                 rng.next_u64() as $t
             }
         }
@@ -71,13 +76,13 @@ macro_rules! impl_standard_int {
 impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 impl Standard for bool {
-    fn draw(rng: &mut dyn RngCore) -> bool {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> bool {
         rng.next_u64() & 1 == 1
     }
 }
 
 impl Standard for f64 {
-    fn draw(rng: &mut dyn RngCore) -> f64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
         // 53 uniform mantissa bits in [0, 1).
         (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
@@ -86,13 +91,13 @@ impl Standard for f64 {
 /// Ranges accepted by [`Rng::gen_range`].
 pub trait SampleRange<T> {
     /// Draws a uniform value from the range.
-    fn sample(self, rng: &mut dyn RngCore) -> T;
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
 }
 
 macro_rules! impl_sample_range_int {
     ($($t:ty),*) => {$(
         impl SampleRange<$t> for core::ops::Range<$t> {
-            fn sample(self, rng: &mut dyn RngCore) -> $t {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "empty range in gen_range");
                 let span = (self.end as u128) - (self.start as u128);
                 // Modulo bias is below 2^-64 per draw for the span sizes the
@@ -101,7 +106,7 @@ macro_rules! impl_sample_range_int {
             }
         }
         impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
-            fn sample(self, rng: &mut dyn RngCore) -> $t {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "empty inclusive range in gen_range");
                 let span = (hi as u128) - (lo as u128) + 1;
@@ -113,7 +118,7 @@ macro_rules! impl_sample_range_int {
 impl_sample_range_int!(u8, u16, u32, u64, usize);
 
 impl SampleRange<f64> for core::ops::Range<f64> {
-    fn sample(self, rng: &mut dyn RngCore) -> f64 {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
         assert!(self.start < self.end, "empty f64 range in gen_range");
         let u = f64::draw(rng);
         let v = self.start + u * (self.end - self.start);
@@ -129,11 +134,11 @@ impl SampleRange<f64> for core::ops::Range<f64> {
 /// Slices fillable by [`Rng::fill`].
 pub trait Fill {
     /// Fills `self` with uniform random content.
-    fn fill_from(&mut self, rng: &mut dyn RngCore);
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R);
 }
 
 impl Fill for [u8] {
-    fn fill_from(&mut self, rng: &mut dyn RngCore) {
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
         rng.fill_bytes(self);
     }
 }

@@ -2,24 +2,27 @@
 //! and bursty channels, plus the small-CRC statistical validation of the
 //! weight analysis (the measurable analogue of the paper's §2 numbers).
 //!
+//! Runs on the sharded batch engine: one shard per 1024 frames, one
+//! worker per core, bit-identical results at any thread count.
+//!
 //! Run with: `cargo run --release --example ethernet_monte_carlo`
 
-use koopman_crc::crc_hd::{costmodel, spectrum, GenPoly};
+use koopman_crc::crc_hd::{costmodel, weights, GenPoly};
 use koopman_crc::crckit::catalog;
 use koopman_crc::netsim::channel::{BscChannel, GilbertElliottChannel};
 use koopman_crc::netsim::frame::FrameCodec;
-use koopman_crc::netsim::montecarlo::{run_trials, run_weighted_trials, TrialConfig};
+use koopman_crc::netsim::montecarlo::{Simulator, TrialConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Full-size frames through channels -------------------------------
+    let sim = Simulator::new(); // sharded, all cores
     let codec = FrameCodec::new(catalog::CRC32_ISO_HDLC);
     let cfg = TrialConfig {
         payload_len: 1_514, // MTU frame
         trials: 30_000,
         seed: 0xE7E2,
     };
-    let mut bsc = BscChannel::new(1e-5);
-    let s = run_trials(&codec, &mut bsc, &cfg);
+    let s = sim.run(&codec, &BscChannel::new(1e-5), &cfg);
     println!(
         "BSC 1e-5, {} MTU frames: clean {}, detected {}, undetected {}",
         s.total(),
@@ -27,9 +30,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         s.detected,
         s.undetected
     );
+    if let Some((_, hi)) = s.undetected_ci95() {
+        println!(
+            "  95% Wilson upper bound on the undetected rate: {hi:.2e} \
+             (the real rate is ~2^-32 ≈ 2.3e-10 of corruptions)"
+        );
+    }
 
-    let mut ge = GilbertElliottChannel::new(1e-5, 1e-2, 1e-8, 1e-3);
-    let s = run_trials(&codec, &mut ge, &cfg);
+    let ge = GilbertElliottChannel::new(1e-5, 1e-2, 1e-8, 1e-3);
+    let s = sim.run(&codec, &ge, &cfg);
     println!(
         "Gilbert–Elliott bursty link: clean {}, detected {}, undetected {} \
          (errors cluster; CRC exercised once every ~{} frames — Stone00's regime)",
@@ -39,6 +48,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         s.total().checked_div(s.detected).unwrap_or(0)
     );
     assert_eq!(s.undetected, 0, "a 32-bit CRC sees ~2^-32 of corruptions");
+
+    // Determinism spot check: the same seed on one worker thread must
+    // reproduce the sharded run bit for bit.
+    let replay = Simulator::new().threads(1).run(&codec, &ge, &cfg);
+    assert_eq!(s, replay, "sharded results are thread-count invariant");
+    println!("replayed on 1 thread: identical tallies (sharding is deterministic)");
 
     // --- Statistical validation where the rate IS measurable -------------
     // For CRC-8 the undetected fraction of random k-bit errors is Wk/C(L,k)
@@ -50,13 +65,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for payload in [2usize, 4, 8] {
         let n_bits = payload as u32 * 8;
         let l_bits = n_bits + 8;
-        let spec = spectrum::spectrum(&g, n_bits)?;
-        let predicted = spec.count(4) as f64 / costmodel::error_patterns(l_bits, 4) as f64;
-        let s = run_weighted_trials(&codec8, payload, 4, 120_000, 0xCAFE + payload as u64);
-        let measured = s.undetected as f64 / s.total() as f64;
+        let w = weights::weights234(&g, n_bits)?;
+        let predicted = w.w4 as f64 / costmodel::error_patterns(l_bits, 4) as f64;
+        let s = sim.run_weighted(&codec8, payload, 4, 120_000, 0xCAFE + payload as u64);
+        let measured = s.undetected_rate().unwrap_or(0.0);
+        let (lo, hi) = s.undetected_ci95().expect("all frames corrupted");
         println!(
             "  {payload}-byte payload: predicted {predicted:.5}, measured {measured:.5} \
-             ({} / {})",
+             (95% CI [{lo:.5}, {hi:.5}], {} / {})",
             s.undetected,
             s.total()
         );
