@@ -1,18 +1,26 @@
 //! Exact-count dump of a fixed Monte-Carlo suite, for determinism checks.
 //!
-//! Runs the sharded simulator over a fixed set of scenarios at the given
-//! worker thread count and writes every tally as JSON. CI's
-//! `sim-determinism` job runs this twice — `--threads 1` and
-//! `--threads 4` — and requires the outputs to be byte-identical: the
-//! sharded engine's results must be a pure function of the seed,
-//! never of the thread schedule. The thread count is deliberately *not*
-//! recorded in the JSON so the two files can be diffed directly.
+//! Runs the simulator over a fixed set of scenarios at the given worker
+//! thread count and execution mode and writes every tally as JSON. CI's
+//! `sim-determinism` job runs this four times — `--threads 1` and
+//! `--threads 4`, each in `--mode sharded` and `--mode pipelined` — and
+//! requires all outputs byte-identical: the engine's results must be a
+//! pure function of the seed, never of the thread schedule or of whether
+//! the produce/consume stages were pipelined. Thread count and mode are
+//! deliberately *not* recorded in the JSON so the files diff directly.
+//!
+//! The suite covers both engine paths: content-independent channels on
+//! the XOR-delta fast path and content-dependent ones (jammer, stuffing
+//! slips, length errors) on the eager path.
 //!
 //! Usage: `cargo run --release -p crc-experiments --bin sim_determinism
-//! [--threads N] [--out PATH]`
+//! [--threads N] [--mode sharded|pipelined] [--out PATH]`
 
 use crckit::catalog;
-use netsim::channel::{BscChannel, BurstChannel, Channel, GilbertElliottChannel};
+use netsim::channel::{
+    BscChannel, BurstChannel, Channel, GilbertElliottChannel, JammerChannel, StuffingChannel,
+    TruncationChannel,
+};
 use netsim::frame::FrameCodec;
 use netsim::imix::TrafficMix;
 use netsim::montecarlo::{Simulator, TrialConfig, TrialStats};
@@ -30,13 +38,20 @@ fn stats_json(name: &str, seed: u64, s: &TrialStats) -> String {
 
 fn main() {
     let threads: usize = arg_or("--threads", 0);
+    let mode: String = arg_or("--mode", "sharded".to_string());
     let out_path: String = arg_or("--out", "sim_determinism.json".to_string());
-    let sim = Simulator::new().threads(threads);
+    let mut sim = Simulator::new().threads(threads);
+    match mode.as_str() {
+        "sharded" => {}
+        "pipelined" => sim = sim.pipelined(),
+        other => panic!("unknown --mode {other:?} (expected sharded|pipelined)"),
+    }
 
     let mut rows: Vec<String> = Vec::new();
 
-    // Random traffic over the three channel families.
-    let scenarios: [(&str, Box<dyn Channel>, TrialConfig); 3] = [
+    // Random traffic: delta-path channel families first, then the
+    // content-dependent suite exercising the eager path.
+    let scenarios: [(&str, Box<dyn Channel>, TrialConfig); 6] = [
         (
             "bsc_1e-4_mtu",
             Box::new(BscChannel::new(1e-4)),
@@ -62,6 +77,33 @@ fn main() {
                 payload_len: 256,
                 trials: 20_000,
                 seed: 0xD17E_0003,
+            },
+        ),
+        (
+            "jammer_hdlc_mtu",
+            Box::new(JammerChannel::hdlc(0.25)),
+            TrialConfig {
+                payload_len: 1_514,
+                trials: 20_000,
+                seed: 0xD17E_0006,
+            },
+        ),
+        (
+            "stuffing_slips_576B",
+            Box::new(StuffingChannel::new(2e-3)),
+            TrialConfig {
+                payload_len: 576,
+                trials: 20_000,
+                seed: 0xD17E_0007,
+            },
+        ),
+        (
+            "truncation_256B",
+            Box::new(TruncationChannel::new(0.05, 16)),
+            TrialConfig {
+                payload_len: 256,
+                trials: 20_000,
+                seed: 0xD17E_0008,
             },
         ),
     ];

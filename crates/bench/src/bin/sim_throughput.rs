@@ -1,13 +1,20 @@
 //! Trial-engine throughput measurement with a machine-readable trail.
 //!
-//! Compares three ways of running the same Monte-Carlo scenario
+//! Compares ways of running the same Monte-Carlo scenario
 //! (CRC-32/ISO-HDLC, MTU frames, BSC at low BER):
 //!
 //! * **reference** — the PR-1 single-thread loop: allocate + encode one
 //!   frame, corrupt it, verify it, repeat;
 //! * **batch ×1** — the sharded engine pinned to one thread: reused frame
 //!   buffers sealed in place, burst corruption, burst verification;
-//! * **sharded ×N** — the same engine on every available core.
+//! * **sharded ×N** — the same engine on every available core;
+//! * **pipelined ×N** — the two-stage pipeline: producer/consumer lanes
+//!   overlapping channel RNG with CRC verification.
+//!
+//! A second scenario, **jammer_eager**, swaps the BSC for the
+//! content-dependent [`JammerChannel`], which cannot take the XOR-delta
+//! shortcut: every frame is filled, sealed and (when struck) verified —
+//! the eager path at full scale, in both sharded and pipelined mode.
 //!
 //! Prints frames/sec for each, checks the acceptance gate (sharded ≥ 5×
 //! reference on ≥ 4 cores; single-thread batch > reference everywhere),
@@ -19,13 +26,16 @@
 
 use crc_experiments::arg_or;
 use crckit::catalog;
-use netsim::channel::{BscChannel, Channel};
+use netsim::channel::{BscChannel, Channel, JammerChannel};
 use netsim::frame::FrameCodec;
 use netsim::montecarlo::{Simulator, TrialConfig, TrialStats};
 use std::fmt::Write as _;
 use std::time::Instant;
 
 const BER: f64 = 1e-5;
+/// Strike probability per HDLC flag byte for the eager-path scenario:
+/// random MTU payloads carry ~6 flag bytes, so most frames are struck.
+const JAMMER_HIT: f64 = 0.25;
 
 /// The PR-1 trial loop, kept verbatim as the measurement baseline: one
 /// frame at a time, a fresh allocation per encode, no batching.
@@ -110,11 +120,36 @@ fn main() {
     });
     println!("  sharded   ×{host_threads} : {sharded:>12.0} frames/s");
 
+    let piped = Simulator::new().pipelined();
+    let pipelined = measure(reps, trials, || {
+        piped.run(&codec, &BscChannel::new(BER), &cfg)
+    });
+    println!("  pipelined ×{host_threads} : {pipelined:>12.0} frames/s");
+
+    // The content-dependent workload: every frame filled and sealed, no
+    // delta shortcut — the eager path is what the jammer suite stresses.
+    let jam_cfg = TrialConfig {
+        seed: 0x51F1,
+        ..cfg
+    };
+    let jammer_eager = measure(reps, trials, || {
+        parallel.run(&codec, &JammerChannel::hdlc(JAMMER_HIT), &jam_cfg)
+    });
+    println!("  jammer_eager ×{host_threads} : {jammer_eager:>9.0} frames/s");
+
+    let jammer_pipelined = measure(reps, trials, || {
+        piped.run(&codec, &JammerChannel::hdlc(JAMMER_HIT), &jam_cfg)
+    });
+    println!("  jammer_pipelined ×{host_threads} : {jammer_pipelined:>5.0} frames/s");
+
     let batch_speedup = batch1 / reference;
     let sharded_speedup = sharded / reference;
     println!(
         "\nbatch ×1 vs reference: {batch_speedup:.2}x; sharded ×{host_threads} vs \
-         reference: {sharded_speedup:.2}x"
+         reference: {sharded_speedup:.2}x; pipelined vs sharded: {:.2}x; \
+         eager (jammer) runs at {:.2}x the delta path",
+        pipelined / sharded,
+        jammer_eager / sharded
     );
     if batch_speedup < 1.0 {
         eprintln!("WARNING: single-thread batch engine slower than the reference loop");
@@ -145,6 +180,9 @@ fn main() {
         ("reference", 1usize, reference),
         ("batch", 1, batch1),
         ("sharded", host_threads, sharded),
+        ("pipelined", host_threads, pipelined),
+        ("jammer_eager", host_threads, jammer_eager),
+        ("jammer_pipelined", host_threads, jammer_pipelined),
     ];
     for (i, (mode, threads, rate)) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };

@@ -5,12 +5,31 @@
 //! channel per shard with [`Channel::fork`] so results are a pure function
 //! of `(seed, shard index)` — identical no matter how many worker threads
 //! process the shards.
+//!
+//! Two families live here:
+//!
+//! * **Content-independent XOR-delta channels** ([`BscChannel`],
+//!   [`BurstChannel`], [`GilbertElliottChannel`], [`FixedWeightChannel`]):
+//!   the flipped positions never depend on the frame bytes, so the
+//!   simulator can run them on its zero-delta fast path.
+//! * **Content-dependent channels** ([`JammerChannel`],
+//!   [`StuffingChannel`], [`TruncationChannel`]): the corruption inspects
+//!   frame content or changes the frame *length*, which no XOR delta can
+//!   express — these always take the eager encode→corrupt→verify path.
 
 use rand::Rng;
 use rand::SeedableRng;
 
-/// A channel that corrupts frames in place, reporting how many bits it
-/// flipped.
+/// A channel that corrupts frames in place, reporting a corruption
+/// magnitude.
+///
+/// `corrupt` receives the frame as a `Vec` so channels modeling
+/// synchronization slips or length errors can insert and remove bits or
+/// bytes, not just flip them. The contract on the return value is:
+/// **zero if and only if the frame is byte-identical to what was sent** —
+/// the simulator tallies zero-return frames as clean without verifying
+/// them. For flip channels the magnitude is the number of flipped bits;
+/// length-changing channels document their own unit.
 ///
 /// Implementations must be `Send + Sync` so a prototype channel can be
 /// shared across the simulator's worker threads, each of which [`fork`]s
@@ -18,8 +37,9 @@ use rand::SeedableRng;
 ///
 /// [`fork`]: Channel::fork
 pub trait Channel: Send + Sync {
-    /// Corrupts `frame`, returning the number of flipped bits.
-    fn corrupt(&mut self, frame: &mut [u8]) -> u32;
+    /// Corrupts `frame`, returning a nonzero magnitude iff it was
+    /// modified (the number of flipped bits, for bit-flip channels).
+    fn corrupt(&mut self, frame: &mut Vec<u8>) -> u32;
 
     /// Reseeds the channel's randomness — and resets any channel state
     /// (e.g. a Markov chain's current state) — for reproducible
@@ -41,14 +61,17 @@ pub trait Channel: Send + Sync {
     /// never depends on the bytes of the frame, only on the channel's own
     /// randomness and the frame *length*.
     ///
-    /// Every model in this module has that property, and it is what lets
-    /// the simulator corrupt an all-zero delta frame first and skip CRC
-    /// work entirely for frames the channel leaves untouched: because the
-    /// CRC is linear, `verify(frame ⊕ δ)` depends on the payload and `δ`
-    /// in a way that composing the delta afterwards reproduces exactly.
-    /// Channels that inspect frame content (e.g. a jammer targeting sync
-    /// words) must keep the default `false`, which routes them through
-    /// the eager encode→corrupt→verify path.
+    /// This property is what lets the simulator corrupt an all-zero delta
+    /// frame first and skip CRC work entirely for frames the channel
+    /// leaves untouched: because the CRC is linear, `verify(frame ⊕ δ)`
+    /// depends on the payload and `δ` in a way that composing the delta
+    /// afterwards reproduces exactly. Channels that inspect frame content
+    /// (e.g. [`JammerChannel`] targeting sync words) or change the frame
+    /// length ([`StuffingChannel`], [`TruncationChannel`] — a length
+    /// change is never an XOR delta) must keep the default `false`, which
+    /// routes them through the eager encode→corrupt→verify path. In debug
+    /// builds the simulator probes channels claiming `true` and panics on
+    /// a mis-flagged one.
     fn content_independent(&self) -> bool {
         false
     }
@@ -112,7 +135,7 @@ impl Channel for BscChannel {
         true
     }
 
-    fn corrupt(&mut self, frame: &mut [u8]) -> u32 {
+    fn corrupt(&mut self, frame: &mut Vec<u8>) -> u32 {
         if self.ber == 0.0 {
             return 0;
         }
@@ -212,7 +235,7 @@ impl Channel for BurstChannel {
         true
     }
 
-    fn corrupt(&mut self, frame: &mut [u8]) -> u32 {
+    fn corrupt(&mut self, frame: &mut Vec<u8>) -> u32 {
         let nbits = frame.len() as u64 * 8;
         if nbits == 0 {
             return 0;
@@ -308,7 +331,7 @@ impl Channel for GilbertElliottChannel {
         true
     }
 
-    fn corrupt(&mut self, frame: &mut [u8]) -> u32 {
+    fn corrupt(&mut self, frame: &mut Vec<u8>) -> u32 {
         let mut flipped = 0;
         for byte in frame.iter_mut() {
             for bit in 0..8 {
@@ -381,7 +404,7 @@ impl Channel for FixedWeightChannel {
         true
     }
 
-    fn corrupt(&mut self, frame: &mut [u8]) -> u32 {
+    fn corrupt(&mut self, frame: &mut Vec<u8>) -> u32 {
         let nbits = frame.len() as u64 * 8;
         assert!(
             self.weight as u64 <= nbits,
@@ -399,6 +422,314 @@ impl Channel for FixedWeightChannel {
             frame[(p / 8) as usize] ^= 1 << (p % 8);
         }
         self.weight
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.rng = rand::rngs::StdRng::seed_from_u64(seed);
+    }
+
+    fn fork(&self, seed: u64) -> Box<dyn Channel> {
+        let mut ch = self.clone();
+        ch.reseed(seed);
+        Box::new(ch)
+    }
+}
+
+/// A content-dependent jammer: scans the frame for bytes matching a sync
+/// pattern and, with probability `hit_prob` per match, flips one random
+/// bit of the matching byte — interference that keys on recognizable
+/// structure in the data (flag bytes, preambles) rather than striking
+/// uniformly.
+///
+/// Because the flipped positions — and even the number of RNG draws — are
+/// a function of the frame *content*, this channel cannot be expressed as
+/// a content-independent XOR delta and always takes the simulator's eager
+/// encode→corrupt→verify path.
+#[derive(Debug, Clone)]
+pub struct JammerChannel {
+    sync: u8,
+    hit_prob: f64,
+    rng: rand::rngs::StdRng,
+}
+
+impl JammerChannel {
+    /// Creates a jammer striking bytes equal to `sync` with probability
+    /// `hit_prob` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hit_prob` is outside `[0, 1]` or not finite.
+    pub fn new(sync: u8, hit_prob: f64) -> JammerChannel {
+        assert!(
+            hit_prob.is_finite() && (0.0..=1.0).contains(&hit_prob),
+            "hit_prob must be in [0,1]"
+        );
+        JammerChannel {
+            sync,
+            hit_prob,
+            rng: rand::rngs::StdRng::seed_from_u64(0x7A77),
+        }
+    }
+
+    /// A jammer keyed on the HDLC flag byte `0x7E`.
+    pub fn hdlc(hit_prob: f64) -> JammerChannel {
+        JammerChannel::new(0x7E, hit_prob)
+    }
+
+    /// The byte pattern the jammer strikes.
+    pub fn sync(&self) -> u8 {
+        self.sync
+    }
+}
+
+impl Channel for JammerChannel {
+    fn corrupt(&mut self, frame: &mut Vec<u8>) -> u32 {
+        let mut flipped = 0;
+        for byte in frame.iter_mut() {
+            if *byte == self.sync && self.rng.gen::<f64>() < self.hit_prob {
+                *byte ^= 1 << self.rng.gen_range(0..8u32);
+                flipped += 1;
+            }
+        }
+        flipped
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.rng = rand::rngs::StdRng::seed_from_u64(seed);
+    }
+
+    fn fork(&self, seed: u64) -> Box<dyn Channel> {
+        let mut ch = self.clone();
+        ch.reseed(seed);
+        Box::new(ch)
+    }
+}
+
+/// HDLC bit-stuffing slips — the paper's §3 motivation for FCS failures
+/// on framed links.
+///
+/// HDLC transmitters insert ("stuff") a 0 after every run of five 1 bits
+/// so data can never mimic the `0x7E` flag. A noise hit on or near a
+/// stuffing bit desynchronizes that process: the receiver either deletes
+/// a data bit it mistook for stuffing, or keeps a spurious stuffed zero —
+/// and the entire rest of the frame shifts by one bit position. The FCS is
+/// then computed over shifted data, which is exactly the failure mode a
+/// pure bit-flip channel never produces.
+///
+/// This model treats the frame bits (LSB-first within each byte) as the
+/// transmitted stream: every position following a run of five consecutive
+/// 1 bits is a *stuffing point*, and each suffers a slip independently
+/// with probability `slip_prob`. A slip either inserts a spurious 0 bit
+/// at the point, or deletes the bit sitting there, chosen 50/50; all
+/// slips are decided against the original bit sequence, then applied in
+/// one rebuild pass (so the slip count is bounded by the original frame's
+/// stuffing points). The rebuilt stream is repacked into bytes, zero-
+/// padding any final partial byte, so the frame can shrink, grow, or keep
+/// its length with every bit after the slip shifted.
+///
+/// [`Channel::corrupt`] returns the number of slips applied. Length
+/// changes and bit shifts are not XOR deltas, so the channel is
+/// content-dependent by construction and rides the eager path.
+#[derive(Debug, Clone)]
+pub struct StuffingChannel {
+    slip_prob: f64,
+    rng: rand::rngs::StdRng,
+    slips: Vec<(usize, bool)>,
+    rebuilt: Vec<u8>,
+}
+
+impl StuffingChannel {
+    /// Creates a stuffing-slip channel with the given per-stuffing-point
+    /// slip probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slip_prob` is outside `[0, 1]` or not finite.
+    pub fn new(slip_prob: f64) -> StuffingChannel {
+        assert!(
+            slip_prob.is_finite() && (0.0..=1.0).contains(&slip_prob),
+            "slip_prob must be in [0,1]"
+        );
+        StuffingChannel {
+            slip_prob,
+            rng: rand::rngs::StdRng::seed_from_u64(0x57FF),
+            slips: Vec::new(),
+            rebuilt: Vec::new(),
+        }
+    }
+
+    /// Counts the stuffing points of a frame: positions following each
+    /// run of five consecutive 1 bits, LSB-first within bytes. The upper
+    /// bound on the slips any single [`Channel::corrupt`] call applies.
+    pub fn stuffing_points(frame: &[u8]) -> usize {
+        let mut points = 0;
+        let mut run = 0u32;
+        for i in 0..frame.len() * 8 {
+            if frame[i / 8] >> (i % 8) & 1 == 1 {
+                run += 1;
+                if run == 5 {
+                    points += 1;
+                    run = 0;
+                }
+            } else {
+                run = 0;
+            }
+        }
+        points
+    }
+}
+
+impl Channel for StuffingChannel {
+    fn corrupt(&mut self, frame: &mut Vec<u8>) -> u32 {
+        let nbits = frame.len() * 8;
+        // Pass 1: decide every slip against the original bit sequence.
+        self.slips.clear();
+        let mut run = 0u32;
+        for i in 0..nbits {
+            if frame[i / 8] >> (i % 8) & 1 == 1 {
+                run += 1;
+                if run == 5 {
+                    if self.rng.gen::<f64>() < self.slip_prob {
+                        let insert = self.rng.gen::<bool>();
+                        // A deletion past the last bit has nothing to
+                        // delete; dropping it keeps the contract that a
+                        // nonzero return means the frame was modified.
+                        if insert || i + 1 < nbits {
+                            self.slips.push((i + 1, insert));
+                        }
+                    }
+                    run = 0;
+                }
+            } else {
+                run = 0;
+            }
+        }
+        if self.slips.is_empty() {
+            return 0;
+        }
+        // Pass 2: rebuild the received stream with the slips applied.
+        self.rebuilt.clear();
+        let mut out_bits = 0usize;
+        let mut skip_next = false;
+        let mut s = 0usize;
+        for i in 0..=nbits {
+            if s < self.slips.len() && self.slips[s].0 == i {
+                let insert = self.slips[s].1;
+                s += 1;
+                if insert {
+                    // Spurious stuffed zero enters the stream here.
+                    if out_bits.is_multiple_of(8) {
+                        self.rebuilt.push(0);
+                    }
+                    out_bits += 1;
+                } else {
+                    // The bit at this position is swallowed.
+                    skip_next = true;
+                }
+            }
+            if i == nbits {
+                break;
+            }
+            if skip_next {
+                skip_next = false;
+                continue;
+            }
+            if out_bits.is_multiple_of(8) {
+                self.rebuilt.push(0);
+            }
+            if frame[i / 8] >> (i % 8) & 1 == 1 {
+                self.rebuilt[out_bits / 8] |= 1 << (out_bits % 8);
+            }
+            out_bits += 1;
+        }
+        // A slip in a shift-invariant tail (e.g. deleting one of many
+        // trailing zeros) can rebuild the exact original frame; report
+        // those as clean so `corrupt > 0 ⇔ frame modified` stays exact.
+        if self.rebuilt == *frame {
+            return 0;
+        }
+        std::mem::swap(frame, &mut self.rebuilt);
+        self.slips.len() as u32
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.rng = rand::rngs::StdRng::seed_from_u64(seed);
+    }
+
+    fn fork(&self, seed: u64) -> Box<dyn Channel> {
+        let mut ch = self.clone();
+        ch.reseed(seed);
+        Box::new(ch)
+    }
+}
+
+/// Length errors: frames cut short or extended with any length field left
+/// untouched — the DMA glitches and reassembly bugs Stone & Partridge
+/// traced behind checksum failures, where the checksum covers a different
+/// number of bytes than was sent.
+///
+/// With probability `p` per frame, either truncates 1..=`max_delta`
+/// trailing bytes (never below one byte) or appends 1..=`max_delta`
+/// random bytes, 50/50. [`Channel::corrupt`] returns 8× the number of
+/// bytes cut or appended.
+///
+/// The corruption draws no randomness from the frame content, but a
+/// length change is not an XOR delta, so the channel must keep
+/// [`Channel::content_independent`] `false` and ride the eager path.
+#[derive(Debug, Clone)]
+pub struct TruncationChannel {
+    p: f64,
+    max_delta: usize,
+    rng: rand::rngs::StdRng,
+}
+
+impl TruncationChannel {
+    /// Creates a length-error channel hitting each frame with probability
+    /// `p`, cutting or extending up to `max_delta` bytes (≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]` or `max_delta` is 0.
+    pub fn new(p: f64, max_delta: usize) -> TruncationChannel {
+        assert!(
+            p.is_finite() && (0.0..=1.0).contains(&p),
+            "p must be in [0,1]"
+        );
+        assert!(max_delta >= 1, "max_delta must be at least 1");
+        TruncationChannel {
+            p,
+            max_delta,
+            rng: rand::rngs::StdRng::seed_from_u64(0x7255),
+        }
+    }
+
+    /// Maximum bytes cut or appended per length error.
+    pub fn max_delta(&self) -> usize {
+        self.max_delta
+    }
+}
+
+impl Channel for TruncationChannel {
+    fn corrupt(&mut self, frame: &mut Vec<u8>) -> u32 {
+        if frame.is_empty() || self.rng.gen::<f64>() >= self.p {
+            return 0;
+        }
+        let delta = self.rng.gen_range(1..=self.max_delta);
+        if self.rng.gen::<bool>() {
+            // Cut, but never to an empty frame.
+            let cut = delta.min(frame.len() - 1);
+            if cut == 0 {
+                return 0;
+            }
+            frame.truncate(frame.len() - cut);
+            (cut * 8) as u32
+        } else {
+            for _ in 0..delta {
+                let b: u8 = self.rng.gen();
+                frame.push(b);
+            }
+            (delta * 8) as u32
+        }
     }
 
     fn reseed(&mut self, seed: u64) {
@@ -586,5 +917,127 @@ mod tests {
             v_ge > v_bsc,
             "Gilbert–Elliott variance {v_ge} should exceed BSC variance {v_bsc}"
         );
+    }
+
+    #[test]
+    fn jammer_strikes_only_sync_bytes() {
+        let mut ch = JammerChannel::new(0x7E, 1.0);
+        ch.reseed(5);
+        let mut frame = vec![0x11, 0x7E, 0x22, 0x7E, 0x7E, 0x33];
+        let flips = ch.corrupt(&mut frame);
+        assert_eq!(flips, 3, "hit_prob 1.0 strikes every sync byte");
+        assert_eq!((frame[0], frame[2], frame[5]), (0x11, 0x22, 0x33));
+        for i in [1usize, 3, 4] {
+            assert_eq!((frame[i] ^ 0x7E).count_ones(), 1, "one bit per strike");
+        }
+    }
+
+    #[test]
+    fn jammer_without_sync_bytes_is_silent() {
+        let mut ch = JammerChannel::hdlc(1.0);
+        let mut frame = vec![0x00u8; 64];
+        assert_eq!(ch.corrupt(&mut frame), 0);
+        assert!(frame.iter().all(|&b| b == 0));
+        let mut zero_prob = JammerChannel::hdlc(0.0);
+        let mut flags = vec![0x7Eu8; 64];
+        assert_eq!(zero_prob.corrupt(&mut flags), 0);
+        assert!(flags.iter().all(|&b| b == 0x7E));
+    }
+
+    #[test]
+    fn stuffing_slip_count_bounded_by_stuffing_points() {
+        // 0xFF bytes: a stuffing point every 5 bits.
+        let original = vec![0xFFu8; 20];
+        assert_eq!(StuffingChannel::stuffing_points(&original), 160 / 5);
+        let mut ch = StuffingChannel::new(1.0);
+        ch.reseed(3);
+        let mut frame = original.clone();
+        let slips = ch.corrupt(&mut frame);
+        assert!((1..=32).contains(&slips), "slips {slips}");
+        assert_ne!(frame, original, "slips must modify the frame");
+    }
+
+    #[test]
+    fn stuffing_needs_ones_runs() {
+        let mut ch = StuffingChannel::new(1.0);
+        // No run of five 1s anywhere: 0x55 alternates bits.
+        let mut frame = vec![0x55u8; 32];
+        assert_eq!(StuffingChannel::stuffing_points(&frame), 0);
+        assert_eq!(ch.corrupt(&mut frame), 0);
+        assert!(frame.iter().all(|&b| b == 0x55));
+        let mut never = StuffingChannel::new(0.0);
+        let mut ones = vec![0xFFu8; 32];
+        assert_eq!(never.corrupt(&mut ones), 0);
+        assert!(ones.iter().all(|&b| b == 0xFF));
+    }
+
+    #[test]
+    fn stuffing_insertion_shifts_the_tail() {
+        // One stuffing point (bits 0..=4 are 1s), then a distinctive tail:
+        // any slip shifts every later bit by one position.
+        let original = vec![0x1F, 0xA5, 0xC3, 0x99];
+        assert_eq!(StuffingChannel::stuffing_points(&original), 1);
+        let mut ch = StuffingChannel::new(1.0);
+        let mut saw_change = 0;
+        for seed in 0..20 {
+            ch.reseed(seed);
+            let mut frame = original.clone();
+            if ch.corrupt(&mut frame) > 0 {
+                assert_ne!(frame, original);
+                saw_change += 1;
+            }
+        }
+        assert_eq!(saw_change, 20, "slip_prob 1.0 always slips here");
+    }
+
+    #[test]
+    fn truncation_respects_length_bounds() {
+        let mut ch = TruncationChannel::new(1.0, 8);
+        ch.reseed(9);
+        let mut cuts = 0;
+        let mut extends = 0;
+        for _ in 0..200 {
+            let mut frame = vec![0xA5u8; 64];
+            let bits = ch.corrupt(&mut frame);
+            assert!(bits > 0, "p = 1.0 always corrupts multi-byte frames");
+            assert_eq!(bits % 8, 0, "magnitude is whole bytes");
+            assert!((56..=72).contains(&frame.len()), "len {}", frame.len());
+            if frame.len() < 64 {
+                cuts += 1;
+                assert!(frame.iter().all(|&b| b == 0xA5), "cut keeps the prefix");
+            } else {
+                extends += 1;
+                assert!(frame[..64].iter().all(|&b| b == 0xA5));
+            }
+        }
+        assert!(cuts > 50 && extends > 50, "{cuts} cuts / {extends} extends");
+    }
+
+    #[test]
+    fn truncation_never_empties_a_frame() {
+        let mut ch = TruncationChannel::new(1.0, 100);
+        ch.reseed(1);
+        for _ in 0..100 {
+            let mut frame = vec![0u8; 3];
+            ch.corrupt(&mut frame);
+            assert!(!frame.is_empty());
+        }
+        let mut untouched = TruncationChannel::new(0.0, 4);
+        let mut frame = vec![7u8; 10];
+        assert_eq!(untouched.corrupt(&mut frame), 0);
+        assert_eq!(frame, vec![7u8; 10]);
+    }
+
+    #[test]
+    fn content_dependent_channels_stay_off_the_delta_path() {
+        let channels: [Box<dyn Channel>; 3] = [
+            Box::new(JammerChannel::hdlc(0.5)),
+            Box::new(StuffingChannel::new(0.1)),
+            Box::new(TruncationChannel::new(0.1, 4)),
+        ];
+        for ch in &channels {
+            assert!(!ch.content_independent());
+            assert!(!ch.fork(1).content_independent(), "forks keep the flag");
+        }
     }
 }

@@ -67,6 +67,12 @@ impl FrameCodec {
     }
 
     /// Verifies a received frame; `true` means the FCS matches.
+    ///
+    /// Length errors fail closed: a frame shorter than the FCS itself is
+    /// rejected outright, and a cut or extended frame (as produced by
+    /// `netsim`'s truncation and bit-stuffing slip channels) simply has
+    /// its last bytes reinterpreted as the FCS, which then fails to match
+    /// except with the usual 2⁻ʳ false-accept probability.
     pub fn verify(&self, frame: &[u8]) -> bool {
         fcs::verify(&self.crc, frame).unwrap_or(false)
     }
@@ -195,12 +201,17 @@ mod tests {
     }
 
     #[test]
-    fn codec_rejects_corruption_and_truncation() {
+    fn codec_rejects_corruption_and_length_errors() {
         let codec = FrameCodec::new(catalog::CRC32_ISCSI);
         let mut frame = codec.encode(b"data integrity matters");
         frame[3] ^= 0x40;
         assert!(!codec.verify(&frame));
         assert!(!codec.verify(&frame[..2]), "short frames fail closed");
+        let clean = codec.encode(b"data integrity matters");
+        assert!(!codec.verify(&clean[..clean.len() - 1]), "cut frames fail");
+        let mut extended = clean.clone();
+        extended.push(0xA5);
+        assert!(!codec.verify(&extended), "extended frames fail");
     }
 
     #[test]

@@ -13,11 +13,8 @@
 
 use crate::channel::Channel;
 use crate::frame::FrameCodec;
-use crate::montecarlo::{
-    run_shard_bursts, shard_seed, BurstScratch, Merge, Simulator, TrialStats, STREAM_CHANNEL,
-    STREAM_PAYLOAD,
-};
-use rand::{Rng, SeedableRng};
+use crate::montecarlo::{Merge, Simulator, TrialStats};
+use rand::Rng;
 
 /// One packet class in a traffic mix: payload size and relative weight.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -151,7 +148,8 @@ impl Merge for MixStats {
 
 impl Simulator {
     /// Pushes mixed-size frames through forks of `channel`, tallying per
-    /// class — the sharded, batch-driven form of [`run_mix`].
+    /// class — the sharded, batch-driven form of [`run_mix`], which also
+    /// honors [`Simulator::pipelined`] mode.
     pub fn run_mix(
         &self,
         codec: &FrameCodec,
@@ -160,37 +158,37 @@ impl Simulator {
         trials: u64,
         seed: u64,
     ) -> MixStats {
-        let batch = Simulator::DEFAULT_BATCH;
-        let stats = self.run_sharded(trials, || {
-            let mut scratch = BurstScratch::new(batch);
-            move |shard, count| {
-                let mut rng =
-                    rand::rngs::StdRng::seed_from_u64(shard_seed(seed, shard, STREAM_PAYLOAD));
-                let mut ch = channel.fork(shard_seed(seed, shard, STREAM_CHANNEL));
-                let mut per_class: Vec<(PacketClass, TrialStats)> = mix
-                    .classes
-                    .iter()
-                    .map(|&c| (c, TrialStats::default()))
-                    .collect();
-                // The class index rides the burst driver's frame tag, so
-                // the plan and sink closures need no shared buffer.
-                run_shard_bursts(
-                    codec,
-                    ch.as_mut(),
-                    &mut rng,
-                    count,
-                    &mut scratch,
-                    |rng| {
-                        let class = mix.draw(rng);
-                        (mix.classes[class].payload_len, class)
-                    },
-                    |class, flips, verdict| per_class[class].1.tally_frame(flips, verdict),
-                );
-                MixStats { per_class }
-            }
-        });
-        // A zero-trial run never touched a shard: report empty classes.
-        if stats.per_class.is_empty() && trials == 0 {
+        #[cfg(debug_assertions)]
+        {
+            let longest = mix.classes.iter().map(|c| c.payload_len).max().unwrap_or(0);
+            crate::montecarlo::assert_content_flag(channel, seed, longest + codec.overhead());
+        }
+        // The class index rides the engine's frame tag, so the plan and
+        // sink closures need no shared buffer.
+        let stats: MixStats = self.run_engine(
+            codec,
+            channel,
+            seed,
+            trials,
+            || {
+                |rng: &mut rand::rngs::StdRng| {
+                    let class = mix.draw(rng);
+                    (mix.classes[class].payload_len, class)
+                }
+            },
+            |s: &mut MixStats, class, flips, verdict| {
+                if s.per_class.is_empty() {
+                    s.per_class = mix
+                        .classes
+                        .iter()
+                        .map(|&c| (c, TrialStats::default()))
+                        .collect();
+                }
+                s.per_class[class].1.tally_frame(flips, verdict);
+            },
+        );
+        // A zero-trial run never reached the sink: report empty classes.
+        if stats.per_class.is_empty() {
             return MixStats {
                 per_class: mix
                     .classes
@@ -223,6 +221,7 @@ mod tests {
     use super::*;
     use crate::channel::{BscChannel, GilbertElliottChannel};
     use crckit::catalog;
+    use rand::SeedableRng;
 
     #[test]
     fn simple_imix_shape() {

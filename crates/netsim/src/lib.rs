@@ -8,8 +8,12 @@
 //! * [`channel`] — bit-error models: the memoryless binary symmetric
 //!   channel, fixed-span burst errors, a two-state Gilbert–Elliott model
 //!   for bursty Internet-like links, and a fixed-weight directed-error
-//!   channel. All are batch-first ([`Channel::corrupt_batch`]) and
-//!   forkable ([`Channel::fork`]) for the sharded engine.
+//!   channel — plus a **content-dependent suite** (a sync-byte
+//!   [`JammerChannel`], HDLC bit-stuffing slips in [`StuffingChannel`],
+//!   and [`TruncationChannel`] length errors) whose corruption inspects
+//!   frame bytes or changes frame length. All are batch-first
+//!   ([`Channel::corrupt_batch`]) and forkable ([`Channel::fork`]) for
+//!   the sharded engine.
 //! * [`frame`] — Ethernet-like framing and iSCSI-like PDUs (separate
 //!   header and data digests) over any `crckit` algorithm, with in-place
 //!   sealing and batch verification feeding the CLMUL engine contiguous
@@ -46,14 +50,41 @@
 //! and the corrupted subset is verified in one
 //! [`FrameCodec::verify_batch`] call.
 //!
+//! # The two-stage pipeline, and when eager vs delta applies
+//!
+//! Every burst passes through a **produce** stage (plan frame lengths,
+//! prepare buffers, run the channel — RNG-bound) and a **consume** stage
+//! (compose payloads, batch-verify, tally — CRC-bound). The two stages
+//! draw from disjoint [`montecarlo::shard_seed`] streams
+//! ([`montecarlo::STREAM_PLAN`], [`montecarlo::STREAM_CHANNEL`],
+//! [`montecarlo::STREAM_FILL`]), so [`Simulator::pipelined`] mode can
+//! pair worker threads into producer/consumer lanes with bursts
+//! double-buffered between them — channel randomness for shard `k+1`
+//! overlaps CRC verification of shard `k` — while tallying
+//! **bit-identically** to sharded mode at any thread count.
+//!
+//! Which stage fills payloads depends on the channel:
+//!
+//! * [`Channel::content_independent`] channels ride the **delta path**:
+//!   produce corrupts all-zero frames, and consume fills/seals/composes
+//!   only the corrupted minority (CRC linearity keeps verdicts exact), so
+//!   clean frames cost no payload or CRC work at all.
+//! * Content-dependent channels ([`JammerChannel`], [`StuffingChannel`],
+//!   [`TruncationChannel`]) take the **eager path**: produce fills and
+//!   seals real frames before the channel sees them, because their
+//!   corruption keys on frame bytes or changes the frame length — which
+//!   no XOR delta can express. Debug builds probe channels claiming
+//!   content independence and panic on a mis-flagged one.
+//!
 //! # Reproducing a CI simulation run locally
 //!
 //! CI's `sim-determinism` job runs
-//! `cargo run --release -p crc-experiments --bin sim_determinism -- --threads T --out out.json`
-//! at `T = 1` and `T = 4` and requires byte-identical JSON. To reproduce
-//! any of its scenarios, build the same `Simulator` (the defaults —
-//! `DEFAULT_SHARD_FRAMES` and any thread count — match CI) with the seed
-//! printed in the JSON; per-shard streams derive from
+//! `cargo run --release -p crc-experiments --bin sim_determinism -- --threads T --mode M --out out.json`
+//! at `T = 1` and `T = 4` in both `sharded` and `pipelined` mode and
+//! requires all four JSON files byte-identical. To reproduce any of its
+//! scenarios, build the same `Simulator` (the defaults —
+//! `DEFAULT_SHARD_FRAMES` and any thread count or mode — match CI) with
+//! the seed printed in the JSON; per-shard streams derive from
 //! [`montecarlo::shard_seed`] as described above, so even a single shard
 //! can be replayed in isolation.
 //!
@@ -84,6 +115,9 @@ pub mod frame;
 pub mod imix;
 pub mod montecarlo;
 
-pub use channel::{BscChannel, BurstChannel, Channel, FixedWeightChannel, GilbertElliottChannel};
+pub use channel::{
+    BscChannel, BurstChannel, Channel, FixedWeightChannel, GilbertElliottChannel, JammerChannel,
+    StuffingChannel, TruncationChannel,
+};
 pub use frame::FrameCodec;
 pub use montecarlo::{run_trials, Simulator, TrialConfig, TrialStats};

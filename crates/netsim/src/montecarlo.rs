@@ -17,7 +17,7 @@
 //!
 //! [`Simulator`] partitions a run into fixed-size **shards** (default
 //! [`Simulator::DEFAULT_SHARD_FRAMES`] frames). Shard `i` derives its
-//! payload RNG and its [`Channel::fork`] seed from
+//! plan, fill and [`Channel::fork`] seeds from
 //! [`shard_seed`]`(cfg.seed, i, stream)`, so the work inside a shard is a
 //! pure function of the configuration. Worker threads claim shard indices
 //! from an atomic counter and merge [`TrialStats`] with exact integer
@@ -27,6 +27,27 @@
 //! (no per-frame allocation), corrupted through
 //! [`Channel::corrupt_batch`], and verified through
 //! [`FrameCodec::verify_batch`] so the CLMUL engine sees contiguous work.
+//!
+//! # The two-stage pipeline
+//!
+//! Every burst passes through two stages: **produce** (plan frame
+//! lengths, prepare buffers, run the channel — RNG-bound) and **consume**
+//! (compose payloads, batch-verify CRCs, tally — CRC-bound). Sharded
+//! mode alternates them on one thread; [`Simulator::pipelined`] mode
+//! pairs worker threads into lanes running the stages concurrently, with
+//! bursts double-buffered between them, so channel randomness for shard
+//! `k+1` overlaps verification of shard `k`. Because planning, channel
+//! and payload randomness live on **disjoint** [`shard_seed`] streams
+//! ([`STREAM_PLAN`]/[`STREAM_CHANNEL`]/[`STREAM_FILL`] — the stage that
+//! fills payloads owns the fill stream), both modes consume identical
+//! streams and tally bit-identically at any thread count.
+//!
+//! Which stage fills payloads depends on the path: content-independent
+//! channels ride the **delta path** (corrupt all-zero frames in produce;
+//! fill, seal and compose only the corrupted minority in consume), while
+//! content-dependent channels — jammers keying on frame bytes, stuffing
+//! slips, length errors — are filled and sealed eagerly in produce so
+//! the channel sees real content.
 
 use crate::channel::{Channel, FixedWeightChannel};
 use crate::frame::FrameCodec;
@@ -144,10 +165,17 @@ impl TrialStats {
 /// Derives the deterministic seed for one shard of a run.
 ///
 /// `stream` separates independent random streams inside the same shard
-/// (stream 0 drives payload generation, stream 1 the channel fork); the
-/// SplitMix64 finalizer decorrelates the structured inputs. This function
-/// is the whole seeding scheme: any shard of any CI run can be reproduced
+/// (stream 0 drives frame planning — lengths and traffic classes —
+/// stream 1 the channel fork, stream 2 payload content); the SplitMix64
+/// finalizer decorrelates the structured inputs. This function is the
+/// whole seeding scheme: any shard of any CI run can be reproduced
 /// locally from `(seed, shard, stream)` alone.
+///
+/// Plan, channel and fill draw from **disjoint streams** so the engine's
+/// two stages never contend for one generator: the produce stage (plan +
+/// corrupt) and the consume stage (compose + verify) can run on different
+/// threads in pipelined mode, each seeding its own streams from the shard
+/// index alone, and still reproduce the sharded mode bit for bit.
 pub fn shard_seed(seed: u64, shard: u64, stream: u64) -> u64 {
     let mut z = seed
         ^ shard.wrapping_mul(0x9E37_79B9_7F4A_7C15)
@@ -157,10 +185,31 @@ pub fn shard_seed(seed: u64, shard: u64, stream: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Random stream index for payload generation within a shard.
-pub(crate) const STREAM_PAYLOAD: u64 = 0;
+/// Random stream index for frame planning (lengths, traffic classes)
+/// within a shard.
+pub const STREAM_PLAN: u64 = 0;
 /// Random stream index for the channel fork within a shard.
-pub(crate) const STREAM_CHANNEL: u64 = 1;
+pub const STREAM_CHANNEL: u64 = 1;
+/// Random stream index for payload content within a shard.
+pub const STREAM_FILL: u64 = 2;
+
+/// The two payload-side random streams of one shard: `plan` draws frame
+/// lengths and tags, `fill` draws payload bytes. Whichever stage fills
+/// payloads (produce on the eager path, consume on the delta path) owns
+/// `fill` — the split is what lets the stages live on different threads.
+pub(crate) struct ShardStreams {
+    pub(crate) plan: rand::rngs::StdRng,
+    pub(crate) fill: rand::rngs::StdRng,
+}
+
+impl ShardStreams {
+    pub(crate) fn new(seed: u64, shard: u64) -> ShardStreams {
+        ShardStreams {
+            plan: rand::rngs::StdRng::seed_from_u64(shard_seed(seed, shard, STREAM_PLAN)),
+            fill: rand::rngs::StdRng::seed_from_u64(shard_seed(seed, shard, STREAM_FILL)),
+        }
+    }
+}
 
 /// The sharded, batch-driven trial engine.
 ///
@@ -175,12 +224,15 @@ pub(crate) const STREAM_CHANNEL: u64 = 1;
 /// let one = Simulator::new().threads(1).run(&codec, &BscChannel::new(1e-3), &cfg);
 /// let four = Simulator::new().threads(4).run(&codec, &BscChannel::new(1e-3), &cfg);
 /// assert_eq!(one, four); // same seed => identical stats, any thread count
+/// let piped = Simulator::new().pipelined().threads(4).run(&codec, &BscChannel::new(1e-3), &cfg);
+/// assert_eq!(one, piped); // pipelining reschedules work, never changes it
 /// ```
 #[derive(Debug, Clone)]
 pub struct Simulator {
     threads: usize,
     batch: usize,
     shard_frames: u64,
+    pipelined: bool,
 }
 
 impl Default for Simulator {
@@ -196,6 +248,9 @@ impl Simulator {
     /// runs still fan out across workers, large enough that per-shard
     /// setup (channel fork, RNG init) is noise.
     pub const DEFAULT_SHARD_FRAMES: u64 = 1024;
+    /// Bursts queued between a pipeline lane's producer and consumer (the
+    /// double buffer), on top of the burst each stage holds in hand.
+    const PIPE_DEPTH: usize = 2;
 
     /// A simulator with default sharding that uses every available core.
     pub fn new() -> Simulator {
@@ -203,7 +258,32 @@ impl Simulator {
             threads: 0,
             batch: Self::DEFAULT_BATCH,
             shard_frames: Self::DEFAULT_SHARD_FRAMES,
+            pipelined: false,
         }
+    }
+
+    /// Switches to the two-stage pipelined execution mode: worker threads
+    /// pair into lanes whose **producer** half plans frames and runs the
+    /// channel (the RNG-bound stage) while the **consumer** half composes
+    /// payloads, batch-verifies CRCs and tallies (the CRC-bound stage) —
+    /// so channel corruption for the next burst overlaps verification of
+    /// the previous one through a double-buffered handoff.
+    ///
+    /// Purely a scheduling change: plan, channel and fill randomness live
+    /// on disjoint [`shard_seed`] streams, laid out identically in both
+    /// modes, so a pipelined run is **bit-identical** to the sharded mode
+    /// at any thread count. With fewer than two workers the stages simply
+    /// run back to back on one thread; an odd worker count runs the
+    /// unpaired worker the same sequential way alongside the lanes, so no
+    /// requested thread idles.
+    pub fn pipelined(mut self) -> Simulator {
+        self.pipelined = true;
+        self
+    }
+
+    /// Whether [`Simulator::pipelined`] mode is selected.
+    pub fn is_pipelined(&self) -> bool {
+        self.pipelined
     }
 
     /// Sets the worker thread count (0 = one per available core).
@@ -305,11 +385,12 @@ impl Simulator {
 
     /// Pushes random frames through forks of `channel`, tallying CRC
     /// verdicts. Deterministic for a given `(cfg, shard_frames)`
-    /// regardless of `threads`. Exact tallies are also reproducible at
-    /// equal `batch`; a channel whose `corrupt_batch` override carries a
-    /// random stream across frame boundaries (e.g. [`BscChannel`]'s
-    /// geometric skip) lays that stream out per burst, so a *different*
-    /// batch size can regroup it — same distribution, different draws.
+    /// regardless of `threads` and of sharded vs [`Simulator::pipelined`]
+    /// mode. Exact tallies are also reproducible at equal `batch`; a
+    /// channel whose `corrupt_batch` override carries a random stream
+    /// across frame boundaries (e.g. [`BscChannel`]'s geometric skip)
+    /// lays that stream out per burst, so a *different* batch size can
+    /// regroup it — same distribution, different draws.
     ///
     /// For [`Channel::content_independent`] channels the engine runs the
     /// **delta path**: the burst is corrupted as all-zero delta frames
@@ -318,28 +399,209 @@ impl Simulator {
     /// filled, sealed, composed with its delta and batch-verified. CRC
     /// linearity makes the verdict distribution identical to the eager
     /// encode→corrupt→verify path, which content-dependent channels
-    /// still take.
+    /// (e.g. [`crate::channel::JammerChannel`] or the length-changing
+    /// slip models) always take. In debug builds a mis-flagged channel —
+    /// one claiming content independence whose corruption actually
+    /// depends on frame bytes — panics before any trial runs.
     pub fn run(&self, codec: &FrameCodec, channel: &dyn Channel, cfg: &TrialConfig) -> TrialStats {
+        #[cfg(debug_assertions)]
+        assert_content_flag(channel, cfg.seed, cfg.payload_len + codec.overhead());
+        let payload_len = cfg.payload_len;
+        self.run_engine(
+            codec,
+            channel,
+            cfg.seed,
+            cfg.trials,
+            || move |_: &mut rand::rngs::StdRng| (payload_len, 0),
+            |stats: &mut TrialStats, _tag, flips, verdict| stats.tally_frame(flips, verdict),
+        )
+    }
+
+    /// Engine core shared by [`Simulator::run`] and [`Simulator::run_mix`]:
+    /// dispatches a run to the sharded or pipelined driver. `make_plan`
+    /// yields a per-worker closure fixing each frame's `(payload_len,
+    /// tag)` from the shard's plan stream; `sink` folds one frame's
+    /// outcome into the mergeable partial `S` (`verdict = None` for
+    /// frames the channel left untouched).
+    pub(crate) fn run_engine<S, GP, FP>(
+        &self,
+        codec: &FrameCodec,
+        channel: &dyn Channel,
+        seed: u64,
+        trials: u64,
+        make_plan: GP,
+        sink: impl Fn(&mut S, usize, u32, Option<bool>) + Sync,
+    ) -> S
+    where
+        S: Default + Send + Merge,
+        GP: Fn() -> FP + Sync,
+        FP: FnMut(&mut rand::rngs::StdRng) -> (usize, usize),
+    {
+        let shards = trials.div_ceil(self.shard_frames);
+        if self.pipelined && self.worker_count(shards) >= 2 {
+            return self.run_pipeline(codec, channel, seed, trials, &make_plan, &sink);
+        }
         let batch = self.batch;
-        self.run_sharded(cfg.trials, || {
-            let mut scratch = BurstScratch::new(batch);
+        let sink = &sink;
+        let make_plan = &make_plan;
+        self.run_sharded(trials, move || {
+            let mut scratch = ShardScratch::new(batch);
+            let mut plan = make_plan();
             move |shard, count| {
-                let mut rng =
-                    rand::rngs::StdRng::seed_from_u64(shard_seed(cfg.seed, shard, STREAM_PAYLOAD));
-                let mut ch = channel.fork(shard_seed(cfg.seed, shard, STREAM_CHANNEL));
-                let mut stats = TrialStats::default();
-                run_shard_bursts(
+                let mut local = S::default();
+                run_shard_two_stage(
                     codec,
-                    ch.as_mut(),
-                    &mut rng,
+                    channel,
+                    seed,
+                    shard,
                     count,
                     &mut scratch,
-                    |_| (cfg.payload_len, 0),
-                    |_, flips, verdict| stats.tally_frame(flips, verdict),
+                    &mut plan,
+                    |tag, flips, verdict| sink(&mut local, tag, flips, verdict),
                 );
-                stats
+                local
             }
         })
+    }
+
+    /// The two-stage pipelined driver: `workers / 2` lanes, each pairing
+    /// a producer thread (plan + corrupt — it claims shards from the
+    /// shared counter) with a consumer thread (compose + verify + tally)
+    /// over a bounded queue of [`Simulator::PIPE_DEPTH`] bursts. Burst
+    /// buffers recycle through a return channel, so the steady state
+    /// allocates nothing and at most `PIPE_DEPTH + 2` bursts per lane are
+    /// ever in flight.
+    fn run_pipeline<S, GP, FP>(
+        &self,
+        codec: &FrameCodec,
+        channel: &dyn Channel,
+        seed: u64,
+        trials: u64,
+        make_plan: &GP,
+        sink: &(impl Fn(&mut S, usize, u32, Option<bool>) + Sync),
+    ) -> S
+    where
+        S: Default + Send + Merge,
+        GP: Fn() -> FP + Sync,
+        FP: FnMut(&mut rand::rngs::StdRng) -> (usize, usize),
+    {
+        use std::sync::mpsc;
+        let shard_frames = self.shard_frames;
+        let shards = trials.div_ceil(shard_frames);
+        let shard_len = move |shard: u64| shard_frames.min(trials - shard * shard_frames);
+        let workers = self.worker_count(shards);
+        let lanes = (workers / 2).max(1);
+        let batch = self.batch;
+        let delta = channel.content_independent();
+        let next = AtomicU64::new(0);
+        let partials: Vec<S> = crossbeam::scope(|scope| {
+            let next = &next;
+            let mut consumers = Vec::with_capacity(lanes + 1);
+            // An odd worker count leaves one thread unpaired: run it as a
+            // sequential two-stage worker on the same shard counter (same
+            // stage functions, same streams — shard results are pure, so
+            // mixing lane and solo workers cannot change the tally).
+            if workers > lanes * 2 {
+                consumers.push(scope.spawn(move |_| {
+                    let mut local = S::default();
+                    let mut scratch = ShardScratch::new(batch);
+                    let mut plan = make_plan();
+                    loop {
+                        let shard = next.fetch_add(1, Ordering::Relaxed);
+                        if shard >= shards {
+                            break;
+                        }
+                        run_shard_two_stage(
+                            codec,
+                            channel,
+                            seed,
+                            shard,
+                            shard_len(shard),
+                            &mut scratch,
+                            &mut plan,
+                            |tag, f, v| sink(&mut local, tag, f, v),
+                        );
+                    }
+                    local
+                }));
+            }
+            for _ in 0..lanes {
+                let (job_tx, job_rx) = mpsc::sync_channel::<BurstJob>(Self::PIPE_DEPTH);
+                let (free_tx, free_rx) = mpsc::channel::<BurstJob>();
+                // The circulating buffer pool: the queue plus one burst in
+                // each stage's hands.
+                for _ in 0..Self::PIPE_DEPTH + 2 {
+                    free_tx
+                        .send(BurstJob::new(batch))
+                        .expect("receiver is live");
+                }
+                scope.spawn(move |_| {
+                    let mut plan = make_plan();
+                    loop {
+                        let shard = next.fetch_add(1, Ordering::Relaxed);
+                        if shard >= shards {
+                            break;
+                        }
+                        let mut streams = ShardStreams::new(seed, shard);
+                        let mut ch = channel.fork(shard_seed(seed, shard, STREAM_CHANNEL));
+                        let mut left = shard_len(shard);
+                        while left > 0 {
+                            let burst = (batch as u64).min(left) as usize;
+                            // A closed return channel means the consumer
+                            // died (panicked); stop producing.
+                            let Ok(mut job) = free_rx.recv() else { return };
+                            job.shard = shard;
+                            produce_burst(
+                                codec,
+                                ch.as_mut(),
+                                &mut streams,
+                                &mut job,
+                                burst,
+                                &mut plan,
+                            );
+                            if job_tx.send(job).is_err() {
+                                return;
+                            }
+                            left -= burst as u64;
+                        }
+                    }
+                });
+                consumers.push(scope.spawn(move |_| {
+                    let mut local = S::default();
+                    let mut work = Vec::new();
+                    // On the delta path the consumer owns the fill stream,
+                    // re-derived from the shard index at each shard
+                    // boundary (bursts of one shard arrive contiguously
+                    // and in order from this lane's producer).
+                    let mut fill: Option<(u64, rand::rngs::StdRng)> = None;
+                    while let Ok(mut job) = job_rx.recv() {
+                        let fill_rng = if delta {
+                            if fill.as_ref().map(|(s, _)| *s) != Some(job.shard) {
+                                fill = Some((job.shard, ShardStreams::new(seed, job.shard).fill));
+                            }
+                            fill.as_mut().map(|(_, rng)| rng)
+                        } else {
+                            None
+                        };
+                        consume_burst(codec, fill_rng, &mut job, &mut work, |tag, f, v| {
+                            sink(&mut local, tag, f, v)
+                        });
+                        let _ = free_tx.send(job);
+                    }
+                    local
+                }));
+            }
+            consumers
+                .into_iter()
+                .map(|h| h.join().expect("pipeline consumer"))
+                .collect()
+        })
+        .expect("simulator scope");
+        let mut acc = S::default();
+        for partial in partials {
+            acc.merge_from(partial);
+        }
+        acc
     }
 
     /// Flips exactly `k` distinct random bit positions per frame and
@@ -366,120 +628,214 @@ impl Simulator {
     }
 }
 
-/// Reusable per-worker buffers for the burst loop.
-pub(crate) struct BurstScratch {
-    batch: usize,
+/// One burst of frames in flight through the engine: the unit the produce
+/// stage (plan + corrupt) hands to the consume stage (compose + verify +
+/// tally). In pipelined mode jobs travel between the lane's two threads
+/// and recycle through a return channel; in sharded mode a single job is
+/// reused in place.
+pub(crate) struct BurstJob {
+    /// Shard this burst belongs to — the consume stage derives the
+    /// shard's fill stream from it on the delta path.
+    shard: u64,
+    /// Frames in use this burst (`frames[..used]`).
+    used: usize,
     frames: Vec<Vec<u8>>,
-    work: Vec<u8>,
     flips: Vec<u32>,
     tags: Vec<usize>,
 }
 
-impl BurstScratch {
-    pub(crate) fn new(batch: usize) -> BurstScratch {
-        BurstScratch {
-            batch,
+impl BurstJob {
+    fn new(batch: usize) -> BurstJob {
+        BurstJob {
+            shard: 0,
+            used: 0,
             frames: vec![Vec::new(); batch],
-            work: Vec::new(),
             flips: Vec::new(),
             tags: vec![0; batch],
         }
     }
 }
 
-/// One shard's burst loop — the single home of the delta/eager burst
-/// machinery, shared by [`Simulator::run`] and [`Simulator::run_mix`].
+/// Reusable per-worker buffers for the sequential (sharded-mode) loop.
+pub(crate) struct ShardScratch {
+    job: BurstJob,
+    work: Vec<u8>,
+}
+
+impl ShardScratch {
+    pub(crate) fn new(batch: usize) -> ShardScratch {
+        ShardScratch {
+            job: BurstJob::new(batch),
+            work: Vec::new(),
+        }
+    }
+}
+
+/// Stage one of the engine: plans the burst's frames — drawing lengths
+/// and tags from the shard's plan stream — prepares their buffers, and
+/// corrupts them through the channel.
 ///
-/// `frame_plan(rng)` fixes the next frame's payload length before
-/// corruption, drawing any per-frame randomness (e.g. a traffic-mix
-/// class) and returning `(payload_len, tag)`; the opaque `tag` is handed
-/// back to `sink` so callers can tally per class without sharing a
-/// buffer across the two closures. `sink(tag, flips, verdict)` is called
-/// once per frame, with `verdict = None` for frames the channel left
-/// untouched.
-pub(crate) fn run_shard_bursts(
+/// Content-dependent channels (the eager path) see real frames: payloads
+/// drawn from the fill stream and sealed in place. Content-independent
+/// channels see all-zero delta frames, so untouched frames cost no
+/// payload or CRC work at all; the delta path's all-zero invariant holds
+/// across length changes because growing re-zeroes exactly the truncated
+/// bytes.
+pub(crate) fn produce_burst(
     codec: &FrameCodec,
     ch: &mut dyn Channel,
-    rng: &mut rand::rngs::StdRng,
-    count: u64,
-    scratch: &mut BurstScratch,
-    mut frame_plan: impl FnMut(&mut rand::rngs::StdRng) -> (usize, usize),
+    streams: &mut ShardStreams,
+    job: &mut BurstJob,
+    burst: usize,
+    frame_plan: &mut impl FnMut(&mut rand::rngs::StdRng) -> (usize, usize),
+) {
+    let eager = !ch.content_independent();
+    let overhead = codec.overhead();
+    job.used = burst;
+    for i in 0..burst {
+        let (payload_len, tag) = frame_plan(&mut streams.plan);
+        job.tags[i] = tag;
+        let frame = &mut job.frames[i];
+        if eager {
+            frame.clear();
+            frame.resize(payload_len, 0);
+            streams.fill.fill(&mut frame[..]);
+            codec.seal(frame);
+        } else {
+            frame.resize(payload_len + overhead, 0);
+        }
+    }
+    ch.corrupt_batch(&mut job.frames[..burst], &mut job.flips);
+}
+
+/// Stage two of the engine: on the delta path (`fill` is `Some`),
+/// composes a real sealed frame under each corrupted delta — `(payload ‖
+/// FCS) ⊕ δ`, payloads drawn from the fill stream — then batch-verifies
+/// the corrupted subset, reports every frame to `sink` (`verdict = None`
+/// for untouched frames), and restores the delta path's all-zero
+/// invariant on dirty frames so the job can be recycled.
+pub(crate) fn consume_burst(
+    codec: &FrameCodec,
+    fill: Option<&mut rand::rngs::StdRng>,
+    job: &mut BurstJob,
+    work: &mut Vec<u8>,
     mut sink: impl FnMut(usize, u32, Option<bool>),
 ) {
-    let overhead = codec.overhead();
-    let lazy = ch.content_independent();
-    let BurstScratch {
-        batch,
-        frames,
-        work,
-        flips,
-        tags,
-    } = scratch;
+    let burst = job.used;
+    let delta = fill.is_some();
+    if let Some(rng) = fill {
+        let overhead = codec.overhead();
+        for (frame, &f) in job.frames[..burst].iter_mut().zip(job.flips.iter()) {
+            if f == 0 {
+                continue;
+            }
+            work.clear();
+            work.resize(frame.len() - overhead, 0);
+            rng.fill(&mut work[..]);
+            codec.seal(work);
+            for (d, w) in frame.iter_mut().zip(work.iter()) {
+                *d ^= w;
+            }
+        }
+    }
+    // Verify the corrupted subset in one contiguous batch.
+    let corrupted: Vec<&[u8]> = job.frames[..burst]
+        .iter()
+        .zip(job.flips.iter())
+        .filter(|(_, &f)| f > 0)
+        .map(|(frame, _)| frame.as_slice())
+        .collect();
+    let verdicts = codec.verify_batch(&corrupted);
+    let mut v = verdicts.iter();
+    for (&tag, &f) in job.tags[..burst].iter().zip(job.flips.iter()) {
+        let verdict = if f == 0 {
+            None
+        } else {
+            Some(*v.next().expect("one verdict per corrupted frame"))
+        };
+        sink(tag, f, verdict);
+    }
+    if delta {
+        for (frame, &f) in job.frames[..burst].iter_mut().zip(job.flips.iter()) {
+            if f > 0 {
+                frame.iter_mut().for_each(|b| *b = 0);
+            }
+        }
+    }
+}
+
+/// Runs one shard start to finish on a single thread: produce and consume
+/// alternate burst by burst. These are exactly the pipeline's stage
+/// functions against the same stream layout, which is what makes sharded
+/// and pipelined mode tally bit-identically.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_shard_two_stage(
+    codec: &FrameCodec,
+    channel: &dyn Channel,
+    seed: u64,
+    shard: u64,
+    count: u64,
+    scratch: &mut ShardScratch,
+    frame_plan: &mut impl FnMut(&mut rand::rngs::StdRng) -> (usize, usize),
+    mut sink: impl FnMut(usize, u32, Option<bool>),
+) {
+    let batch = scratch.job.frames.len();
+    let mut streams = ShardStreams::new(seed, shard);
+    let mut ch = channel.fork(shard_seed(seed, shard, STREAM_CHANNEL));
+    let delta = channel.content_independent();
+    scratch.job.shard = shard;
     let mut left = count;
     while left > 0 {
-        let burst = (*batch as u64).min(left) as usize;
-        if lazy {
-            // Delta path: frames are kept all-zero between bursts; the
-            // channel writes its XOR delta onto them, so untouched
-            // frames cost nothing.
-            for (frame, tag) in frames[..burst].iter_mut().zip(tags.iter_mut()) {
-                let (payload_len, t) = frame_plan(rng);
-                *tag = t;
-                // Growing re-zeroes exactly the truncated bytes, so the
-                // all-zero invariant holds across length changes.
-                frame.resize(payload_len + overhead, 0);
-            }
-            ch.corrupt_batch(&mut frames[..burst], flips);
-            for (frame, &f) in frames[..burst].iter_mut().zip(flips.iter()) {
-                if f == 0 {
-                    continue;
-                }
-                // Compose a real frame under this delta: (payload ‖ FCS) ⊕ δ.
-                work.clear();
-                work.resize(frame.len() - overhead, 0);
-                rng.fill(&mut work[..]);
-                codec.seal(work);
-                for (d, w) in frame.iter_mut().zip(work.iter()) {
-                    *d ^= w;
-                }
-            }
-        } else {
-            for (frame, tag) in frames[..burst].iter_mut().zip(tags.iter_mut()) {
-                let (payload_len, t) = frame_plan(rng);
-                *tag = t;
-                frame.clear();
-                frame.resize(payload_len, 0);
-                rng.fill(&mut frame[..]);
-                codec.seal(frame);
-            }
-            ch.corrupt_batch(&mut frames[..burst], flips);
-        }
-        // Verify the corrupted subset in one contiguous batch.
-        let corrupted: Vec<&[u8]> = frames[..burst]
-            .iter()
-            .zip(flips.iter())
-            .filter(|(_, &f)| f > 0)
-            .map(|(frame, _)| frame.as_slice())
-            .collect();
-        let verdicts = codec.verify_batch(&corrupted);
-        let mut v = verdicts.iter();
-        for (&tag, &f) in tags[..burst].iter().zip(flips.iter()) {
-            let verdict = if f == 0 {
-                None
-            } else {
-                Some(*v.next().expect("one verdict per corrupted frame"))
-            };
-            sink(tag, f, verdict);
-        }
-        if lazy {
-            // Restore the all-zero invariant on dirty frames.
-            for (frame, &f) in frames[..burst].iter_mut().zip(flips.iter()) {
-                if f > 0 {
-                    frame.iter_mut().for_each(|b| *b = 0);
-                }
-            }
-        }
+        let burst = (batch as u64).min(left) as usize;
+        produce_burst(
+            codec,
+            ch.as_mut(),
+            &mut streams,
+            &mut scratch.job,
+            burst,
+            frame_plan,
+        );
+        let fill = if delta { Some(&mut streams.fill) } else { None };
+        consume_burst(codec, fill, &mut scratch.job, &mut scratch.work, &mut sink);
         left -= burst as u64;
+    }
+}
+
+/// Debug-build guard against mis-flagged channels: one claiming
+/// [`Channel::content_independent`] must, for the same fork seed, apply
+/// the same XOR delta (and keep the same length) on an all-zero frame as
+/// on arbitrary content. Content-dependent corruption routed onto the
+/// delta path would silently tally wrong verdicts; this probe turns that
+/// into a loud panic before any trial runs.
+#[cfg(debug_assertions)]
+pub(crate) fn assert_content_flag(channel: &dyn Channel, seed: u64, frame_len: usize) {
+    if !channel.content_independent() || frame_len == 0 {
+        return;
+    }
+    let probe_seed = shard_seed(seed, u64::MAX, STREAM_CHANNEL);
+    let mut zero = vec![0u8; frame_len];
+    let flips_zero = channel.fork(probe_seed).corrupt(&mut zero);
+    let mut payload_rng = rand::rngs::StdRng::seed_from_u64(probe_seed ^ 0x5EED);
+    // Two independent payloads: the chance a content-dependent channel
+    // mimics its zero-frame delta on both is negligible.
+    for _ in 0..2 {
+        let mut payload = vec![0u8; frame_len];
+        payload_rng.fill(&mut payload[..]);
+        let mut noisy = payload.clone();
+        let flips = channel.fork(probe_seed).corrupt(&mut noisy);
+        let delta_matches = zero.len() == frame_len
+            && noisy.len() == frame_len
+            && flips == flips_zero
+            && noisy
+                .iter()
+                .zip(payload.iter())
+                .zip(zero.iter())
+                .all(|((n, p), z)| n ^ p == *z);
+        assert!(
+            delta_matches,
+            "channel claims content_independent() but its corruption depends on frame \
+             bytes; it must return false and take the eager path"
+        );
     }
 }
 
@@ -576,7 +932,10 @@ pub fn inject_undetectable(frame: &mut [u8], pattern: &[u8]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::channel::{BscChannel, BurstChannel, GilbertElliottChannel};
+    use crate::channel::{
+        BscChannel, BurstChannel, GilbertElliottChannel, JammerChannel, StuffingChannel,
+        TruncationChannel,
+    };
     use crckit::catalog;
 
     #[test]
@@ -643,6 +1002,116 @@ mod tests {
             assert_eq!(one, three, "1-thread vs 3-thread divergence");
             assert_eq!(one, eight, "1-thread vs 8-thread divergence");
         }
+    }
+
+    #[test]
+    fn pipelined_mode_is_bit_identical_to_sharded() {
+        // The acceptance gate in miniature: the pipelined tier reschedules
+        // work, it never changes it — across delta-path channels,
+        // eager-path (content-dependent) channels, thread counts, and
+        // partial tail shards.
+        let codec = FrameCodec::new(catalog::CRC32_ISO_HDLC);
+        let cfg = TrialConfig {
+            payload_len: 307,
+            trials: 4_777, // deliberately not a multiple of the shard size
+            seed: 0x919E,
+        };
+        for channel in [
+            &BscChannel::new(1e-3) as &dyn Channel,
+            &GilbertElliottChannel::new(1e-4, 1e-2, 1e-7, 1e-2),
+            &JammerChannel::hdlc(0.5),
+            &StuffingChannel::new(0.02),
+            &TruncationChannel::new(0.05, 16),
+        ] {
+            let sharded = Simulator::new().threads(1).run(&codec, channel, &cfg);
+            for threads in [1usize, 2, 5] {
+                let piped = Simulator::new()
+                    .pipelined()
+                    .threads(threads)
+                    .run(&codec, channel, &cfg);
+                assert_eq!(sharded, piped, "pipelined x{threads} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_mix_matches_sharded_mix() {
+        let codec = FrameCodec::new(catalog::CRC32_ISCSI);
+        let mix = crate::imix::TrafficMix::simple_imix();
+        let ch = JammerChannel::hdlc(0.3);
+        let sharded = Simulator::new()
+            .threads(1)
+            .run_mix(&codec, &ch, &mix, 3_000, 21);
+        let piped = Simulator::new()
+            .pipelined()
+            .threads(4)
+            .run_mix(&codec, &ch, &mix, 3_000, 21);
+        assert_eq!(sharded.per_class.len(), piped.per_class.len());
+        for ((ca, sa), (cb, sb)) in sharded.per_class.iter().zip(&piped.per_class) {
+            assert_eq!(ca, cb);
+            assert_eq!(sa, sb, "per-class divergence for {}", ca.label);
+        }
+    }
+
+    #[test]
+    fn content_dependent_channels_ride_the_eager_path_end_to_end() {
+        // Slips and length errors at CRC-32 scale: plenty of corruption,
+        // nothing undetected.
+        let codec = FrameCodec::new(catalog::CRC32_ISO_HDLC);
+        let cfg = TrialConfig {
+            payload_len: 256,
+            trials: 4_000,
+            seed: 0xEA6E,
+        };
+        for (name, channel) in [
+            ("jammer", &JammerChannel::hdlc(0.8) as &dyn Channel),
+            ("stuffing", &StuffingChannel::new(0.05)),
+            ("truncation", &TruncationChannel::new(0.2, 8)),
+        ] {
+            let s = Simulator::new().run(&codec, channel, &cfg);
+            assert_eq!(s.total(), cfg.trials, "{name}");
+            assert!(s.corrupted() > 200, "{name} corrupted too little");
+            assert!(s.clean > 0, "{name} should leave some frames clean");
+            assert_eq!(s.undetected, 0, "{name}: CRC-32 must catch all of these");
+        }
+    }
+
+    /// A deliberately mis-flagged channel: claims content independence
+    /// but keys its flips on the frame's bytes.
+    #[cfg(debug_assertions)]
+    #[derive(Debug, Clone)]
+    struct MisflaggedChannel(JammerChannel);
+
+    #[cfg(debug_assertions)]
+    impl Channel for MisflaggedChannel {
+        fn corrupt(&mut self, frame: &mut Vec<u8>) -> u32 {
+            self.0.corrupt(frame)
+        }
+        fn reseed(&mut self, seed: u64) {
+            self.0.reseed(seed);
+        }
+        fn fork(&self, seed: u64) -> Box<dyn Channel> {
+            let mut ch = self.clone();
+            ch.reseed(seed);
+            Box::new(ch)
+        }
+        fn content_independent(&self) -> bool {
+            true // the lie under test
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "content_independent")]
+    fn misflagged_channel_is_caught_in_debug_builds() {
+        let codec = FrameCodec::new(catalog::CRC32_ISO_HDLC);
+        let cfg = TrialConfig {
+            payload_len: 512,
+            trials: 100,
+            seed: 3,
+        };
+        let ch = MisflaggedChannel(JammerChannel::hdlc(1.0));
+        let _ = Simulator::new().run(&codec, &ch, &cfg);
     }
 
     #[test]

@@ -1,17 +1,28 @@
 //! Property tests for the channel models: structural guarantees
-//! (burst span, fixed weight, fork determinism) and the Gilbert–Elliott
-//! chain's stationary occupancy.
+//! (burst span, fixed weight, fork determinism, stuffing slip bounds,
+//! truncation length bounds) and the Gilbert–Elliott chain's stationary
+//! occupancy.
 
 use netsim::channel::{
-    BscChannel, BurstChannel, Channel, FixedWeightChannel, GilbertElliottChannel,
+    BscChannel, BurstChannel, Channel, FixedWeightChannel, GilbertElliottChannel, JammerChannel,
+    StuffingChannel, TruncationChannel,
 };
 use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
 
 /// Bit positions set in a frame (all-zero before corruption).
 fn set_bits(frame: &[u8]) -> Vec<usize> {
     (0..frame.len() * 8)
         .filter(|&i| frame[i / 8] >> (i % 8) & 1 == 1)
         .collect()
+}
+
+/// Deterministic random frame content for the content-dependent channels.
+fn random_frame(seed: u64, len: usize) -> Vec<u8> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut frame = vec![0u8; len];
+    rng.fill(&mut frame[..]);
+    frame
 }
 
 proptest! {
@@ -94,6 +105,100 @@ proptest! {
             prop_assert_eq!(seq_ch.corrupt(frame), f);
         }
         prop_assert_eq!(batch_frames, seq_frames);
+    }
+
+    /// Jammer forks are pure functions of the fork seed even on frames
+    /// with arbitrary content, regardless of the prototype's history.
+    #[test]
+    fn jammer_forks_are_deterministic(args in (any::<u64>(), any::<u64>(), 1usize..300)) {
+        let (seed, content_seed, len) = args;
+        let mut used = JammerChannel::hdlc(0.7);
+        let mut junk = random_frame(content_seed ^ 1, 512);
+        used.corrupt(&mut junk); // advance the prototype's RNG
+        let mut a = used.fork(seed);
+        let mut b = JammerChannel::hdlc(0.7).fork(seed);
+        let mut fa = random_frame(content_seed, len);
+        let mut fb = fa.clone();
+        let ca = a.corrupt(&mut fa);
+        let cb = b.corrupt(&mut fb);
+        prop_assert_eq!(ca, cb);
+        prop_assert_eq!(fa, fb);
+    }
+
+    /// Stuffing slips are bounded by the frame's stuffing points; slips
+    /// modify the frame, and a zero return leaves it untouched.
+    #[test]
+    fn stuffing_slips_bounded_by_stuffing_points(
+        args in (any::<u64>(), any::<u64>(), 1usize..200, 0.0f64..1.0)
+    ) {
+        let (seed, content_seed, len, slip_prob) = args;
+        let original = random_frame(content_seed, len);
+        let points = StuffingChannel::stuffing_points(&original) as u32;
+        let mut ch = StuffingChannel::new(slip_prob);
+        ch.reseed(seed);
+        let mut frame = original.clone();
+        let slips = ch.corrupt(&mut frame);
+        prop_assert!(slips <= points, "slips {} > stuffing points {}", slips, points);
+        if slips == 0 {
+            prop_assert_eq!(frame, original, "zero slips must leave the frame intact");
+        } else {
+            prop_assert_ne!(frame, original, "slips must modify the frame");
+            // A slip shifts/inserts/deletes single bits: length moves by
+            // at most one byte per slip.
+            let delta = frame.len().abs_diff(original.len());
+            prop_assert!(delta <= slips as usize);
+        }
+    }
+
+    /// Truncation keeps lengths within [1, len + max_delta] and its
+    /// untouched frames exactly intact.
+    #[test]
+    fn truncation_length_distribution(
+        args in (any::<u64>(), 2usize..200, 1usize..32, 0.0f64..1.0)
+    ) {
+        let (seed, len, max_delta, p) = args;
+        let mut ch = TruncationChannel::new(p, max_delta);
+        ch.reseed(seed);
+        let original = random_frame(seed ^ 0xC0FFEE, len);
+        for _ in 0..16 {
+            let mut frame = original.clone();
+            let bits = ch.corrupt(&mut frame);
+            prop_assert!(!frame.is_empty());
+            prop_assert!(frame.len() <= len + max_delta);
+            prop_assert!(frame.len() >= len.saturating_sub(max_delta).max(1));
+            if bits == 0 {
+                prop_assert_eq!(&frame, &original);
+            } else {
+                prop_assert_ne!(frame.len(), len, "length errors change the length");
+                prop_assert_eq!(bits as usize, frame.len().abs_diff(len) * 8);
+            }
+        }
+    }
+
+    /// For every content-dependent channel, the default batch path equals
+    /// the sequential path bit-for-bit on identical content.
+    #[test]
+    fn content_dependent_batch_matches_sequential(args in (any::<u64>(), any::<u64>())) {
+        let (seed, content_seed) = args;
+        let protos: [Box<dyn Channel>; 3] = [
+            Box::new(JammerChannel::hdlc(0.6)),
+            Box::new(StuffingChannel::new(0.3)),
+            Box::new(TruncationChannel::new(0.5, 8)),
+        ];
+        for proto in &protos {
+            let mut batch_ch = proto.fork(seed);
+            let mut seq_ch = proto.fork(seed);
+            let mut batch_frames: Vec<Vec<u8>> = (0..6)
+                .map(|i| random_frame(content_seed.wrapping_add(i), 48 + 17 * i as usize))
+                .collect();
+            let mut seq_frames = batch_frames.clone();
+            let mut flips = Vec::new();
+            batch_ch.corrupt_batch(&mut batch_frames, &mut flips);
+            for (frame, &f) in seq_frames.iter_mut().zip(&flips) {
+                prop_assert_eq!(seq_ch.corrupt(frame), f);
+            }
+            prop_assert_eq!(&batch_frames, &seq_frames);
+        }
     }
 }
 
