@@ -22,18 +22,20 @@ fn main() {
         })
         .collect();
 
-    // CSV: one step-curve per polynomial.
-    println!("poly,length_bits,hd");
+    // CSV: one step-curve per polynomial, through the report emitter so
+    // every cell obeys the workspace's one escaping rule.
+    let mut curve = TextTable::new(["poly", "length_bits", "hd"]);
     for (k, p) in &profiles {
         for band in p.bands() {
             let hd = band
                 .hd
                 .map(|h| h.to_string())
                 .unwrap_or_else(|| "hi".into());
-            println!("0x{k:08X},{},{hd}", band.from);
-            println!("0x{k:08X},{},{hd}", band.to);
+            curve.push_row([format!("0x{k:08X}"), band.from.to_string(), hd.clone()]);
+            curve.push_row([format!("0x{k:08X}"), band.to.to_string(), hd]);
         }
     }
+    print!("{}", curve.to_csv());
 
     // The annotated packet sizes from the figure's x-axis.
     let mut t = TextTable::new(

@@ -1,0 +1,174 @@
+//! Survey-engine throughput measurement with a machine-readable trail.
+//!
+//! Runs the same exhaustive campaign (13-bit space, HD >= 4 screen at
+//! 64 bits, profiles to 1024 bits) three ways and reports polynomials
+//! screened per second:
+//!
+//! * **1 thread** — the single-worker baseline;
+//! * **N threads** — the full worker pool (shards × atomic claim);
+//! * **resumed ×4** — the same campaign split across four
+//!   run/checkpoint/reopen cycles, measuring what the checkpoint
+//!   protocol costs end to end.
+//!
+//! All three must produce byte-identical artifacts (asserted here), so
+//! the numbers are comparable by construction. Writes
+//! `BENCH_survey_throughput.json` so the trajectory stays diffable from
+//! PR to PR.
+//!
+//! Usage: `cargo run --release -p crc-experiments --bin
+//! survey_throughput [--width 13] [--reps 3] [--out PATH]`
+
+use crc_experiments::arg_or;
+use crc_survey::campaign::{CampaignConfig, Mode};
+use crc_survey::engine::Campaign;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn config(width: u32) -> CampaignConfig {
+    CampaignConfig {
+        width,
+        shards: 32,
+        seed: 1,
+        mode: Mode::Exhaustive,
+        min_hd: 4,
+        target_lengths: vec![64, 1024],
+        ber_grid: vec![1e-5, 1e-6],
+        max_weight: 8,
+    }
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("survey-throughput-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Median-of-`reps` polynomials/sec for one way of running the
+/// campaign. `mode` keeps each measurement's directories disjoint —
+/// the kept last-rep dirs are byte-compared across modes afterwards,
+/// which only means something if the modes never share a path.
+fn measure(reps: usize, width: u32, mode: &str, run: impl Fn(&PathBuf) -> u64) -> (f64, PathBuf) {
+    let mut rates = Vec::new();
+    let mut last_dir = PathBuf::new();
+    for rep in 0..reps.max(1) {
+        let dir = fresh_dir(&format!("{mode}-{width}-{rep}"));
+        let start = Instant::now();
+        let scanned = run(&dir);
+        let rate = scanned as f64 / start.elapsed().as_secs_f64();
+        rates.push(rate);
+        if rep + 1 == reps.max(1) {
+            last_dir = dir;
+        } else {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+    rates.sort_by(|a, b| a.total_cmp(b));
+    (rates[rates.len() / 2], last_dir)
+}
+
+fn main() {
+    let width: u32 = arg_or("--width", 13);
+    let reps: usize = arg_or("--reps", 3);
+    let out_path: String = arg_or("--out", "BENCH_survey_throughput.json".to_string());
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let cfg = config(width);
+    println!(
+        "survey_throughput: exhaustive {width}-bit campaign ({} polys, {} shards, \
+         HD>={} at {} bits), {host_threads} host threads",
+        cfg.space().total(),
+        cfg.shards,
+        cfg.min_hd,
+        cfg.screen_len()
+    );
+
+    let (single, d1) = measure(reps, width, "single", |dir| {
+        let mut c = Campaign::create(dir, config(width)).unwrap();
+        c.run(1, None).unwrap().scanned
+    });
+    println!("  1 thread    : {single:>10.0} polys/s");
+
+    let (pooled, dn) = measure(reps, width, "pooled", |dir| {
+        let mut c = Campaign::create(dir, config(width)).unwrap();
+        c.run(host_threads, None).unwrap().scanned
+    });
+    println!("  {host_threads} threads   : {pooled:>10.0} polys/s");
+
+    let (resumed, dr) = measure(reps, width, "resumed", |dir| {
+        // Four run/checkpoint/reopen cycles: the resume overhead at its
+        // worst reasonable cadence.
+        let quarters = config(width).shards.div_ceil(4);
+        let mut c = Campaign::create(dir, config(width)).unwrap();
+        let mut scanned = c.run(host_threads, Some(quarters)).unwrap().scanned;
+        while !Campaign::open(dir).unwrap().is_complete() {
+            let mut c = Campaign::open(dir).unwrap();
+            scanned += c.run(host_threads, Some(quarters)).unwrap().scanned;
+        }
+        scanned
+    });
+    println!("  resumed ×4  : {resumed:>10.0} polys/s");
+
+    // The three runs must agree byte-for-byte, or the numbers above are
+    // comparing different work.
+    for shard in 0..cfg.shards {
+        let a = std::fs::read(Campaign::open(&d1).unwrap().shard_log_path(shard)).unwrap();
+        for dir in [&dn, &dr] {
+            let b = std::fs::read(Campaign::open(dir).unwrap().shard_log_path(shard)).unwrap();
+            assert_eq!(a, b, "shard {shard} diverged between modes");
+        }
+    }
+    let survivors = Campaign::open(&d1).unwrap().survivors().unwrap().len();
+    println!(
+        "modes byte-identical across {} shards; {survivors} survivors",
+        cfg.shards
+    );
+    for dir in [&d1, &dn, &dr] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    let speedup = pooled / single;
+    let resume_cost = pooled / resumed;
+    println!(
+        "\npool ×{host_threads} vs 1 thread: {speedup:.2}x; checkpoint/resume ×4 costs {:.1}%",
+        (resume_cost - 1.0) * 100.0
+    );
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"benchmark\": \"survey_throughput\",").unwrap();
+    writeln!(json, "  \"unit\": \"polys/s\",").unwrap();
+    writeln!(
+        json,
+        "  \"scenario\": \"exhaustive {width}-bit campaign, HD>={} at {} bits, profiles to {}\",",
+        cfg.min_hd,
+        cfg.screen_len(),
+        cfg.ref_len()
+    )
+    .unwrap();
+    writeln!(json, "  \"space\": {},", cfg.space().total()).unwrap();
+    writeln!(json, "  \"shards\": {},", cfg.shards).unwrap();
+    writeln!(json, "  \"survivors\": {survivors},").unwrap();
+    writeln!(json, "  \"host_threads\": {host_threads},").unwrap();
+    writeln!(json, "  \"pool_speedup\": {speedup:.3},").unwrap();
+    writeln!(json, "  \"results\": [").unwrap();
+    let rows = [
+        ("single", 1usize, single),
+        ("pooled", host_threads, pooled),
+        ("resumed_x4", host_threads, resumed),
+    ];
+    for (i, (mode, threads, rate)) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        writeln!(
+            json,
+            "    {{\"mode\": \"{mode}\", \"threads\": {threads}, \
+             \"polys_per_s\": {rate:.0}}}{comma}"
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+    std::fs::write(&out_path, json).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+}

@@ -13,6 +13,7 @@
 //! | `weights_mtu`      | §2 weights at the Ethernet MTU (W₄ = 223,059)   |
 //! | `cost_model`       | §3 intractability arithmetic                    |
 //! | `applications`     | §4.3/§4.4 iSCSI & jumbo-frame studies           |
+//! | `survey_throughput`| campaign-engine polys/sec trail (BENCH json)    |
 
 use crc_hd::GenPoly;
 

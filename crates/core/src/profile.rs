@@ -114,6 +114,71 @@ impl HdProfile {
         })
     }
 
+    /// Reconstructs a profile from previously computed parts — the
+    /// deserialization half of a checkpointed survey: a worker computes a
+    /// profile once, persists `(order, dmins, max_weight_explored)` in a
+    /// survivor log, and any later process rebuilds the identical profile
+    /// without re-running the `d_min` searches.
+    ///
+    /// `max_len` must not exceed the `max_len` of the original compute
+    /// call: `compute` censors its `d_min` searches at the original
+    /// degree cap, so a weight whose minimal multiple lies above that
+    /// cap is *absent* from the parts, and querying a rebuilt profile
+    /// beyond the explored range would silently over-report HD there.
+    /// (The parts themselves do not record the original cap, so this
+    /// precondition cannot be checked here — callers that persist parts
+    /// must persist the explored range alongside them, as the survey's
+    /// survivor records do via their reference length.) Shrinking
+    /// `max_len` is always safe.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::BadLength`] for `max_len` outside `1..=2^30`;
+    /// [`Error::BadPolynomial`] when the parts violate the profile
+    /// invariants (weights not strictly ascending from ≥ 2, `d_min`
+    /// values not strictly descending, or a weight above
+    /// `max_weight_explored`).
+    pub fn from_parts(
+        g: &GenPoly,
+        max_len: u32,
+        order: u128,
+        dmins: Vec<(u32, u32)>,
+        max_weight_explored: u32,
+    ) -> Result<HdProfile> {
+        if max_len == 0 || max_len > (1 << 30) {
+            return Err(Error::BadLength(format!(
+                "max_len {max_len} outside 1..=2^30"
+            )));
+        }
+        for pair in dmins.windows(2) {
+            if pair[0].0 >= pair[1].0 || pair[0].1 <= pair[1].1 {
+                return Err(Error::BadPolynomial(format!(
+                    "profile parts out of order: ({}, {}) then ({}, {})",
+                    pair[0].0, pair[0].1, pair[1].0, pair[1].1
+                )));
+            }
+        }
+        if let Some(&(w, _)) = dmins.first() {
+            if w < 2 {
+                return Err(Error::BadPolynomial(format!("profile weight {w} < 2")));
+            }
+        }
+        if let Some(&(w, _)) = dmins.last() {
+            if w > max_weight_explored {
+                return Err(Error::BadPolynomial(format!(
+                    "profile weight {w} above explored limit {max_weight_explored}"
+                )));
+            }
+        }
+        Ok(HdProfile {
+            g: *g,
+            max_len,
+            order,
+            dmins,
+            max_weight_explored,
+        })
+    }
+
     /// The generator this profile describes.
     pub fn generator(&self) -> &GenPoly {
         &self.g
@@ -298,6 +363,47 @@ mod tests {
                 assert_eq!(p.hd_at(n), Some(exhaustive), "poly {koopman:#x} at n={n}");
             }
         }
+    }
+
+    #[test]
+    fn from_parts_round_trips_a_computed_profile() {
+        let g = g32(0x8F6E37A0);
+        let p = HdProfile::compute(&g, 6000).unwrap();
+        let rebuilt = HdProfile::from_parts(
+            &g,
+            p.max_len(),
+            p.order(),
+            p.dmins().to_vec(),
+            p.max_weight_explored(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt.bands(), p.bands());
+        for n in [1u32, 100, 5243, 5244, 6000] {
+            assert_eq!(rebuilt.hd_at(n), p.hd_at(n), "n={n}");
+        }
+        for hd in 2..=8 {
+            assert_eq!(rebuilt.max_len_for_hd(hd), p.max_len_for_hd(hd));
+        }
+        // A *shorter* max_len re-ranges the same parts (extending past
+        // the original compute range is unsound: parts are censored at
+        // the original degree cap — see the from_parts docs).
+        let shorter = HdProfile::from_parts(&g, 1000, p.order(), p.dmins().to_vec(), 16).unwrap();
+        assert_eq!(shorter.hd_at(1000), p.hd_at(1000));
+        assert_eq!(shorter.max_len_for_hd(6), Some(1000));
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_parts() {
+        let g = g32(0x8F6E37A0);
+        // Weights must ascend, d_min must descend.
+        assert!(HdProfile::from_parts(&g, 100, 7, vec![(4, 10), (3, 5)], 16).is_err());
+        assert!(HdProfile::from_parts(&g, 100, 7, vec![(3, 5), (4, 10)], 16).is_err());
+        // Weight below 2 or above the explored limit.
+        assert!(HdProfile::from_parts(&g, 100, 7, vec![(1, 10)], 16).is_err());
+        assert!(HdProfile::from_parts(&g, 100, 7, vec![(4, 10)], 3).is_err());
+        // Bad lengths.
+        assert!(HdProfile::from_parts(&g, 0, 7, vec![], 16).is_err());
+        assert!(HdProfile::from_parts(&g, (1 << 30) + 1, 7, vec![], 16).is_err());
     }
 
     #[test]

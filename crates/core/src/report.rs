@@ -63,7 +63,7 @@ impl TextTable {
             out.push('\n');
         };
         emit(&self.headers, &mut out);
-        let rule: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * cols.saturating_sub(1);
         out.push_str(&"-".repeat(rule));
         out.push('\n');
         for row in &self.rows {
@@ -72,7 +72,7 @@ impl TextTable {
         out
     }
 
-    /// Renders as CSV (RFC-4180-style quoting for commas and quotes).
+    /// Renders as CSV (RFC-4180 quoting via [`csv_escape`]).
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
         let emit_row = |cells: &[String], out: &mut String| {
@@ -80,13 +80,7 @@ impl TextTable {
                 if i > 0 {
                     out.push(',');
                 }
-                if cell.contains([',', '"', '\n']) {
-                    out.push('"');
-                    out.push_str(&cell.replace('"', "\"\""));
-                    out.push('"');
-                } else {
-                    out.push_str(cell);
-                }
+                out.push_str(&csv_escape(cell));
             }
             out.push('\n');
         };
@@ -95,6 +89,19 @@ impl TextTable {
             emit_row(row, &mut out);
         }
         out
+    }
+}
+
+/// RFC-4180 escaping for one CSV cell: cells containing a comma, quote,
+/// or line break (LF **or** CR) are wrapped in quotes with inner quotes
+/// doubled; all others pass through unchanged. Every CSV emitter in the
+/// workspace must route cells through this — factorization-class cells
+/// like `{1,3,28}` would otherwise split into three columns.
+pub fn csv_escape(cell: &str) -> std::borrow::Cow<'_, str> {
+    if cell.contains([',', '"', '\n', '\r']) {
+        std::borrow::Cow::Owned(format!("\"{}\"", cell.replace('"', "\"\"")))
+    } else {
+        std::borrow::Cow::Borrowed(cell)
     }
 }
 
@@ -147,6 +154,40 @@ mod tests {
         let csv = t.to_csv();
         assert!(csv.contains("\"has,comma\""));
         assert!(csv.contains("\"has\"\"quote\""));
+    }
+
+    #[test]
+    fn csv_escape_covers_rfc4180() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape(""), "");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("a\"b"), "\"a\"\"b\"");
+        assert_eq!(csv_escape("a\nb"), "\"a\nb\"");
+        // CR alone must also trigger quoting (previously missed).
+        assert_eq!(csv_escape("a\rb"), "\"a\rb\"");
+        // The survey leaderboard's class-signature cells.
+        assert_eq!(csv_escape("{1,3,28}"), "\"{1,3,28}\"");
+    }
+
+    #[test]
+    fn csv_class_signature_stays_one_cell() {
+        // A leaderboard-shaped row: the factorization class contains
+        // commas and must come back as a single quoted field.
+        let mut t = TextTable::new(["poly", "class", "hd"]);
+        t.push_row(["0xBA0DC66B", "{1,3,28}", "6"]);
+        let line = t.to_csv().lines().nth(1).unwrap().to_string();
+        assert_eq!(line, "0xBA0DC66B,\"{1,3,28}\",6");
+        // Naive comma-splitting outside quotes yields exactly 3 fields.
+        let mut fields = 0;
+        let mut in_quotes = false;
+        for c in line.chars() {
+            match c {
+                '"' => in_quotes = !in_quotes,
+                ',' if !in_quotes => fields += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(fields + 1, 3);
     }
 
     #[test]

@@ -47,15 +47,36 @@ impl PolySpace {
 
     /// Iterates every generator in the space.
     pub fn iter_all(&self) -> impl Iterator<Item = GenPoly> + '_ {
-        // Invariant: `PolySpace::new` asserts 3 <= width <= 32, so both
-        // shifts are in range and `(1 << width) - 1` cannot overflow —
-        // no width-64 special case is reachable here.
-        let width = self.width;
-        let lo = 1u64 << (width - 1);
-        let hi = (1u64 << width) - 1;
-        (lo..=hi).map(move |k| {
-            GenPoly::from_koopman(width, k).expect("top bit set by range construction")
-        })
+        self.iter_range(0, self.total())
+    }
+
+    /// The generator at `offset` (0-based) in the space's canonical
+    /// enumeration order (ascending Koopman value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= total()`.
+    pub fn nth(&self, offset: u64) -> GenPoly {
+        assert!(offset < self.total(), "offset {offset} outside the space");
+        // Invariant: `PolySpace::new` asserts 3 <= width <= 32, so the
+        // shift is in range and lo + offset keeps the top bit set.
+        let lo = 1u64 << (self.width - 1);
+        GenPoly::from_koopman(self.width, lo + offset).expect("top bit set by construction")
+    }
+
+    /// Iterates generators at offsets `start..end` of the enumeration
+    /// order — the resumable work-unit primitive: any contiguous slice of
+    /// the space can be (re)scanned independently of the rest, so a
+    /// sharded survey can partition `0..total()` into ranges and replay
+    /// any shard bit-identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > total()`.
+    pub fn iter_range(&self, start: u64, end: u64) -> impl Iterator<Item = GenPoly> + '_ {
+        assert!(start <= end, "range start {start} past end {end}");
+        assert!(end <= self.total(), "range end {end} outside the space");
+        (start..end).map(move |offset| self.nth(offset))
     }
 
     /// Iterates one representative per reciprocal pair (the member whose
@@ -263,6 +284,34 @@ mod tests {
         assert_eq!(s.iter_canonical().count(), 72);
         let s16 = PolySpace::new(16);
         assert_eq!(s16.distinct(), 16_512);
+    }
+
+    #[test]
+    fn range_iteration_partitions_the_space() {
+        // Any partition of 0..total into contiguous ranges re-yields
+        // iter_all exactly — the resumable-shard invariant.
+        let s = PolySpace::new(9);
+        let all: Vec<u64> = s.iter_all().map(|g| g.koopman()).collect();
+        for shards in [1u64, 3, 7, 16] {
+            let chunk = s.total().div_ceil(shards);
+            let mut rebuilt = Vec::new();
+            for i in 0..shards {
+                let start = i * chunk;
+                let end = ((i + 1) * chunk).min(s.total());
+                rebuilt.extend(s.iter_range(start, end).map(|g| g.koopman()));
+            }
+            assert_eq!(rebuilt, all, "{shards} shards");
+        }
+        assert_eq!(s.nth(0).koopman(), 1 << 8);
+        assert_eq!(s.nth(s.total() - 1).koopman(), (1 << 9) - 1);
+        assert_eq!(s.iter_range(5, 5).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the space")]
+    fn nth_out_of_range_panics() {
+        let s = PolySpace::new(8);
+        let _ = s.nth(s.total());
     }
 
     #[test]

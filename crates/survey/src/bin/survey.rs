@@ -1,0 +1,165 @@
+//! The survey campaign CLI.
+//!
+//! ```text
+//! survey run    --dir DIR --width W [--shards S] [--threads N] [--seed S]
+//!               [--lengths a,b,c] [--min-hd H] [--max-weight W]
+//!               [--ber 1e-5,1e-6] [--sample N] [--stop-after K]
+//! survey resume --dir DIR [--threads N] [--stop-after K]
+//! survey report --dir DIR [--out FILE] [--top K] [--no-spot-check]
+//! ```
+//!
+//! `run` creates a campaign and drives it to completion (or for
+//! `--stop-after K` checkpoints — the kill-at-a-checkpoint primitive CI
+//! uses to exercise resume). `resume` continues whatever `campaign.json`
+//! records. `report` loads a completed campaign's survivor logs and
+//! writes the leaderboard JSON (plus tables and CSV on stdout).
+
+use crc_survey::campaign::{CampaignConfig, Mode};
+use crc_survey::engine::Campaign;
+use crc_survey::leaderboard::{build, render_tables, LeaderboardOptions};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_or<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, String> {
+    match flag_value(args, flag) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad value {v:?} for {flag}")),
+    }
+}
+
+fn parse_list<T: std::str::FromStr>(text: &str, what: &str) -> Result<Vec<T>, String> {
+    text.split(',')
+        .map(|part| {
+            part.trim()
+                .parse()
+                .map_err(|_| format!("bad {what} entry {part:?}"))
+        })
+        .collect()
+}
+
+fn require_dir(args: &[String]) -> Result<PathBuf, String> {
+    flag_value(args, "--dir")
+        .map(PathBuf::from)
+        .ok_or_else(|| "--dir is required".into())
+}
+
+fn threads_or_default(args: &[String]) -> Result<usize, String> {
+    let default = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    parse_or(args, "--threads", default)
+}
+
+fn stop_after(args: &[String]) -> Result<Option<u64>, String> {
+    Ok(match flag_value(args, "--stop-after") {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("bad value {v:?} for --stop-after"))?,
+        ),
+    })
+}
+
+fn drive(campaign: &mut Campaign, threads: usize, stop: Option<u64>) -> Result<(), String> {
+    let (done, total) = campaign.progress();
+    eprintln!(
+        "campaign {}: width {}, {done}/{total} shards done, {threads} threads",
+        campaign.dir().display(),
+        campaign.config().width
+    );
+    let summary = campaign.run(threads, stop).map_err(|e| e.to_string())?;
+    let (done, total) = campaign.progress();
+    eprintln!(
+        "ran {} shards ({} scanned, {} canonical, {} survivors); {done}/{total} complete",
+        summary.shards_run, summary.scanned, summary.canonical, summary.survivors
+    );
+    if !campaign.is_complete() {
+        eprintln!("campaign paused at a checkpoint; `survey resume --dir ...` continues it");
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let dir = require_dir(args)?;
+    let width: u32 = parse_or(args, "--width", 0)?;
+    if width == 0 {
+        return Err("--width is required".into());
+    }
+    let lengths: Vec<u32> = match flag_value(args, "--lengths") {
+        Some(v) => parse_list(&v, "length")?,
+        None => vec![64, 256, 1024],
+    };
+    let ber_grid: Vec<f64> = match flag_value(args, "--ber") {
+        Some(v) => parse_list(&v, "BER")?,
+        None => vec![1e-5, 1e-6],
+    };
+    let mode = match flag_value(args, "--sample") {
+        Some(v) => Mode::Sampled {
+            per_shard: v
+                .parse()
+                .map_err(|_| format!("bad value {v:?} for --sample"))?,
+        },
+        None => Mode::Exhaustive,
+    };
+    let config = CampaignConfig {
+        width,
+        shards: parse_or(args, "--shards", 16)?,
+        seed: parse_or(args, "--seed", 1)?,
+        mode,
+        min_hd: parse_or(args, "--min-hd", 4)?,
+        target_lengths: lengths,
+        ber_grid,
+        max_weight: parse_or(args, "--max-weight", 8)?,
+    };
+    let mut campaign = Campaign::create(&dir, config).map_err(|e| e.to_string())?;
+    drive(&mut campaign, threads_or_default(args)?, stop_after(args)?)
+}
+
+fn cmd_resume(args: &[String]) -> Result<(), String> {
+    let dir = require_dir(args)?;
+    let mut campaign = Campaign::open(&dir).map_err(|e| e.to_string())?;
+    drive(&mut campaign, threads_or_default(args)?, stop_after(args)?)
+}
+
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let dir = require_dir(args)?;
+    let campaign = Campaign::open(&dir).map_err(|e| e.to_string())?;
+    let opts = LeaderboardOptions {
+        top: parse_or(args, "--top", 5)?,
+        spot_check_32: !args.iter().any(|a| a == "--no-spot-check"),
+    };
+    let doc = build(&campaign, &opts).map_err(|e| e.to_string())?;
+    let out = flag_value(args, "--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| dir.join("leaderboard.json"));
+    std::fs::write(&out, doc.render()).map_err(|e| format!("write {}: {e}", out.display()))?;
+    let (text, csv) = render_tables(&doc);
+    print!("{text}");
+    println!("machine-readable (CSV):\n{csv}");
+    eprintln!("wrote {}", out.display());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let outcome = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("resume") => cmd_resume(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
+        _ => Err("usage: survey <run|resume|report> --dir DIR [options]".into()),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("survey: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

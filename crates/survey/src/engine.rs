@@ -1,0 +1,504 @@
+//! The campaign engine: a checkpointed worker pool over work units.
+//!
+//! # Execution model
+//!
+//! [`Campaign::run`] builds the list of *pending* units (all units minus
+//! the checkpoint's completed set), then spawns a scoped worker pool.
+//! Workers claim pending units through one atomic counter (the same
+//! claim-by-index idiom as netsim's shard pool and `core::search`); each
+//! worker carries its own scratch ([`Scratch`]) so per-unit allocations
+//! are reused across the units it processes. A unit's result depends
+//! only on `(config, shard id)` — never on thread count, claim order, or
+//! what other units ran in the same process — which is the whole
+//! determinism story.
+//!
+//! # Checkpoint protocol
+//!
+//! Completing a shard performs, in order:
+//!
+//! 1. write `shards/shard-NNNNN.json` atomically (temp file + rename);
+//! 2. under the checkpoint lock, insert the shard into the completed set
+//!    and rewrite `campaign.json` atomically.
+//!
+//! A kill between (1) and (2) leaves an orphan log that the next resume
+//! simply overwrites with identical bytes; a kill mid-write leaves a
+//! `.tmp` file that is never read. At every instant `campaign.json`
+//! names only shards whose logs are fully on disk — resuming from any
+//! checkpoint replays exactly the missing units and reproduces the
+//! uninterrupted artifacts byte for byte.
+
+use crate::campaign::{
+    unit_seed, CampaignConfig, Checkpoint, Mode, ShardResult, SurvivorRecord, WorkUnit,
+    STREAM_SAMPLE,
+};
+use crate::json::Json;
+use crate::{Error, Result};
+use gf2poly::SplitMix64;
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// A campaign bound to its on-disk directory.
+#[derive(Debug)]
+pub struct Campaign {
+    dir: PathBuf,
+    checkpoint: Checkpoint,
+}
+
+/// Aggregate counts from one `run` call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Shards completed by this call.
+    pub shards_run: u64,
+    /// Polynomials examined by this call.
+    pub scanned: u64,
+    /// Canonical representatives among them.
+    pub canonical: u64,
+    /// Survivors recorded by this call.
+    pub survivors: u64,
+}
+
+impl Campaign {
+    /// Creates a fresh campaign directory (with its `shards/` subdir)
+    /// and writes the initial checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] for invalid parameters; [`Error::Io`] if the
+    /// directory already holds a campaign or cannot be written.
+    pub fn create(dir: &Path, config: CampaignConfig) -> Result<Campaign> {
+        config.validate()?;
+        let manifest = dir.join("campaign.json");
+        if manifest.exists() {
+            return Err(Error::Io(format!(
+                "{} already holds a campaign (use resume)",
+                manifest.display()
+            )));
+        }
+        std::fs::create_dir_all(dir.join("shards"))
+            .map_err(|e| Error::Io(format!("create {}: {e}", dir.display())))?;
+        let campaign = Campaign {
+            dir: dir.to_path_buf(),
+            checkpoint: Checkpoint {
+                config,
+                completed: BTreeSet::new(),
+            },
+        };
+        campaign.write_checkpoint()?;
+        Ok(campaign)
+    }
+
+    /// Opens an existing campaign from its `campaign.json`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] when the manifest is unreadable, [`Error::Parse`]
+    /// when it is malformed or version-incompatible.
+    pub fn open(dir: &Path) -> Result<Campaign> {
+        let manifest = dir.join("campaign.json");
+        let text = std::fs::read_to_string(&manifest)
+            .map_err(|e| Error::Io(format!("read {}: {e}", manifest.display())))?;
+        let checkpoint = Checkpoint::from_json(&Json::parse(&text)?)?;
+        Ok(Campaign {
+            dir: dir.to_path_buf(),
+            checkpoint,
+        })
+    }
+
+    /// The campaign parameters.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.checkpoint.config
+    }
+
+    /// The campaign directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Completed / total shard counts.
+    pub fn progress(&self) -> (u64, u64) {
+        (
+            self.checkpoint.completed.len() as u64,
+            self.checkpoint.config.shards,
+        )
+    }
+
+    /// True once every shard has a checkpointed log.
+    pub fn is_complete(&self) -> bool {
+        self.checkpoint.completed.len() as u64 == self.checkpoint.config.shards
+    }
+
+    /// Path of one shard's survivor log.
+    pub fn shard_log_path(&self, shard: u64) -> PathBuf {
+        shard_log_path_in(&self.dir, shard)
+    }
+
+    /// Runs pending shards on `threads` workers until the campaign
+    /// completes, an error occurs, or `stop_after` shards have been
+    /// checkpointed by this call (the kill-at-a-checkpoint primitive the
+    /// determinism tests and the CI resume check drive).
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation and IO errors; the checkpoint on disk stays
+    /// valid (completed shards remain completed).
+    pub fn run(&mut self, threads: usize, stop_after: Option<u64>) -> Result<RunSummary> {
+        let config = self.checkpoint.config.clone();
+        let config_hash = config.content_hash();
+        let pending: Vec<WorkUnit> = config
+            .work_units()
+            .into_iter()
+            .filter(|u| !self.checkpoint.completed.contains(&u.shard))
+            .collect();
+        if pending.is_empty() {
+            return Ok(RunSummary::default());
+        }
+        let threads = threads.max(1).min(pending.len());
+        let next = AtomicUsize::new(0);
+        let allowance = AtomicU64::new(stop_after.unwrap_or(u64::MAX));
+        let summary = Mutex::new(RunSummary::default());
+        let error: Mutex<Option<Error>> = Mutex::new(None);
+        // The checkpoint is shared mutable state: workers serialize the
+        // insert + rewrite under this lock (see the protocol above).
+        let checkpoint = Mutex::new(&mut self.checkpoint);
+        let dir = self.dir.as_path();
+
+        crossbeam::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| {
+                    let mut scratch = Scratch::default();
+                    loop {
+                        // Claim one unit of allowance, then one unit.
+                        if allowance
+                            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |a| {
+                                a.checked_sub(1)
+                            })
+                            .is_err()
+                        {
+                            return;
+                        }
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= pending.len() || error.lock().is_some() {
+                            return;
+                        }
+                        let unit = pending[idx];
+                        let outcome =
+                            process_unit(&config, unit, &mut scratch).and_then(|result| {
+                                write_atomic(
+                                    &shard_log_path_in(dir, unit.shard),
+                                    &result.to_json(config_hash).render(),
+                                )?;
+                                let mut ck = checkpoint.lock();
+                                ck.completed.insert(unit.shard);
+                                write_atomic(&dir.join("campaign.json"), &ck.to_json().render())?;
+                                let mut s = summary.lock();
+                                s.shards_run += 1;
+                                s.scanned += result.scanned;
+                                s.canonical += result.canonical;
+                                s.survivors += result.survivors.len() as u64;
+                                Ok(())
+                            });
+                        if let Err(e) = outcome {
+                            *error.lock() = Some(e);
+                            return;
+                        }
+                    }
+                });
+            }
+        })
+        .expect("worker threads do not panic");
+
+        if let Some(e) = error.into_inner() {
+            return Err(e);
+        }
+        Ok(summary.into_inner())
+    }
+
+    /// Loads every survivor from the completed shard logs, in ascending
+    /// shard then Koopman order (for exhaustive campaigns this is global
+    /// Koopman order).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Incomplete`] unless the campaign is complete; IO/parse
+    /// errors from unreadable logs.
+    pub fn survivors(&self) -> Result<Vec<SurvivorRecord>> {
+        let (done, total) = self.progress();
+        if done != total {
+            return Err(Error::Incomplete { done, total });
+        }
+        let config_hash = self.checkpoint.config.content_hash();
+        let mut out = Vec::new();
+        for shard in 0..total {
+            let path = self.shard_log_path(shard);
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| Error::Io(format!("read {}: {e}", path.display())))?;
+            let result = ShardResult::from_json(&Json::parse(&text)?, config_hash)?;
+            if result.unit.shard != shard {
+                return Err(Error::Parse(format!(
+                    "{} records shard {}, expected {shard}",
+                    path.display(),
+                    result.unit.shard
+                )));
+            }
+            out.extend(result.survivors);
+        }
+        Ok(out)
+    }
+
+    fn write_checkpoint(&self) -> Result<()> {
+        write_atomic(
+            &self.dir.join("campaign.json"),
+            &self.checkpoint.to_json().render(),
+        )
+    }
+}
+
+fn shard_log_path_in(dir: &Path, shard: u64) -> PathBuf {
+    dir.join("shards").join(format!("shard-{shard:05}.json"))
+}
+
+/// Writes `contents` to `path` atomically: temp file in the same
+/// directory, then rename. Readers never observe a torn file.
+fn write_atomic(path: &Path, contents: &str) -> Result<()> {
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, contents)
+        .map_err(|e| Error::Io(format!("write {}: {e}", tmp.display())))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        Error::Io(format!(
+            "rename {} -> {}: {e}",
+            tmp.display(),
+            path.display()
+        ))
+    })
+}
+
+/// Per-worker reusable buffers: the survivor accumulator and the
+/// sampled-mode offset list live across all units a worker processes.
+#[derive(Default)]
+struct Scratch {
+    survivors: Vec<SurvivorRecord>,
+    offsets: Vec<u64>,
+}
+
+/// Processes one work unit: pure in `(config, unit)`.
+fn process_unit(
+    config: &CampaignConfig,
+    unit: WorkUnit,
+    scratch: &mut Scratch,
+) -> Result<ShardResult> {
+    let space = config.space();
+    scratch.survivors.clear();
+    let mut scanned = 0u64;
+    let mut canonical = 0u64;
+
+    let screen = |g: &crc_hd::GenPoly, scratch: &mut Scratch, canonical: &mut u64| -> Result<()> {
+        // One member per reciprocal pair, as in the paper's search.
+        if g.koopman() > g.reciprocal().koopman() {
+            return Ok(());
+        }
+        *canonical += 1;
+        if let Some(rec) = SurvivorRecord::screen(g, config)? {
+            scratch.survivors.push(rec);
+        }
+        Ok(())
+    };
+
+    match config.mode {
+        Mode::Exhaustive => {
+            for g in space.iter_range(unit.start, unit.end) {
+                scanned += 1;
+                screen(&g, scratch, &mut canonical)?;
+            }
+        }
+        Mode::Sampled { per_shard } => {
+            // The shard's own candidate stream (netsim seed splitting):
+            // draws land inside the shard's range, so shards stay
+            // disjoint and the union remains a subset sample.
+            scratch.offsets.clear();
+            let span = unit.end - unit.start;
+            if span > 0 {
+                let mut rng = SplitMix64::new(unit_seed(config.seed, unit.shard, STREAM_SAMPLE));
+                for _ in 0..per_shard {
+                    scratch.offsets.push(unit.start + rng.next_below(span));
+                }
+                scratch.offsets.sort_unstable();
+                scratch.offsets.dedup();
+                for i in 0..scratch.offsets.len() {
+                    let offset = scratch.offsets[i];
+                    scanned += 1;
+                    screen(&space.nth(offset), scratch, &mut canonical)?;
+                }
+            }
+        }
+    }
+
+    // Exhaustive ranges are already ascending; sampled draws were
+    // sorted. Hold the invariant either way — leaderboards and logs
+    // depend on it.
+    debug_assert!(scratch
+        .survivors
+        .windows(2)
+        .all(|w| w[0].koopman < w[1].koopman));
+    Ok(ShardResult {
+        unit,
+        scanned,
+        canonical,
+        survivors: scratch.survivors.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("crc-survey-engine-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_config() -> CampaignConfig {
+        CampaignConfig {
+            width: 10,
+            shards: 5,
+            seed: 9,
+            mode: Mode::Exhaustive,
+            min_hd: 4,
+            target_lengths: vec![16, 48],
+            ber_grid: vec![1e-4, 1e-5],
+            max_weight: 6,
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_artifacts() {
+        let d1 = test_dir("t1");
+        let d4 = test_dir("t4");
+        let mut c1 = Campaign::create(&d1, small_config()).unwrap();
+        let mut c4 = Campaign::create(&d4, small_config()).unwrap();
+        let s1 = c1.run(1, None).unwrap();
+        let s4 = c4.run(4, None).unwrap();
+        assert_eq!(s1, s4);
+        assert!(c1.is_complete() && c4.is_complete());
+        for shard in 0..small_config().shards {
+            let a = std::fs::read(c1.shard_log_path(shard)).unwrap();
+            let b = std::fs::read(c4.shard_log_path(shard)).unwrap();
+            assert_eq!(a, b, "shard {shard}");
+        }
+        assert_eq!(
+            std::fs::read(d1.join("campaign.json")).unwrap(),
+            std::fs::read(d4.join("campaign.json")).unwrap()
+        );
+        assert_eq!(c1.survivors().unwrap(), c4.survivors().unwrap());
+        let _ = std::fs::remove_dir_all(&d1);
+        let _ = std::fs::remove_dir_all(&d4);
+    }
+
+    #[test]
+    fn stop_after_checkpoints_and_resumes() {
+        let straight_dir = test_dir("straight");
+        let chopped_dir = test_dir("chopped");
+        let mut straight = Campaign::create(&straight_dir, small_config()).unwrap();
+        straight.run(2, None).unwrap();
+
+        let mut chopped = Campaign::create(&chopped_dir, small_config()).unwrap();
+        let mut rounds = 0;
+        while !chopped.is_complete() {
+            // Re-open from disk each round: a genuine process restart.
+            let mut resumed = Campaign::open(&chopped_dir).unwrap();
+            resumed.run(2, Some(2)).unwrap();
+            chopped = Campaign::open(&chopped_dir).unwrap();
+            rounds += 1;
+            assert!(rounds < 100, "campaign must make progress");
+        }
+        assert!(rounds >= 3, "stop_after=2 over 5 shards needs 3 rounds");
+        for shard in 0..small_config().shards {
+            assert_eq!(
+                std::fs::read(straight.shard_log_path(shard)).unwrap(),
+                std::fs::read(chopped.shard_log_path(shard)).unwrap(),
+                "shard {shard}"
+            );
+        }
+        assert_eq!(
+            std::fs::read(straight_dir.join("campaign.json")).unwrap(),
+            std::fs::read(chopped_dir.join("campaign.json")).unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&straight_dir);
+        let _ = std::fs::remove_dir_all(&chopped_dir);
+    }
+
+    #[test]
+    fn survivors_match_exhaustive_search() {
+        // The campaign's survivor set equals core's one-shot exhaustive
+        // search at the screen length.
+        let dir = test_dir("xcheck");
+        let cfg = small_config();
+        let mut c = Campaign::create(&dir, cfg.clone()).unwrap();
+        c.run(3, None).unwrap();
+        let got: Vec<u64> = c.survivors().unwrap().iter().map(|s| s.koopman).collect();
+        let expect: Vec<u64> =
+            crc_hd::search::exhaustive_search(cfg.width, cfg.screen_len(), cfg.min_hd, 2)
+                .unwrap()
+                .iter()
+                .map(|s| s.poly.koopman())
+                .collect();
+        assert_eq!(got, expect);
+        assert!(!got.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sampled_mode_is_deterministic_and_subsets_exhaustive() {
+        let da = test_dir("sa");
+        let db = test_dir("sb");
+        let mut cfg = small_config();
+        cfg.mode = Mode::Sampled { per_shard: 40 };
+        let mut a = Campaign::create(&da, cfg.clone()).unwrap();
+        let mut b = Campaign::create(&db, cfg.clone()).unwrap();
+        a.run(1, None).unwrap();
+        b.run(4, None).unwrap();
+        let sa = a.survivors().unwrap();
+        assert_eq!(sa, b.survivors().unwrap());
+        // Sampled survivors are a subset of the exhaustive set.
+        let full: std::collections::HashSet<u64> =
+            crc_hd::search::exhaustive_search(cfg.width, cfg.screen_len(), cfg.min_hd, 2)
+                .unwrap()
+                .iter()
+                .map(|s| s.poly.koopman())
+                .collect();
+        for s in &sa {
+            assert!(full.contains(&s.koopman), "{:#x}", s.koopman);
+        }
+        let _ = std::fs::remove_dir_all(&da);
+        let _ = std::fs::remove_dir_all(&db);
+    }
+
+    #[test]
+    fn create_refuses_an_existing_campaign_and_open_validates() {
+        let dir = test_dir("guard");
+        let _c = Campaign::create(&dir, small_config()).unwrap();
+        assert!(matches!(
+            Campaign::create(&dir, small_config()),
+            Err(Error::Io(_))
+        ));
+        // Corrupt the manifest: open must fail cleanly.
+        std::fs::write(dir.join("campaign.json"), "{not json").unwrap();
+        assert!(Campaign::open(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn survivors_requires_completion() {
+        let dir = test_dir("partial");
+        let mut c = Campaign::create(&dir, small_config()).unwrap();
+        c.run(1, Some(2)).unwrap();
+        assert!(matches!(
+            c.survivors(),
+            Err(Error::Incomplete { done: 2, total: 5 })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,518 @@
+//! Minimal JSON reading and writing for campaign artifacts.
+//!
+//! The build environment carries no serialization framework, and the
+//! checkpoint contract needs more than write-only output (the netsim
+//! benchmark trail hand-writes its JSON because nothing ever reads it
+//! back): a resumed campaign must *parse* `campaign.json` and the shard
+//! logs it finds on disk. This module is the smallest JSON that supports
+//! that — a value tree, a recursive-descent parser, and a writer with
+//! fully deterministic output (insertion-ordered keys, two-space
+//! indentation, shortest-round-trip float formatting), because the
+//! resume-determinism guarantee is *byte* identity of artifacts.
+//!
+//! Numbers are split into [`Json::Int`] (unsigned integers, exact) and
+//! [`Json::Num`] (everything else, `f64`): shard ids, lengths and
+//! Koopman values must not take a trip through floating point, while
+//! quantities that genuinely exceed `u64` (orders, weight counts) are
+//! stored as decimal strings by the schema layer.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer that fits `u64`, kept exact.
+    Int(u64),
+    /// Any other number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; key order is preserved and reproduced verbatim.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Parse or schema errors, as a plain message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError(pub String);
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, JsonError> {
+    Err(JsonError(msg.into()))
+}
+
+impl Json {
+    /// Builds an object from key/value pairs (insertion order kept).
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Member lookup that errors with the key name when absent.
+    pub fn require(&self, key: &str) -> Result<&Json, JsonError> {
+        self.get(key)
+            .ok_or_else(|| JsonError(format!("missing key {key:?}")))
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The exact unsigned integer payload, if this is an `Int`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// `as_u64` narrowed to `u32`.
+    pub fn as_u32(&self) -> Option<u32> {
+        self.as_u64().and_then(|n| u32::try_from(n).ok())
+    }
+
+    /// The numeric payload widened to `f64` (from `Int` or `Num`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(n) => Some(*n as f64),
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Renders with two-space indentation and a trailing newline —
+    /// byte-deterministic for a given value.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write_value(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_value(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Num(x) => {
+                // Rust's shortest-round-trip Display is deterministic;
+                // non-finite values have no JSON spelling.
+                assert!(x.is_finite(), "non-finite number has no JSON form");
+                let _ = write!(out, "{x}");
+            }
+            Json::Str(s) => write_string(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                // Arrays of scalars inline; arrays with any container
+                // member go one-per-line for diffable shard logs.
+                let nested = items
+                    .iter()
+                    .any(|v| matches!(v, Json::Arr(_) | Json::Obj(_)));
+                if nested {
+                    out.push_str("[\n");
+                    for (i, v) in items.iter().enumerate() {
+                        indent(out, depth + 1);
+                        v.write_value(out, depth + 1);
+                        out.push_str(if i + 1 == items.len() { "\n" } else { ",\n" });
+                    }
+                    indent(out, depth);
+                    out.push(']');
+                } else {
+                    out.push('[');
+                    for (i, v) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        v.write_value(out, depth);
+                    }
+                    out.push(']');
+                }
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    indent(out, depth + 1);
+                    write_string(out, k);
+                    out.push_str(": ");
+                    v.write_value(out, depth + 1);
+                    out.push_str(if i + 1 == pairs.len() { "\n" } else { ",\n" });
+                }
+                indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    ///
+    /// # Errors
+    ///
+    /// A [`JsonError`] naming the byte offset of the first problem.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos, 0)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(&b) = bytes.get(*pos) {
+        if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), JsonError> {
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        err(format!("expected {:?} at byte {}", b as char, *pos))
+    }
+}
+
+/// Deepest container nesting the parser accepts. Campaign artifacts
+/// nest four levels; the cap turns a corrupt or hostile file (e.g. a
+/// megabyte of `[`) into a clean error instead of a stack overflow.
+const MAX_DEPTH: usize = 128;
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
+    if depth > MAX_DEPTH {
+        return err(format!("nesting deeper than {MAX_DEPTH} at byte {}", *pos));
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => err("unexpected end of input"),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos, depth + 1)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return err(format!("expected ',' or ']' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos, depth + 1)?;
+                pairs.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return err(format!("expected ',' or '}}' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    word: &str,
+    value: Json,
+) -> Result<Json, JsonError> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return err("unterminated string"),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| JsonError("truncated \\u escape".into()))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| JsonError("non-ascii \\u escape".into()))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| JsonError(format!("bad \\u escape {hex:?}")))?;
+                        // Our artifacts never emit surrogate pairs; reject
+                        // rather than mis-decode if one shows up.
+                        let c = char::from_u32(code)
+                            .ok_or_else(|| JsonError(format!("surrogate \\u escape {hex:?}")))?;
+                        out.push(c);
+                        *pos += 4;
+                    }
+                    _ => return err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(&b) => {
+                if b < 0x20 {
+                    return err(format!("raw control character at byte {}", *pos));
+                }
+                // Consume one UTF-8 character (input came from a &str,
+                // so the sequence is valid; length from the lead byte).
+                let len = match b {
+                    0x00..=0x7F => 1,
+                    0xC0..=0xDF => 2,
+                    0xE0..=0xEF => 3,
+                    _ => 4,
+                };
+                let chunk = bytes
+                    .get(*pos..*pos + len)
+                    .ok_or_else(|| JsonError("truncated UTF-8 sequence".into()))?;
+                let c = std::str::from_utf8(chunk)
+                    .map_err(|_| JsonError(format!("bad UTF-8 at byte {}", *pos)))?
+                    .chars()
+                    .next()
+                    .expect("non-empty chunk");
+                out.push(c);
+                *pos += len;
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while let Some(&b) = bytes.get(*pos) {
+        if b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-' {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii slice");
+    if text.is_empty() {
+        return err(format!("expected a value at byte {start}"));
+    }
+    if !text.contains(['.', 'e', 'E', '-']) {
+        if let Ok(n) = text.parse::<u64>() {
+            return Ok(Json::Int(n));
+        }
+    }
+    match text.parse::<f64>() {
+        Ok(x) if x.is_finite() => Ok(Json::Num(x)),
+        _ => err(format!("bad number {text:?} at byte {start}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_the_campaign_shapes() {
+        let doc = Json::obj([
+            ("format", Json::Str("crc-survey-campaign".into())),
+            ("version", Json::Int(1)),
+            ("seed", Json::Int(u64::MAX)),
+            ("ber", Json::Arr(vec![Json::Num(1e-5), Json::Num(1e-6)])),
+            (
+                "shards",
+                Json::Arr(vec![
+                    Json::obj([("id", Json::Int(0)), ("done", Json::Bool(true))]),
+                    Json::obj([("id", Json::Int(1)), ("done", Json::Bool(false))]),
+                ]),
+            ),
+            ("note", Json::Str("class {1,3,28}, \"quoted\"\nline".into())),
+            ("nothing", Json::Null),
+        ]);
+        let text = doc.render();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back, doc);
+        // Render → parse → render is a fixed point (byte determinism).
+        assert_eq!(back.render(), text);
+    }
+
+    #[test]
+    fn integers_stay_exact() {
+        let v = Json::parse("18446744073709551615").unwrap();
+        assert_eq!(v.as_u64(), Some(u64::MAX));
+        // Floats do not masquerade as integers.
+        assert_eq!(Json::parse("1.5").unwrap().as_u64(), None);
+        assert_eq!(Json::parse("1e3").unwrap().as_f64(), Some(1000.0));
+    }
+
+    #[test]
+    fn accessors_and_require() {
+        let v = Json::parse(r#"{"a": [1, 2], "b": "x", "c": true}"#).unwrap();
+        assert_eq!(v.require("a").unwrap().as_arr().unwrap().len(), 2);
+        assert_eq!(v.get("b").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("c").unwrap().as_bool(), Some(true));
+        assert!(v.require("zzz").is_err());
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[0].as_u32(), Some(1));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "tru",
+            "\"\\q\"",
+            "01x",
+            "1 2",
+            "nan",
+            "\"unterminated",
+            "{\"a\":}",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        // A corrupt artifact must produce a JsonError, never abort the
+        // process (100k unclosed arrays would otherwise blow the stack).
+        let bomb = "[".repeat(100_000);
+        assert!(Json::parse(&bomb).is_err());
+        let closed = format!("{}{}", "[".repeat(200), "]".repeat(200));
+        assert!(Json::parse(&closed).is_err(), "past MAX_DEPTH");
+        let ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(Json::parse(&ok).is_ok(), "within MAX_DEPTH");
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "tab\there \"q\" back\\slash \u{1} newline\n end";
+        let mut out = String::new();
+        write_string(&mut out, s);
+        let back = Json::parse(&out).unwrap();
+        assert_eq!(back.as_str(), Some(s));
+        // \u escape parsing.
+        assert_eq!(Json::parse(r#""\u0041""#).unwrap().as_str(), Some("A"));
+    }
+}

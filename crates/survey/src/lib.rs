@@ -1,0 +1,143 @@
+//! Sharded, checkpointable polynomial-survey campaigns with Pareto
+//! selection — the paper's survey methodology (evaluate an entire
+//! polynomial space, pick winners per length regime) packaged as a
+//! production-shaped subsystem that outlives a process.
+//!
+//! # Architecture
+//!
+//! A **campaign** evaluates every polynomial of one [`PolySpace`]
+//! (or a deterministic sample of it) against a screening bar, profiles
+//! the survivors, and ranks them. It is built from four layers:
+//!
+//! 1. **Work units** ([`campaign`]): the space splits into `shards`
+//!    contiguous offset ranges over `PolySpace::iter_range`. A unit's
+//!    result is a pure function of `(config, shard id)` — thread count,
+//!    claim order and host play no part. Sampled mode draws candidates
+//!    from a per-shard SplitMix64 stream derived by
+//!    [`campaign::unit_seed`], the same seed-splitting idiom netsim uses
+//!    for its trial shards.
+//! 2. **Engine** ([`engine`]): a scoped worker pool claims units off an
+//!    atomic counter, screens with `core`'s `hd_filter` (at the
+//!    shortest target length — the staged-filter observation that HD
+//!    only shrinks with length), evaluates survivors into
+//!    [`campaign::SurvivorRecord`]s (profile parts via
+//!    `HdProfile`, exact weights, factorization class, engine cost),
+//!    and checkpoints.
+//! 3. **Checkpoints**: every artifact is versioned JSON stamped with the
+//!    config's content hash. `campaign.json` holds the config and the
+//!    completed-shard set; `shards/shard-NNNNN.json` holds one unit's
+//!    survivors. Files are written atomically (temp + rename), and the
+//!    manifest is updated only *after* a shard log is fully on disk —
+//!    so at every instant the checkpoint names only durable work.
+//! 4. **Selection** ([`pareto`], [`leaderboard`]): survivors are ranked
+//!    per target length and filtered to the Pareto frontier over
+//!    (HD at each target length, P_ud across a BER grid, feedback
+//!    taps), reproducing the paper's per-regime winners plus the
+//!    hardware-cost axis it applies to `0x90022004`/`0x80108400`.
+//!
+//! # Resume invariants
+//!
+//! Killing a campaign at any point and resuming it must yield artifacts
+//! **byte-identical** to an uninterrupted run. This holds because:
+//!
+//! * a unit's result depends only on `(config, shard id)`;
+//! * completed shard logs are never rewritten (and rewriting one would
+//!   reproduce the same bytes);
+//! * the manifest's completed set only grows, and only after the
+//!   corresponding log is durable;
+//! * all JSON rendering is deterministic (fixed key order, fixed
+//!   indentation, shortest-round-trip numbers);
+//! * resumes refuse artifacts whose config hash differs.
+//!
+//! The one observable difference after a kill is a possible orphan
+//! shard log not yet named by the manifest; the resume recomputes it to
+//! identical bytes.
+//!
+//! ```
+//! use crc_survey::campaign::{CampaignConfig, Mode};
+//! use crc_survey::engine::Campaign;
+//! use crc_survey::leaderboard::{build, LeaderboardOptions};
+//!
+//! let dir = std::env::temp_dir().join(format!("survey-doc-{}", std::process::id()));
+//! let _ = std::fs::remove_dir_all(&dir);
+//! let cfg = CampaignConfig {
+//!     width: 8,
+//!     shards: 4,
+//!     seed: 7,
+//!     mode: Mode::Exhaustive,
+//!     min_hd: 4,
+//!     target_lengths: vec![8, 16],
+//!     ber_grid: vec![1e-5],
+//!     max_weight: 6,
+//! };
+//! let mut campaign = Campaign::create(&dir, cfg).unwrap();
+//! campaign.run(2, None).unwrap();            // or stop early and…
+//! let mut resumed = Campaign::open(&dir).unwrap();
+//! resumed.run(2, None).unwrap();             // …resume bit-identically
+//! let board = build(&resumed, &LeaderboardOptions { top: 3, spot_check_32: false }).unwrap();
+//! assert!(board.get("survivors").unwrap().as_u64().unwrap() > 0);
+//! std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+//!
+//! [`PolySpace`]: crc_hd::search::PolySpace
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod engine;
+pub mod json;
+pub mod leaderboard;
+pub mod pareto;
+
+pub use campaign::{CampaignConfig, Mode, SurvivorRecord};
+pub use engine::{Campaign, RunSummary};
+
+use std::fmt;
+
+/// Errors produced by survey operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Invalid campaign parameters.
+    Config(String),
+    /// Malformed or mismatched artifact (JSON, schema, version, or
+    /// campaign identity).
+    Parse(String),
+    /// Filesystem failure.
+    Io(String),
+    /// An operation needed a completed campaign.
+    Incomplete {
+        /// Shards checkpointed so far.
+        done: u64,
+        /// Shards in the campaign.
+        total: u64,
+    },
+    /// An evaluation error from `crc-hd`.
+    Core(crc_hd::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Config(s) => write!(f, "bad campaign config: {s}"),
+            Error::Parse(s) => write!(f, "bad campaign artifact: {s}"),
+            Error::Io(s) => write!(f, "campaign io: {s}"),
+            Error::Incomplete { done, total } => {
+                write!(f, "campaign incomplete: {done}/{total} shards")
+            }
+            Error::Core(e) => write!(f, "evaluation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<crc_hd::Error> for Error {
+    fn from(e: crc_hd::Error) -> Error {
+        Error::Core(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;

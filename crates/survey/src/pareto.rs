@@ -1,0 +1,194 @@
+//! Pareto selection over the survivor stream.
+//!
+//! A survey does not have one winner: HD at each target length, the
+//! undetected-error probability across the BER grid, and implementation
+//! cost pull in different directions (the paper itself keeps 802.3 for
+//! compatibility, proposes `0xBA0DC66B` for HD, and singles out
+//! `0x90022004`/`0x80108400` for hardware cost). The frontier keeps
+//! every polynomial not beaten *everywhere* by some other survivor.
+
+use crate::campaign::{CampaignConfig, SurvivorRecord};
+use crate::Result;
+
+/// The objective vector of one survivor: HD per target length
+/// (maximize), P_ud per grid BER at the reference length (minimize),
+/// feedback taps (minimize).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Objectives {
+    /// `hd_at` each `target_lengths` entry; `None` means above every
+    /// explored weight — the strongest possible value.
+    pub hds: Vec<Option<u32>>,
+    /// `P_ud` at each `ber_grid` entry.
+    pub p_ud: Vec<f64>,
+    /// Feedback taps (engine cost).
+    pub taps: u32,
+}
+
+impl Objectives {
+    /// Evaluates the vector for one record under one config.
+    ///
+    /// # Errors
+    ///
+    /// Propagates profile-reconstruction errors (corrupt records).
+    pub fn evaluate(rec: &SurvivorRecord, cfg: &CampaignConfig) -> Result<Objectives> {
+        let profile = rec.profile(cfg.ref_len())?;
+        Ok(Objectives {
+            hds: cfg
+                .target_lengths
+                .iter()
+                .map(|&n| profile.hd_at(n))
+                .collect(),
+            p_ud: cfg.ber_grid.iter().map(|&b| rec.p_ud(b)).collect(),
+            taps: rec.taps,
+        })
+    }
+
+    /// HD as a totally ordered rank: `None` (above every explored
+    /// weight) outranks any finite value.
+    fn hd_rank(hd: Option<u32>) -> u32 {
+        hd.unwrap_or(u32::MAX)
+    }
+
+    /// True when `self` dominates `other`: at least as good on every
+    /// axis and strictly better on at least one.
+    pub fn dominates(&self, other: &Objectives) -> bool {
+        debug_assert_eq!(self.hds.len(), other.hds.len());
+        debug_assert_eq!(self.p_ud.len(), other.p_ud.len());
+        let mut strictly = false;
+        for (a, b) in self.hds.iter().zip(&other.hds) {
+            let (a, b) = (Self::hd_rank(*a), Self::hd_rank(*b));
+            if a < b {
+                return false;
+            }
+            strictly |= a > b;
+        }
+        for (a, b) in self.p_ud.iter().zip(&other.p_ud) {
+            if a > b {
+                return false;
+            }
+            strictly |= a < b;
+        }
+        if self.taps > other.taps {
+            return false;
+        }
+        strictly |= self.taps < other.taps;
+        strictly
+    }
+}
+
+/// The frontier over already-evaluated objective vectors: indices of
+/// every non-dominated entry, in input order. Ties (identical vectors)
+/// all stay on the frontier. Callers that already hold the objectives
+/// (the leaderboard ranks with them too) use this directly so the
+/// O(n²) dominance sweep runs on evaluations done once.
+pub fn frontier_indices(objectives: &[Objectives]) -> Vec<usize> {
+    (0..objectives.len())
+        .filter(|&i| {
+            !objectives
+                .iter()
+                .enumerate()
+                .any(|(j, oj)| j != i && oj.dominates(&objectives[i]))
+        })
+        .collect()
+}
+
+/// Computes the Pareto frontier: indices (into `records`) of every
+/// non-dominated survivor, in input order, with the evaluated
+/// objectives.
+///
+/// # Errors
+///
+/// Propagates objective-evaluation errors.
+pub fn pareto_front(
+    records: &[SurvivorRecord],
+    cfg: &CampaignConfig,
+) -> Result<Vec<(usize, Objectives)>> {
+    let objectives: Vec<Objectives> = records
+        .iter()
+        .map(|r| Objectives::evaluate(r, cfg))
+        .collect::<Result<_>>()?;
+    Ok(frontier_indices(&objectives)
+        .into_iter()
+        .map(|i| (i, objectives[i].clone()))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(hds: &[Option<u32>], p_ud: &[f64], taps: u32) -> Objectives {
+        Objectives {
+            hds: hds.to_vec(),
+            p_ud: p_ud.to_vec(),
+            taps,
+        }
+    }
+
+    #[test]
+    fn dominance_is_strict_and_directional() {
+        let a = obj(&[Some(6), Some(4)], &[1e-12], 5);
+        let b = obj(&[Some(6), Some(4)], &[1e-12], 7);
+        assert!(a.dominates(&b), "fewer taps, all else equal");
+        assert!(!b.dominates(&a));
+        assert!(!a.dominates(&a), "equality is not dominance");
+        // Trade-off: better HD vs fewer taps — neither dominates.
+        let hd = obj(&[Some(8), Some(6)], &[1e-12], 10);
+        let cheap = obj(&[Some(4), Some(4)], &[1e-12], 3);
+        assert!(!hd.dominates(&cheap) && !cheap.dominates(&hd));
+        // None (HD above explored weights) outranks any finite HD.
+        let hi = obj(&[None], &[0.0], 5);
+        let lo = obj(&[Some(12)], &[0.0], 5);
+        assert!(hi.dominates(&lo));
+        // Lower P_ud dominates.
+        let clean = obj(&[Some(4)], &[1e-15, 1e-18], 5);
+        let noisy = obj(&[Some(4)], &[1e-12, 1e-14], 5);
+        assert!(clean.dominates(&noisy));
+        assert!(!noisy.dominates(&clean));
+    }
+
+    #[test]
+    fn frontier_on_a_real_small_campaign() {
+        use crate::campaign::Mode;
+        let cfg = CampaignConfig {
+            width: 8,
+            shards: 1,
+            seed: 1,
+            mode: Mode::Exhaustive,
+            min_hd: 3,
+            target_lengths: vec![8, 24],
+            ber_grid: vec![1e-4],
+            max_weight: 8,
+        };
+        let mut records = Vec::new();
+        for g in cfg.space().iter_all() {
+            if g.koopman() > g.reciprocal().koopman() {
+                continue;
+            }
+            if let Some(rec) = SurvivorRecord::screen(&g, &cfg).unwrap() {
+                records.push(rec);
+            }
+        }
+        assert!(records.len() > 10, "enough survivors to be interesting");
+        let front = pareto_front(&records, &cfg).unwrap();
+        assert!(!front.is_empty() && front.len() < records.len());
+        // Frontier soundness: no member is dominated by any survivor.
+        let all: Vec<Objectives> = records
+            .iter()
+            .map(|r| Objectives::evaluate(r, &cfg).unwrap())
+            .collect();
+        for (i, oi) in &front {
+            assert!(!all.iter().any(|o| o.dominates(oi)), "index {i} dominated");
+        }
+        // Completeness: every non-member is dominated by someone.
+        let member: std::collections::HashSet<usize> = front.iter().map(|(i, _)| *i).collect();
+        for (i, o) in all.iter().enumerate() {
+            if !member.contains(&i) {
+                assert!(
+                    all.iter().any(|other| other.dominates(o)),
+                    "index {i} excluded but undominated"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! The checkpoint/resume determinism contract, exercised the hard way:
+//! a 14-bit campaign run straight through is compared byte-for-byte —
+//! survivor logs, manifest and leaderboard JSON — against the same
+//! campaign killed at *every* checkpoint and resumed from disk, at one
+//! and at four worker threads.
+
+use crc_survey::campaign::{CampaignConfig, Mode};
+use crc_survey::engine::Campaign;
+use crc_survey::leaderboard::{build, LeaderboardOptions};
+use std::path::PathBuf;
+
+fn test_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("crc-survey-resume-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config() -> CampaignConfig {
+    CampaignConfig {
+        width: 14,
+        shards: 10,
+        seed: 2002,
+        mode: Mode::Exhaustive,
+        min_hd: 4,
+        target_lengths: vec![32, 128],
+        ber_grid: vec![1e-4, 1e-6],
+        max_weight: 6,
+    }
+}
+
+/// Runs the campaign to completion in one process, `threads` workers.
+fn run_straight(tag: &str, threads: usize) -> PathBuf {
+    let dir = test_dir(tag);
+    let mut campaign = Campaign::create(&dir, config()).unwrap();
+    campaign.run(threads, None).unwrap();
+    assert!(campaign.is_complete());
+    dir
+}
+
+/// Runs the campaign one checkpoint at a time, re-opening from disk
+/// between shards — a kill at every possible checkpoint boundary.
+fn run_killed_at_every_checkpoint(tag: &str, threads: usize) -> PathBuf {
+    let dir = test_dir(tag);
+    {
+        let mut campaign = Campaign::create(&dir, config()).unwrap();
+        campaign.run(threads, Some(1)).unwrap();
+    } // drop = the process dies
+    let mut rounds = 1u32;
+    loop {
+        let mut campaign = Campaign::open(&dir).unwrap();
+        if campaign.is_complete() {
+            break;
+        }
+        campaign.run(threads, Some(1)).unwrap();
+        rounds += 1;
+        assert!(rounds <= config().shards as u32, "no forward progress");
+    }
+    assert_eq!(rounds, config().shards as u32, "one shard per 'kill'");
+    dir
+}
+
+fn artifact_bytes(dir: &std::path::Path) -> Vec<(String, Vec<u8>)> {
+    let campaign = Campaign::open(dir).unwrap();
+    let mut out = Vec::new();
+    out.push((
+        "campaign.json".to_string(),
+        std::fs::read(dir.join("campaign.json")).unwrap(),
+    ));
+    for shard in 0..campaign.config().shards {
+        let path = campaign.shard_log_path(shard);
+        out.push((
+            path.file_name().unwrap().to_string_lossy().into_owned(),
+            std::fs::read(&path).unwrap(),
+        ));
+    }
+    let board = build(
+        &campaign,
+        &LeaderboardOptions {
+            top: 5,
+            spot_check_32: false,
+        },
+    )
+    .unwrap();
+    out.push(("leaderboard.json".to_string(), board.render().into_bytes()));
+    out
+}
+
+#[test]
+fn straight_and_killed_campaigns_are_byte_identical_at_1_and_4_threads() {
+    let straight_1 = run_straight("straight-1t", 1);
+    let baseline = artifact_bytes(&straight_1);
+    assert_eq!(baseline.len() as u64, 2 + config().shards);
+    // Some shard must have survivors for the comparison to mean much.
+    assert!(
+        baseline.iter().any(|(_, bytes)| {
+            bytes.len() > 200 && String::from_utf8_lossy(bytes).contains("koopman")
+        }),
+        "14-bit campaign must record survivors"
+    );
+
+    for (tag, dir) in [
+        ("straight-4t", run_straight("s4", 4)),
+        ("killed-1t", run_killed_at_every_checkpoint("k1", 1)),
+        ("killed-4t", run_killed_at_every_checkpoint("k4", 4)),
+    ] {
+        let got = artifact_bytes(&dir);
+        assert_eq!(got.len(), baseline.len(), "{tag}");
+        for ((name_a, bytes_a), (name_b, bytes_b)) in baseline.iter().zip(&got) {
+            assert_eq!(name_a, name_b, "{tag}");
+            assert_eq!(
+                bytes_a, bytes_b,
+                "{tag}: {name_a} diverged from the uninterrupted 1-thread run"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&straight_1);
+}
+
+#[test]
+fn resume_refuses_a_mismatched_campaign() {
+    // A manifest whose config was edited after the fact (hash mismatch)
+    // must be rejected rather than silently mixed.
+    let dir = test_dir("tamper");
+    let mut campaign = Campaign::create(&dir, config()).unwrap();
+    campaign.run(2, Some(1)).unwrap();
+    let manifest = dir.join("campaign.json");
+    let text = std::fs::read_to_string(&manifest).unwrap();
+    std::fs::write(&manifest, text.replace("\"seed\": 2002", "\"seed\": 2003")).unwrap();
+    assert!(Campaign::open(&dir).is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}

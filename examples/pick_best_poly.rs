@@ -1,14 +1,23 @@
-//! Exhaustively pick the best CRC polynomial for *your* message length —
-//! the paper's methodology applied end to end, at a width where full
-//! search finishes in seconds (all 16,512 distinct 16-bit polynomials).
+//! Pick the best CRC polynomial for *your* message length — the paper's
+//! survey methodology end to end, riding the campaign engine over the
+//! full 12-bit polynomial space (2,048 generators, seconds of work).
+//!
+//! The survey screens every canonical polynomial, profiles the
+//! survivors, and reports both the per-length leaderboard and the
+//! Pareto frontier over (HD, P_ud, feedback taps) — because "best"
+//! depends on whether you are optimizing error detection or gate count,
+//! exactly the trade the paper draws between `0xBA0DC66B` and the
+//! low-tap `0x90022004`.
 //!
 //! Run with:
 //! `cargo run --release --example pick_best_poly -- 247`
 //! (argument: your data-word length in bits; default 247, a sensor frame)
 
-use koopman_crc::crc_hd::search::{exhaustive_search, PolySpace};
 use koopman_crc::crc_hd::spectrum;
-use koopman_crc::crc_hd::GenPoly;
+use koopman_crc::crc_survey::campaign::{CampaignConfig, Mode};
+use koopman_crc::crc_survey::engine::Campaign;
+use koopman_crc::crc_survey::json::Json;
+use koopman_crc::crc_survey::leaderboard::{build_from_records, render_tables, LeaderboardOptions};
 use koopman_crc::crckit::{Crc, CrcParams};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -17,57 +26,149 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|s| s.parse())
         .transpose()?
         .unwrap_or(247);
-    let width = 16u32;
-    let space = PolySpace::new(width);
+    let width = 12u32;
+
+    // One campaign over the whole space: exhaustive, 8 work units,
+    // screened at HD >= 3 so nothing interesting is lost, ranked at the
+    // requested length.
+    let config = CampaignConfig {
+        width,
+        shards: 8,
+        seed: 1,
+        mode: Mode::Exhaustive,
+        min_hd: 3,
+        target_lengths: vec![data_len],
+        ber_grid: vec![1e-5, 1e-7],
+        max_weight: 10,
+    };
+    let dir = std::env::temp_dir().join(format!("pick-best-poly-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
     println!(
-        "searching all {} distinct {width}-bit polynomials for the best HD at {data_len} bits…",
-        space.distinct()
+        "surveying all {} distinct {width}-bit polynomials at {data_len} data bits…",
+        config.space().distinct()
+    );
+    let mut campaign = Campaign::create(&dir, config.clone())?;
+    let summary = campaign.run(
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        None,
+    )?;
+    println!(
+        "screened {} canonical polynomials; {} reach HD >= {} at {data_len} bits",
+        summary.canonical, summary.survivors, config.min_hd
     );
 
-    // Raise the HD bar until nothing survives; the last nonempty set is
-    // the optimum.
-    let mut best: (u32, Vec<GenPoly>) = (2, Vec::new());
-    for hd in 3..=10 {
-        let survivors = exhaustive_search(width, data_len, hd, 2)?;
-        if survivors.is_empty() {
-            break;
-        }
-        println!("  HD >= {hd}: {} polynomials", survivors.len());
-        best = (hd, survivors.into_iter().map(|s| s.poly).collect());
+    // The leaderboard: best HD first, exact P_ud then taps as ties.
+    let survivors = campaign.survivors()?;
+    if survivors.is_empty() {
+        println!(
+            "no {width}-bit polynomial reaches HD {} at {data_len} bits — \
+             every generator's order is below the codeword length at this \
+             range; try a shorter message or a wider CRC",
+            config.min_hd
+        );
+        std::fs::remove_dir_all(&dir)?;
+        return Ok(());
     }
-    let (hd, winners) = best;
-    println!(
-        "\noptimal HD at {data_len} bits is {hd}; {} polynomials achieve it.",
-        winners.len()
-    );
+    let board = build_from_records(
+        &config,
+        &survivors,
+        &LeaderboardOptions {
+            top: 5,
+            spot_check_32: false,
+        },
+    )?;
+    let (tables, _csv) = render_tables(&board);
+    println!("\n{tables}");
 
-    // Prefer fewer feedback taps among the winners (the paper's hardware
-    // criterion for 0x90022004 / 0x80108400).
-    let winner = winners
-        .iter()
-        .min_by_key(|g| (g.weight(), g.koopman()))
-        .expect("nonempty");
+    // The Pareto frontier, straight from the board document (the build
+    // already ran the dominance sweep; no need to repeat it).
+    let front = board
+        .get("pareto_front")
+        .and_then(|f| f.as_arr())
+        .unwrap_or(&[]);
     println!(
-        "lowest-tap winner: 0x{:04X} (Koopman) = 0x{:04X} (normal), {} taps",
-        winner.koopman(),
-        winner.normal(),
-        winner.weight() - 1
+        "Pareto frontier over (HD, P_ud grid, taps): {} polynomials",
+        front.len()
+    );
+    for entry in front {
+        let field = |k: &str| entry.get(k).and_then(|v| v.as_str()).unwrap_or("?");
+        let hd = match entry
+            .get("hds")
+            .and_then(|h| h.as_arr())
+            .and_then(|h| h.first())
+        {
+            Some(Json::Int(h)) => h.to_string(),
+            _ => "hi".into(),
+        };
+        println!(
+            "  {} class {:<10} taps {:>2}  HD {hd}  P_ud(1e-5) {}",
+            field("poly"),
+            field("class"),
+            entry.get("taps").and_then(|t| t.as_u64()).unwrap_or(0),
+            entry
+                .get("p_ud")
+                .and_then(|p| p.as_arr())
+                .and_then(|p| p.first())
+                .and_then(|p| p.as_str())
+                .unwrap_or("?")
+        );
+    }
+
+    // The headline winner: top of the leaderboard at the target length.
+    let top = board
+        .get("regimes")
+        .and_then(|r| r.as_arr())
+        .and_then(|r| r.first())
+        .and_then(|r| r.get("entries"))
+        .and_then(|e| e.as_arr())
+        .and_then(|e| e.first())
+        .expect("nonempty leaderboard");
+    let poly_text = top.get("poly").and_then(|p| p.as_str()).expect("poly cell");
+    let koopman = u64::from_str_radix(poly_text.trim_start_matches("0x"), 16)?;
+    let winner = survivors
+        .iter()
+        .find(|s| s.koopman == koopman)
+        .expect("leaderboard entries come from the survivor set");
+    let hd = winner.profile(data_len)?.hd_at(data_len);
+    let hd_text = hd
+        .map(|h| h.to_string())
+        .unwrap_or_else(|| format!(">{}", config.max_weight));
+    println!(
+        "\nleaderboard winner at {data_len} bits: {poly_text} (HD {hd_text}, {} taps)",
+        winner.taps
     );
 
     // Show it working as an actual CRC.
-    let params = CrcParams::new("CRC-16/CUSTOM", width, winner.normal())?;
+    let params = CrcParams::new("CRC-12/SURVEY", width, winner.poly().normal())?;
     let crc = Crc::try_new(params)?;
     println!(
-        "checksum(\"123456789\") under the winner: {:#06X}",
+        "checksum(\"123456789\") under the winner: {:#05X}",
         crc.checksum(b"123456789")
     );
 
-    // And double-check the claimed HD by exhaustive spectrum when small
-    // enough (ground truth, not just the filter).
+    // Double-check the claimed HD by exhaustive spectrum when small
+    // enough (ground truth, not just the filter). The campaign only
+    // explores weights up to max_weight, so `hd = None` means "above
+    // that" — the spectrum must then agree it is.
     if data_len <= spectrum::MAX_SPECTRUM_LEN {
-        let exact = spectrum::hd_exhaustive(winner, data_len)?;
-        assert_eq!(exact, hd);
-        println!("spectrum cross-check: HD = {exact} confirmed exhaustively");
+        let exact = spectrum::hd_exhaustive(&winner.poly(), data_len)?;
+        match hd {
+            Some(h) => {
+                assert_eq!(exact, h);
+                println!("spectrum cross-check: HD = {exact} confirmed exhaustively");
+            }
+            None => {
+                assert!(exact > config.max_weight);
+                println!(
+                    "spectrum cross-check: exact HD = {exact}, above the \
+                     campaign's explored weight limit {} as reported",
+                    config.max_weight
+                );
+            }
+        }
     }
+    std::fs::remove_dir_all(&dir)?;
     Ok(())
 }

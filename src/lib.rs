@@ -12,6 +12,8 @@
 //!   pipeline, and exhaustive/sampled polynomial search.
 //! * [`netsim`] — channel and framing simulation for end-to-end
 //!   demonstrations.
+//! * [`crc_survey`] — sharded, checkpointable survey campaigns over
+//!   whole polynomial spaces with Pareto selection and leaderboards.
 //!
 //! # The paper in one code block
 //!
@@ -33,6 +35,7 @@
 //! ```
 
 pub use crc_hd;
+pub use crc_survey;
 pub use crckit;
 pub use gf2poly;
 pub use netsim;
