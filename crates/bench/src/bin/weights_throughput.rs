@@ -1,0 +1,216 @@
+//! Weight-kernel throughput: per-polynomial cost of the screening
+//! primitives, before (scratch paths) and after (workspace kernels),
+//! with a machine-readable trail.
+//!
+//! Three scenario groups:
+//!
+//! * **`weights234` at the Ethernet MTU** (32-bit generators, hash
+//!   kernel): the scratch sweep vs the workspace sweep vs the
+//!   profile-hinted workspace sweep (the survey's stage order, where
+//!   the profile's certified-clean ranges shrink — or for an HD≥5
+//!   polynomial like 0xBA0DC66B eliminate — the `O(L²)` pair loop).
+//! * **`weights234` at 1024 bits over the 13-bit survey width** (direct
+//!   `u16` kernel vs the scratch hash sweep): the survey campaign's
+//!   dominant cost, measured over a fixed candidate batch.
+//! * **A full `HdProfile` to the MTU**: scratch assembly vs a shared
+//!   workspace.
+//!
+//! Every before/after pair asserts identical results before timing is
+//! trusted. Writes `BENCH_weights_throughput.json` (uploaded by the CI
+//! `throughput-trail` job) so the trajectory stays diffable from PR to
+//! PR.
+//!
+//! Usage: `cargo run --release -p crc-experiments --bin
+//! weights_throughput [--reps 3] [--out PATH]`
+
+use crc_experiments::arg_or;
+use crc_hd::profile::HdProfile;
+use crc_hd::search::PolySpace;
+use crc_hd::workspace::SyndromeWorkspace;
+use crc_hd::{reference, GenPoly};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const MTU_BITS: u32 = 12_112;
+
+/// Median-of-`reps` wall time for `run`, in seconds.
+fn measure(reps: usize, mut run: impl FnMut()) -> f64 {
+    let mut times = Vec::new();
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        run();
+        times.push(start.elapsed().as_secs_f64());
+    }
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+struct Row {
+    scenario: &'static str,
+    mode: &'static str,
+    per_poly_ms: f64,
+}
+
+fn main() {
+    let reps: usize = arg_or("--reps", 3);
+    let out_path: String = arg_or("--out", "BENCH_weights_throughput.json".to_string());
+    let mut rows: Vec<Row> = Vec::new();
+    let push = |rows: &mut Vec<Row>, scenario, mode, secs: f64, polys: usize| {
+        let per_poly_ms = secs * 1e3 / polys as f64;
+        println!("  {scenario:<22} {mode:<18} {per_poly_ms:>9.3} ms/poly");
+        rows.push(Row {
+            scenario,
+            mode,
+            per_poly_ms,
+        });
+    };
+
+    // ---- weights234 at the MTU (32-bit generators, hash kernel) ----
+    let g802 = GenPoly::from_koopman(32, 0x82608EDB).unwrap();
+    let gk = GenPoly::from_koopman(32, 0xBA0DC66B).unwrap();
+    let mtu_polys = [g802, gk];
+    println!("weights234 at MTU ({MTU_BITS} bits), 32-bit generators:");
+    let want: Vec<_> = mtu_polys
+        .iter()
+        .map(|g| reference::weights234(g, MTU_BITS).unwrap())
+        .collect();
+    // The paper's §2 worked example keeps the bench honest.
+    assert_eq!(want[0].w4, 223_059, "802.3 W4 at the MTU");
+    assert_eq!(want[1].w4, 0, "0xBA0DC66B holds HD=6 at the MTU");
+
+    let t = measure(reps, || {
+        for (g, w) in mtu_polys.iter().zip(&want) {
+            assert_eq!(&reference::weights234(g, MTU_BITS).unwrap(), w);
+        }
+    });
+    push(&mut rows, "weights234_mtu", "scratch", t, mtu_polys.len());
+
+    let t = measure(reps, || {
+        let mut ws = SyndromeWorkspace::new();
+        for (g, w) in mtu_polys.iter().zip(&want) {
+            assert_eq!(&ws.weights234(g, MTU_BITS).unwrap(), w);
+        }
+    });
+    push(&mut rows, "weights234_mtu", "workspace", t, mtu_polys.len());
+
+    let t = measure(reps, || {
+        let mut ws = SyndromeWorkspace::new();
+        for (g, w) in mtu_polys.iter().zip(&want) {
+            // The survey stage order: profile first, then weights ride
+            // its certified-clean ranges (total time for both stages).
+            let _ = HdProfile::compute_in(&mut ws, g, MTU_BITS, 8).unwrap();
+            assert_eq!(&ws.weights234(g, MTU_BITS).unwrap(), w);
+        }
+    });
+    push(
+        &mut rows,
+        "weights234_mtu",
+        "profile_hinted",
+        t,
+        mtu_polys.len(),
+    );
+
+    // ---- weights234 at 1024 bits, 13-bit survey width (direct u16) ----
+    let space = PolySpace::new(13);
+    let batch: Vec<GenPoly> = space
+        .iter_range(0, 400)
+        .filter(|g| g.koopman() <= g.reciprocal().koopman() && 1024 + 13 <= crc_hd::dmin::dmin2(g))
+        .collect();
+    println!(
+        "weights234 at 1024 bits, 13-bit survey width ({} polys):",
+        batch.len()
+    );
+    let want: Vec<_> = batch
+        .iter()
+        .map(|g| reference::weights234(g, 1024).unwrap())
+        .collect();
+
+    let t = measure(reps, || {
+        for (g, w) in batch.iter().zip(&want) {
+            assert_eq!(&reference::weights234(g, 1024).unwrap(), w);
+        }
+    });
+    push(&mut rows, "weights234_survey13", "scratch", t, batch.len());
+
+    let t = measure(reps, || {
+        let mut ws = SyndromeWorkspace::new();
+        for (g, w) in batch.iter().zip(&want) {
+            assert_eq!(&ws.weights234(g, 1024).unwrap(), w);
+        }
+    });
+    push(
+        &mut rows,
+        "weights234_survey13",
+        "workspace",
+        t,
+        batch.len(),
+    );
+
+    // ---- full HdProfile to the MTU (32-bit generators) ----
+    println!("HdProfile to {MTU_BITS} bits, 32-bit generators:");
+    let want: Vec<_> = mtu_polys
+        .iter()
+        .map(|g| reference::profile(g, MTU_BITS, 8).unwrap().dmins().to_vec())
+        .collect();
+    let t = measure(reps, || {
+        for (g, w) in mtu_polys.iter().zip(&want) {
+            assert_eq!(&reference::profile(g, MTU_BITS, 8).unwrap().dmins(), w);
+        }
+    });
+    push(&mut rows, "hd_profile_mtu", "scratch", t, mtu_polys.len());
+
+    let t = measure(reps, || {
+        let mut ws = SyndromeWorkspace::new();
+        for (g, w) in mtu_polys.iter().zip(&want) {
+            assert_eq!(
+                &HdProfile::compute_in(&mut ws, g, MTU_BITS, 8)
+                    .unwrap()
+                    .dmins(),
+                w
+            );
+        }
+    });
+    push(&mut rows, "hd_profile_mtu", "workspace", t, mtu_polys.len());
+
+    // ---- speedup summary + JSON trail ----
+    let per = |scenario: &str, mode: &str| {
+        rows.iter()
+            .find(|r| r.scenario == scenario && r.mode == mode)
+            .expect("row exists")
+            .per_poly_ms
+    };
+    let survey_speedup =
+        per("weights234_survey13", "scratch") / per("weights234_survey13", "workspace");
+    // The hinted row times the whole profile→weights funnel, so compare
+    // it against both scratch stages, not weights alone.
+    let funnel_scratch = per("hd_profile_mtu", "scratch") + per("weights234_mtu", "scratch");
+    let funnel_speedup = funnel_scratch / per("weights234_mtu", "profile_hinted");
+    println!(
+        "\nsurvey-width weights kernel: {survey_speedup:.2}x; \
+         MTU profile+weights funnel: {funnel_speedup:.2}x"
+    );
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"benchmark\": \"weights_throughput\",").unwrap();
+    writeln!(json, "  \"unit\": \"ms/poly\",").unwrap();
+    writeln!(json, "  \"mtu_bits\": {MTU_BITS},").unwrap();
+    writeln!(json, "  \"survey_width\": 13,").unwrap();
+    writeln!(json, "  \"survey_len\": 1024,").unwrap();
+    writeln!(json, "  \"survey_kernel_speedup\": {survey_speedup:.3},").unwrap();
+    writeln!(json, "  \"mtu_funnel_speedup\": {funnel_speedup:.3},").unwrap();
+    writeln!(json, "  \"results\": [").unwrap();
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        writeln!(
+            json,
+            "    {{\"scenario\": \"{}\", \"mode\": \"{}\", \"per_poly_ms\": {:.4}}}{comma}",
+            r.scenario, r.mode, r.per_poly_ms
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+    std::fs::write(&out_path, json).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+}

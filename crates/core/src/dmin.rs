@@ -22,8 +22,9 @@
 //!   syndrome XOR, and `b`-subsets probe it.
 
 use crate::genpoly::GenPoly;
-use crate::posmap::{pack_positions, packed_disjoint_from, PosMap, XorMultiMap};
+use crate::posmap::{pack_positions, packed_disjoint_from, XorMultiMap};
 use crate::syndrome::SyndromeSeq;
+use crate::workspace::SyndromeWorkspace;
 use crate::{Error, Result};
 
 /// Entry budget for the meet-in-the-middle subset map (~16M entries ≈
@@ -64,29 +65,7 @@ pub fn dmin2(g: &GenPoly) -> u128 {
 /// assert_eq!(dmin(&g, 4, 5000).unwrap(), Some(3006));
 /// ```
 pub fn dmin(g: &GenPoly, w: u32, cap: u32) -> Result<Option<u32>> {
-    if w < 2 {
-        return Err(Error::BadLength(format!("weight {w} < 2 has no multiples")));
-    }
-    if w == 2 {
-        let e = dmin2(g);
-        return Ok(if e <= cap as u128 {
-            Some(e as u32)
-        } else {
-            None
-        });
-    }
-    if g.divisible_by_x_plus_1() && w % 2 == 1 {
-        return Ok(None);
-    }
-    // A weight-w polynomial with constant term has degree ≥ w - 1.
-    if cap < w - 1 {
-        return Ok(None);
-    }
-    match w {
-        3 => Ok(dmin3(g, cap)),
-        4 => Ok(dmin4(g, cap)),
-        _ => dmin_mitm(g, w, cap),
-    }
+    SyndromeWorkspace::new().dmin(g, w, cap)
 }
 
 /// Convenience: does any weight-`w` codeword fit in `codeword_len` bits?
@@ -104,64 +83,19 @@ pub fn exists_weight(g: &GenPoly, w: u32, codeword_len: u32) -> Result<bool> {
     Ok(dmin(g, w, codeword_len - 1)?.is_some())
 }
 
-/// Grows `syn` so that `syn[k] = r(k)` exists for all `k <= upto`.
-/// Invariant: `seq.peek() == syn[syn.len() - 1]`.
-#[inline]
-fn ensure_syndromes(syn: &mut Vec<u64>, seq: &mut SyndromeSeq, upto: u32) {
-    while syn.len() <= upto as usize {
-        syn.push(seq.step());
-    }
-}
-
-fn dmin3(g: &GenPoly, cap: u32) -> Option<u32> {
-    let mut map = PosMap::with_capacity(cap as usize);
-    let mut seq = SyndromeSeq::new(g);
-    let mut syn: Vec<u64> = vec![seq.peek()]; // r(0) = 1
-    let mut avail = 0u32; // positions 1..=avail are in the map
-    for t in 2..=cap {
-        ensure_syndromes(&mut syn, &mut seq, t);
-        while avail < t - 1 {
-            avail += 1;
-            map.insert(syn[avail as usize], avail);
-        }
-        // Codeword 1 + x^i + x^t needs r(i) = 1 ^ r(t) for some 1 ≤ i < t.
-        if map.get(1 ^ syn[t as usize]).is_some() {
-            return Some(t);
-        }
-    }
-    None
-}
-
-fn dmin4(g: &GenPoly, cap: u32) -> Option<u32> {
-    let mut map = PosMap::with_capacity(cap as usize);
-    let mut seq = SyndromeSeq::new(g);
-    let mut syn: Vec<u64> = Vec::with_capacity(cap as usize + 1);
-    syn.push(seq.peek());
-    let mut avail = 0u32;
-    for t in 3..=cap {
-        ensure_syndromes(&mut syn, &mut seq, t);
-        while avail < t - 1 {
-            avail += 1;
-            map.insert(syn[avail as usize], avail);
-        }
-        let target = 1 ^ syn[t as usize];
-        // Codeword 1 + x^i + x^j + x^t: r(i) ^ r(j) = target, with
-        // distinct i, j in [1, t-1]. Syndromes are distinct below the
-        // order, so the map lookup identifies j uniquely; j != i rules
-        // out the degenerate pair.
-        for i in 1..t {
-            if let Some(j) = map.get(target ^ syn[i as usize]) {
-                if j != i {
-                    return Some(t);
-                }
-            }
-        }
-    }
-    None
-}
-
-/// Meet-in-the-middle search for `w ≥ 5`.
-fn dmin_mitm(g: &GenPoly, w: u32, cap: u32) -> Result<Option<u32>> {
+/// Meet-in-the-middle search for `w ≥ 5`, shared by the workspace and
+/// the [`crate::reference`] scratch path. Grows `syn` through the
+/// caller's `seq` (the grow-only workspace table, or a fresh scratch
+/// one); probes start at degree `max(w-1, probe_from)` — positions below
+/// `probe_from` still feed the subset map, but a caller that has already
+/// certified `[0, probe_from)` clean skips their probe cost.
+pub(crate) fn mitm_scan(
+    w: u32,
+    cap: u32,
+    probe_from: u32,
+    syn: &mut Vec<u64>,
+    seq: &mut SyndromeSeq,
+) -> Result<Option<u32>> {
     let interior = (w - 2) as usize;
     // Balance the split, but cap the stored side at 7 positions (the
     // packing limit); the probe side may be larger — it only recurses.
@@ -169,19 +103,16 @@ fn dmin_mitm(g: &GenPoly, w: u32, cap: u32) -> Result<Option<u32>> {
     let b = interior - a;
     debug_assert!(a >= 1 && b >= a);
     let mut map = XorMultiMap::with_capacity(1024);
-    let mut seq = SyndromeSeq::new(g);
-    let mut syn: Vec<u64> = Vec::with_capacity(cap as usize + 1);
-    syn.push(seq.peek());
     let mut avail = 0u32; // all a-subsets of [1, avail] are in the map
 
     let mut probe_positions = vec![0u32; b];
     let mut insert_positions = vec![0u32; a];
 
     for t in (w - 1)..=cap {
-        ensure_syndromes(&mut syn, &mut seq, t);
+        seq.extend_table(syn, t as usize);
         while avail < t - 1 {
             avail += 1;
-            insert_a_subsets(&syn, avail, a, &mut map, &mut insert_positions);
+            insert_a_subsets(syn, avail, a, &mut map, &mut insert_positions);
         }
         // The map holds C(t-2, a) subsets; abort if the search outgrows
         // the memory budget before a witness appears.
@@ -191,8 +122,11 @@ fn dmin_mitm(g: &GenPoly, w: u32, cap: u32) -> Result<Option<u32>> {
                 limit: MITM_MAP_BUDGET,
             });
         }
+        if t < probe_from {
+            continue;
+        }
         let target = 1 ^ syn[t as usize];
-        if probe_b_subsets(&syn, t, target, a, b, &map, &mut probe_positions) {
+        if probe_b_subsets(syn, t, target, a, b, &map, &mut probe_positions) {
             return Ok(Some(t));
         }
     }

@@ -16,9 +16,9 @@
 //!    ([`StagedFilter`]); **inverse filtering** reuses the early-out
 //!    evaluator to certify upper length bounds ([`certify_hd_absent`]).
 
-use crate::dmin::exists_weight;
 use crate::genpoly::GenPoly;
 use crate::syndrome::syndrome_table;
+use crate::workspace::SyndromeWorkspace;
 use crate::Result;
 
 /// Verdict of an HD filter on one polynomial at one length.
@@ -48,12 +48,30 @@ impl FilterVerdict {
 /// Propagates budget errors from extreme `target_hd`/`data_len`
 /// combinations (not reachable for the paper's parameters).
 pub fn hd_filter(g: &GenPoly, data_len: u32, target_hd: u32) -> Result<FilterVerdict> {
+    hd_filter_in(&mut SyndromeWorkspace::new(), g, data_len, target_hd)
+}
+
+/// [`hd_filter`] over a caller-held workspace: syndromes, the position
+/// index and `d_min` knowledge accumulated by earlier evaluations of the
+/// same polynomial (any length, any stage) are reused, and survive for
+/// later ones. This is the filter the survey campaign workers and the
+/// staged/breakpoint drivers run.
+///
+/// # Errors
+///
+/// As [`hd_filter`].
+pub fn hd_filter_in(
+    ws: &mut SyndromeWorkspace,
+    g: &GenPoly,
+    data_len: u32,
+    target_hd: u32,
+) -> Result<FilterVerdict> {
     let codeword_len = data_len + g.width();
     for w in 2..target_hd {
         if g.divisible_by_x_plus_1() && w % 2 == 1 {
             continue;
         }
-        if exists_weight(g, w, codeword_len)? {
+        if ws.exists_weight(g, w, codeword_len)? {
             return Ok(FilterVerdict::FailAt(w));
         }
     }
@@ -263,6 +281,15 @@ impl StagedFilter {
     /// Runs the pipeline, returning the final survivors and per-stage
     /// funnel statistics.
     ///
+    /// Candidates walk the stages polynomial-major over one shared
+    /// workspace: a candidate's short-length filter work (syndromes,
+    /// index, certified-clean `d_min` ranges) is exactly a prefix of its
+    /// longer-length work, so later stages only pay the *extension* —
+    /// the staged funnel's re-filtering becomes nearly free. The
+    /// survivor set and per-stage funnel statistics are identical to the
+    /// stage-major formulation (a candidate reaches stage `k+1` exactly
+    /// when it survives stage `k`, in input order either way).
+    ///
     /// # Errors
     ///
     /// Propagates filter errors (budget exhaustion).
@@ -270,24 +297,33 @@ impl StagedFilter {
         &self,
         candidates: impl IntoIterator<Item = GenPoly>,
     ) -> Result<(Vec<GenPoly>, Vec<StageStats>)> {
-        let mut current: Vec<GenPoly> = candidates.into_iter().collect();
-        let mut stats = Vec::with_capacity(self.lengths.len());
-        for &len in &self.lengths {
-            let before = current.len();
-            let mut next = Vec::new();
-            for g in current {
-                if hd_filter(&g, len, self.target_hd)?.passed() {
-                    next.push(g);
+        let mut stats: Vec<StageStats> = self
+            .lengths
+            .iter()
+            .map(|&len| StageStats {
+                data_len: len,
+                candidates_in: 0,
+                survivors_out: 0,
+            })
+            .collect();
+        let mut ws = SyndromeWorkspace::new();
+        let mut survivors = Vec::new();
+        for g in candidates {
+            let mut passed_all = true;
+            for (stage, &len) in self.lengths.iter().enumerate() {
+                stats[stage].candidates_in += 1;
+                if hd_filter_in(&mut ws, &g, len, self.target_hd)?.passed() {
+                    stats[stage].survivors_out += 1;
+                } else {
+                    passed_all = false;
+                    break;
                 }
             }
-            stats.push(StageStats {
-                data_len: len,
-                candidates_in: before,
-                survivors_out: next.len(),
-            });
-            current = next;
+            if passed_all {
+                survivors.push(g);
+            }
         }
-        Ok((current, stats))
+        Ok((survivors, stats))
     }
 }
 
@@ -320,10 +356,29 @@ pub fn certify_hd_absent(polys: &[GenPoly], data_len: u32, hd: u32) -> Result<Op
 ///
 /// Propagates filter errors.
 pub fn breakpoint_search(g: &GenPoly, hd: u32, hi: u32) -> Result<(u32, u64)> {
+    breakpoint_search_in(&mut SyndromeWorkspace::new(), g, hd, hi)
+}
+
+/// [`breakpoint_search`] over a caller-held workspace. The evaluation
+/// *count* is identical to the scratch strategy (same doubling+bisect
+/// schedule, same verdicts), but each evaluation resumes the workspace's
+/// certified-clean `d_min` ranges instead of re-deriving overlapping
+/// syndrome prefixes — the whole search costs about one scan to the
+/// final breakpoint.
+///
+/// # Errors
+///
+/// Propagates filter errors.
+pub fn breakpoint_search_in(
+    ws: &mut SyndromeWorkspace,
+    g: &GenPoly,
+    hd: u32,
+    hi: u32,
+) -> Result<(u32, u64)> {
     let mut evals = 0u64;
-    let check = |len: u32, evals: &mut u64| -> Result<bool> {
+    let mut check = |len: u32, evals: &mut u64| -> Result<bool> {
         *evals += 1;
-        Ok(hd_filter(g, len, hd)?.passed())
+        Ok(hd_filter_in(ws, g, len, hd)?.passed())
     };
     // Doubling phase from a short length.
     let mut lo = 8u32;
@@ -355,6 +410,7 @@ pub fn breakpoint_search(g: &GenPoly, hd: u32, hi: u32) -> Result<(u32, u64)> {
 mod tests {
     use super::enumerative::{check, EnumOrder};
     use super::*;
+    use crate::dmin::exists_weight;
 
     fn g32(koopman: u64) -> GenPoly {
         GenPoly::from_koopman(32, koopman).unwrap()

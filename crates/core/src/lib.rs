@@ -30,6 +30,50 @@
 //!   sampled factorization-class census reproducing Table 2.
 //! * [`costmodel`] — the paper's §3 cost model ("151 million years").
 //!
+//! # Screening architecture: the syndrome workspace
+//!
+//! Every evaluation above is a subset-XOR question over one polynomial's
+//! syndrome sequence `r(i) = x^i mod G`, and a survey asks many of them
+//! per candidate: an HD filter at a short length, a full profile, exact
+//! weights at a reference length. [`workspace::SyndromeWorkspace`] is the
+//! shared substrate those stages run on — the paper's §4.1 tractability
+//! techniques (staged lengths, early bailout) turned into a data
+//! structure:
+//!
+//! * **Lifecycle** — one workspace per worker, *bound* to one polynomial
+//!   at a time. Evaluation methods auto-bind to their argument; binding
+//!   the same polynomial again is free, rebinding to a new one clears
+//!   state but keeps every allocation (the direct index is wiped by
+//!   replaying the positions it holds, `O(positions)`, not
+//!   `O(value space)`). A campaign worker therefore screens thousands of
+//!   candidates on a single set of buffers.
+//! * **Grow-only syndromes** — `r(0)..r(k)` extend as probed lengths
+//!   grow and are never recomputed, so a doubling+bisect breakpoint
+//!   search or a staged filter funnel pays for each syndrome exactly
+//!   once.
+//! * **`d_min` memo** — every capped search deposits what it proved
+//!   (exact minimal degree, or "no weight-w multiple below T"), and
+//!   every later search resumes from there. In the survey's
+//!   filter → profile → weights stage order this makes the
+//!   [`weights::weights234`] top-degree sweep skip every degree the
+//!   profile certified clean, and lets [`filter::breakpoint_search_in`]
+//!   answer its ~30 filter evaluations for roughly the cost of one scan.
+//! * **Index kernels and the crossover** — syndrome values map back to
+//!   first positions through a direct-indexed `u16` table for widths ≤
+//!   [`workspace::DIRECT_INDEX_MAX_WIDTH`] (table and syndrome row stay
+//!   L1-resident together; one compare per probe in the weight-4 pair
+//!   kernel — ~10× over hash probing on the 13-bit survey scenario), and
+//!   through the [`posmap::PosMap`] open-addressing hash above it, where
+//!   the value space outruns `u16` positions and cache. Sorted-array
+//!   merge kernels were evaluated for that regime and rejected: XOR
+//!   targets do not preserve sort order, so merges degenerate into
+//!   recursive splits that lose to a single hash probe.
+//!
+//! The pre-workspace scratch implementations live on in [`reference`] as
+//! the differential-testing oracle (CI job `screening-equivalence`);
+//! `crates/survey` threads one workspace per campaign worker through
+//! `SurvivorRecord::screen_in`.
+//!
 //! # Quick start
 //!
 //! ```
@@ -51,15 +95,18 @@ pub mod filter;
 pub mod genpoly;
 pub mod posmap;
 pub mod profile;
+pub mod reference;
 pub mod report;
 pub mod search;
 pub mod spectrum;
 pub mod syndrome;
 pub mod weights;
 pub mod witness;
+pub mod workspace;
 
 pub use genpoly::GenPoly;
 pub use profile::HdProfile;
+pub use workspace::SyndromeWorkspace;
 
 use std::error::Error as StdError;
 use std::fmt;

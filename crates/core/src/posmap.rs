@@ -11,20 +11,28 @@
 /// repeat, and first-occurrence semantics keep every `d_min` search exact
 /// (see [`PosMap::insert`]).
 ///
-/// Capacity is fixed at construction; positions are `u32`.
+/// Sizing contract: [`PosMap::with_capacity`]`(n)` rounds the slot count
+/// to the next power of two **at or above `2n`**, so inserting up to `n`
+/// distinct keys keeps the load factor ≤ ½ and never triggers a rehash —
+/// a `weights234`-style sweep that sizes for its codeword length pays for
+/// exactly one allocation ([`PosMap::rehashes`] stays 0; the regression
+/// test below counts them). Inserting beyond that grows the table
+/// (doubling) instead of failing. Positions are `u32`.
 #[derive(Debug, Clone)]
 pub struct PosMap {
     keys: Vec<u64>,
     vals: Vec<u32>,
     mask: usize,
     len: usize,
+    rehashes: u64,
 }
 
 /// Sentinel meaning "slot empty" in [`PosMap`] (positions are < 2³¹).
 const EMPTY: u32 = u32::MAX;
 
 impl PosMap {
-    /// Creates a map able to hold `capacity` entries with load factor ≤ ½.
+    /// Creates a map able to hold `capacity` entries with load factor ≤ ½
+    /// (slot count = next power of two ≥ `2 × capacity`).
     pub fn with_capacity(capacity: usize) -> PosMap {
         let slots = (capacity.max(4) * 2).next_power_of_two();
         PosMap {
@@ -32,7 +40,29 @@ impl PosMap {
             vals: vec![EMPTY; slots],
             mask: slots - 1,
             len: 0,
+            rehashes: 0,
         }
+    }
+
+    /// Number of times the table has grown (rehashed) since construction.
+    /// Stays 0 for any usage that stays within the constructed capacity.
+    #[inline]
+    pub fn rehashes(&self) -> u64 {
+        self.rehashes
+    }
+
+    /// Entries the table holds without growing (½ the slot count).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.keys.len() / 2
+    }
+
+    /// Removes every entry, keeping the allocation (and the lifetime
+    /// rehash count) — the cheap way for a reused workspace to rebind to
+    /// a new polynomial.
+    pub fn clear(&mut self) {
+        self.vals.fill(EMPTY);
+        self.len = 0;
     }
 
     /// Number of stored entries.
@@ -59,28 +89,42 @@ impl PosMap {
     /// a probe hit through a first-occurrence position is still a genuine
     /// codeword witness, and ascending-degree scans keep minimality.
     ///
-    /// # Panics
-    ///
-    /// Panics if the table is full (capacity sizing bug upstream).
+    /// Grows (doubling) when an insert would push the load factor past ½;
+    /// correctly sized callers never hit this path (see the type docs).
     #[inline]
     pub fn insert(&mut self, key: u64, pos: u32) {
         debug_assert_ne!(pos, EMPTY);
+        if (self.len + 1) * 2 > self.keys.len() {
+            self.grow();
+        }
         let mut slot = self.slot_of(key);
         loop {
             if self.vals[slot] == EMPTY {
                 self.keys[slot] = key;
                 self.vals[slot] = pos;
                 self.len += 1;
-                assert!(
-                    self.len * 2 <= self.keys.len(),
-                    "PosMap over-filled: capacity sizing bug"
-                );
                 return;
             }
             if self.keys[slot] == key {
                 return; // keep the earliest position for this syndrome
             }
             slot = (slot + 1) & self.mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_slots = (self.keys.len() * 2).max(8);
+        let old_keys = std::mem::replace(&mut self.keys, vec![0; new_slots]);
+        let old_vals = std::mem::replace(&mut self.vals, vec![EMPTY; new_slots]);
+        self.mask = new_slots - 1;
+        self.len = 0;
+        self.rehashes += 1;
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if v != EMPTY {
+                // Re-inserting first occurrences preserves first-occurrence
+                // semantics: keys are unique within the old table.
+                self.insert(k, v);
+            }
         }
     }
 
@@ -278,12 +322,47 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "over-filled")]
-    fn posmap_overfill_panics() {
+    fn posmap_overfill_grows_instead_of_failing() {
         let mut m = PosMap::with_capacity(4);
         for i in 0..100 {
             m.insert(i, i as u32);
         }
+        assert_eq!(m.len(), 100);
+        assert!(m.rehashes() > 0);
+        for i in 0..100 {
+            assert_eq!(m.get(i), Some(i as u32), "key {i} lost across growth");
+        }
+    }
+
+    #[test]
+    fn posmap_sized_for_a_sweep_never_rehashes() {
+        // The sizing contract the weights234 sweep relies on: a map built
+        // with with_capacity(n) absorbs n distinct keys with zero growth.
+        // Cover power-of-two boundaries and a codeword-length-shaped n.
+        for n in [1usize, 4, 5, 63, 64, 65, 1024, 1037, 12_144] {
+            let mut m = PosMap::with_capacity(n);
+            for i in 0..n as u64 {
+                m.insert(i.wrapping_mul(0x9E37_79B9_97F4_A7C1) | 1, i as u32);
+            }
+            assert_eq!(m.rehashes(), 0, "with_capacity({n}) rehashed");
+        }
+    }
+
+    #[test]
+    fn posmap_clear_keeps_allocation_and_contract() {
+        let mut m = PosMap::with_capacity(64);
+        for i in 0..64u64 {
+            m.insert(i * 77 + 1, i as u32);
+        }
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.get(78), None);
+        // A full re-fill after clear still needs no growth.
+        for i in 0..64u64 {
+            m.insert(i * 131 + 5, (i + 1) as u32);
+        }
+        assert_eq!(m.rehashes(), 0);
+        assert_eq!(m.get(5), Some(1));
     }
 
     #[test]

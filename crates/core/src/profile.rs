@@ -8,8 +8,8 @@
 //! paper's hard confirmations, e.g. proving `0xD419CC15` admits no weight-4
 //! multiple below its order 65537 (the paper's "HD=5 up to almost 64K").
 
-use crate::dmin::{dmin, dmin2};
 use crate::genpoly::GenPoly;
+use crate::workspace::SyndromeWorkspace;
 use crate::{Error, Result};
 
 /// Default highest weight explored by [`HdProfile::compute`]. Table 1's
@@ -63,54 +63,34 @@ impl HdProfile {
         HdProfile::compute_up_to_weight(g, max_len, DEFAULT_MAX_WEIGHT)
     }
 
-    /// Computes a profile exploring weights `2..=max_weight`.
+    /// Computes a profile exploring weights `2..=max_weight` (one-shot
+    /// convenience over [`HdProfile::compute_in`]).
     ///
     /// # Errors
     ///
     /// As [`HdProfile::compute`].
     pub fn compute_up_to_weight(g: &GenPoly, max_len: u32, max_weight: u32) -> Result<HdProfile> {
-        if max_len == 0 || max_len > (1 << 30) {
-            return Err(Error::BadLength(format!(
-                "max_len {max_len} outside 1..=2^30"
-            )));
-        }
-        let r = g.width();
-        let degree_cap = max_len
-            .checked_add(r - 1)
-            .ok_or_else(|| Error::BadLength("length overflow".into()))?;
-        let order = dmin2(g);
-        let mut dmins: Vec<(u32, u32)> = Vec::new();
-        // Running minimum of found d_min values; only degrees strictly
-        // below it can change any HD value.
-        let mut best = degree_cap + 1;
-        if order <= degree_cap as u128 {
-            best = order as u32;
-            dmins.push((2, best));
-        }
-        let skip_odd = g.divisible_by_x_plus_1();
-        let mut w = 3;
-        while w <= max_weight && best > r {
-            if skip_odd && w % 2 == 1 {
-                w += 1;
-                continue;
-            }
-            let cap = best - 1;
-            if cap < w - 1 {
-                break;
-            }
-            if let Some(d) = dmin(g, w, cap)? {
-                debug_assert!(d < best);
-                best = d;
-                dmins.push((w, d));
-            }
-            w += 1;
-        }
-        Ok(HdProfile {
-            g: *g,
-            max_len,
-            order,
-            dmins,
-            max_weight_explored: max_weight,
+        HdProfile::compute_in(&mut SyndromeWorkspace::new(), g, max_len, max_weight)
+    }
+
+    /// Computes a profile through a caller-held workspace: `d_min`
+    /// searches resume whatever earlier stages (an HD pre-filter, a
+    /// shorter profile) already certified, and everything this profile
+    /// learns stays behind for later stages — in particular, a
+    /// subsequent `weights234` on the same workspace skips every degree
+    /// this profile proved clean.
+    ///
+    /// # Errors
+    ///
+    /// As [`HdProfile::compute`].
+    pub fn compute_in(
+        ws: &mut SyndromeWorkspace,
+        g: &GenPoly,
+        max_len: u32,
+        max_weight: u32,
+    ) -> Result<HdProfile> {
+        compute_with(g, max_len, max_weight, ws.order(g), |w, cap| {
+            ws.dmin(g, w, cap)
         })
     }
 
@@ -281,6 +261,63 @@ impl HdProfile {
         out.reverse();
         out
     }
+}
+
+/// The profile cap chain, generic over the `d_min` provider — shared by
+/// the workspace-backed [`HdProfile::compute_in`] and the scratch
+/// [`crate::reference::profile`], so both assemble profiles through
+/// identical control flow. Each weight's search is capped one below the
+/// running minimum: only strictly smaller degrees can change any HD
+/// value.
+pub(crate) fn compute_with(
+    g: &GenPoly,
+    max_len: u32,
+    max_weight: u32,
+    order: u128,
+    mut dmin_at: impl FnMut(u32, u32) -> Result<Option<u32>>,
+) -> Result<HdProfile> {
+    if max_len == 0 || max_len > (1 << 30) {
+        return Err(Error::BadLength(format!(
+            "max_len {max_len} outside 1..=2^30"
+        )));
+    }
+    let r = g.width();
+    let degree_cap = max_len
+        .checked_add(r - 1)
+        .ok_or_else(|| Error::BadLength("length overflow".into()))?;
+    let mut dmins: Vec<(u32, u32)> = Vec::new();
+    // Running minimum of found d_min values; only degrees strictly
+    // below it can change any HD value.
+    let mut best = degree_cap + 1;
+    if order <= degree_cap as u128 {
+        best = order as u32;
+        dmins.push((2, best));
+    }
+    let skip_odd = g.divisible_by_x_plus_1();
+    let mut w = 3;
+    while w <= max_weight && best > r {
+        if skip_odd && w % 2 == 1 {
+            w += 1;
+            continue;
+        }
+        let cap = best - 1;
+        if cap < w - 1 {
+            break;
+        }
+        if let Some(d) = dmin_at(w, cap)? {
+            debug_assert!(d < best);
+            best = d;
+            dmins.push((w, d));
+        }
+        w += 1;
+    }
+    Ok(HdProfile {
+        g: *g,
+        max_len,
+        order,
+        dmins,
+        max_weight_explored: max_weight,
+    })
 }
 
 #[cfg(test)]

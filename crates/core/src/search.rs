@@ -2,8 +2,9 @@
 //! 16 bits, exactly the paper's §4.5 validation strategy) and the sampled
 //! factorization-class census that reproduces Table 2 at laptop scale.
 
-use crate::filter::hd_filter;
+use crate::filter::hd_filter_in;
 use crate::genpoly::GenPoly;
+use crate::workspace::SyndromeWorkspace;
 use crate::Result;
 use gf2poly::{factor, FactorClass, SplitMix64};
 use parking_lot::Mutex;
@@ -123,33 +124,37 @@ pub fn exhaustive_search(
 
     crossbeam::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let start = next.fetch_add(CHUNK, Ordering::Relaxed);
-                if start >= total || error.lock().is_some() {
-                    return;
-                }
-                let end = (start + CHUNK).min(total);
-                let mut local = Vec::new();
-                for offset in start..end {
-                    let k = lo + offset;
-                    let g = GenPoly::from_koopman(width, k).expect("in range");
-                    if g.koopman() > g.reciprocal().koopman() {
-                        continue; // non-canonical member of a reciprocal pair
+            scope.spawn(|_| {
+                // One workspace per worker: rebinding keeps allocations.
+                let mut ws = SyndromeWorkspace::new();
+                loop {
+                    let start = next.fetch_add(CHUNK, Ordering::Relaxed);
+                    if start >= total || error.lock().is_some() {
+                        return;
                     }
-                    match hd_filter(&g, data_len, target_hd) {
-                        Ok(v) if v.passed() => {
-                            let class = factor(g.to_poly()).signature().to_string();
-                            local.push(Survivor { poly: g, class });
+                    let end = (start + CHUNK).min(total);
+                    let mut local = Vec::new();
+                    for offset in start..end {
+                        let k = lo + offset;
+                        let g = GenPoly::from_koopman(width, k).expect("in range");
+                        if g.koopman() > g.reciprocal().koopman() {
+                            continue; // non-canonical member of a reciprocal pair
                         }
-                        Ok(_) => {}
-                        Err(e) => {
-                            *error.lock() = Some(e);
-                            return;
+                        match hd_filter_in(&mut ws, &g, data_len, target_hd) {
+                            Ok(v) if v.passed() => {
+                                let class = factor(g.to_poly()).signature().to_string();
+                                local.push(Survivor { poly: g, class });
+                            }
+                            Ok(_) => {}
+                            Err(e) => {
+                                *error.lock() = Some(e);
+                                return;
+                            }
                         }
                     }
-                }
-                if !local.is_empty() {
-                    hits.lock().extend(local);
+                    if !local.is_empty() {
+                        hits.lock().extend(local);
+                    }
                 }
             });
         }
@@ -208,29 +213,32 @@ pub fn class_census(
 
     crossbeam::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= samples || error.lock().is_some() {
-                    return;
-                }
-                // Per-sample deterministic RNG: thread-schedule independent.
-                let mut rng = SplitMix64::new(seed ^ (i.wrapping_mul(0xA076_1D64_78BD_642F)));
-                let poly = class
-                    .sample(&mut rng)
-                    .expect("class degrees validated at construction");
-                let g = GenPoly::from_poly(poly).expect("class members are valid generators");
-                match hd_filter(&g, data_len, target_hd) {
-                    Ok(v) if v.passed() => {
-                        hits.fetch_add(1, Ordering::Relaxed);
-                        let mut ex = examples.lock();
-                        if ex.len() < 8 {
-                            ex.push(g);
-                        }
-                    }
-                    Ok(_) => {}
-                    Err(e) => {
-                        *error.lock() = Some(e);
+            scope.spawn(|_| {
+                let mut ws = SyndromeWorkspace::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= samples || error.lock().is_some() {
                         return;
+                    }
+                    // Per-sample deterministic RNG: thread-schedule independent.
+                    let mut rng = SplitMix64::new(seed ^ (i.wrapping_mul(0xA076_1D64_78BD_642F)));
+                    let poly = class
+                        .sample(&mut rng)
+                        .expect("class degrees validated at construction");
+                    let g = GenPoly::from_poly(poly).expect("class members are valid generators");
+                    match hd_filter_in(&mut ws, &g, data_len, target_hd) {
+                        Ok(v) if v.passed() => {
+                            hits.fetch_add(1, Ordering::Relaxed);
+                            let mut ex = examples.lock();
+                            if ex.len() < 8 {
+                                ex.push(g);
+                            }
+                        }
+                        Ok(_) => {}
+                        Err(e) => {
+                            *error.lock() = Some(e);
+                            return;
+                        }
                     }
                 }
             });
@@ -274,6 +282,7 @@ pub fn wilson_interval(successes: u64, trials: u64) -> (f64, f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::filter::hd_filter;
 
     #[test]
     fn space_counts() {

@@ -55,6 +55,21 @@ impl SyndromeSeq {
         }
         self.state
     }
+
+    /// Grows `table` so that `table[k] = r(k)` exists for all `k ≤ upto`,
+    /// stepping this generator forward as needed. Requires the invariant
+    /// every incremental consumer maintains: `self.peek()` is the value at
+    /// position `table.len() - 1` (i.e. the table was filled by this
+    /// sequence). This is the one extension primitive shared by the
+    /// scratch paths and [`crate::workspace::SyndromeWorkspace`], so every
+    /// caller grows tables the same way.
+    #[inline]
+    pub fn extend_table(&mut self, table: &mut Vec<u64>, upto: usize) {
+        debug_assert_eq!(table.last().copied(), Some(self.peek()));
+        while table.len() <= upto {
+            table.push(self.step());
+        }
+    }
 }
 
 impl Iterator for SyndromeSeq {

@@ -15,8 +15,7 @@
 
 use crate::dmin::dmin2;
 use crate::genpoly::GenPoly;
-use crate::posmap::PosMap;
-use crate::syndrome::SyndromeSeq;
+use crate::workspace::SyndromeWorkspace;
 use crate::{Error, Result};
 
 /// Exact weights `W₂..W₄` for a generator at one data-word length.
@@ -53,6 +52,11 @@ impl Weights234 {
 /// Computes exact `W₂`, `W₃` and `W₄` for `g` at data-word length
 /// `data_len`.
 ///
+/// One-shot convenience over [`SyndromeWorkspace::weights234`]; callers
+/// evaluating many polynomials (or one polynomial through several
+/// stages) should hold a workspace and call the method directly so
+/// syndromes, the position index and `d_min` knowledge carry over.
+///
 /// # Errors
 ///
 /// [`Error::BadLength`] if `data_len` is zero, or if the codeword length
@@ -67,71 +71,7 @@ impl Weights234 {
 /// assert_eq!((w.w2, w.w3), (0, 0));
 /// ```
 pub fn weights234(g: &GenPoly, data_len: u32) -> Result<Weights234> {
-    if data_len == 0 {
-        return Err(Error::BadLength("data_len must be positive".into()));
-    }
-    let r = g.width();
-    let codeword_len = data_len
-        .checked_add(r)
-        .ok_or_else(|| Error::BadLength("codeword length overflow".into()))?;
-    let l = codeword_len as u64;
-    let order = dmin2(g);
-    if (l as u128) > order {
-        return Err(Error::BadLength(format!(
-            "codeword length {l} exceeds the polynomial order {order}; \
-             exact counting requires distinct syndromes"
-        )));
-    }
-
-    // W2 from the order alone (always 0 under the order restriction, but
-    // computed through the same closed form for uniformity).
-    let w2 = weight2(g, data_len)?;
-
-    // W3 and W4 by top-degree sweep.
-    let mut w3: u128 = 0;
-    let mut w4: u128 = 0;
-    let mut map = PosMap::with_capacity(codeword_len as usize);
-    let mut seq = SyndromeSeq::new(g);
-    let mut syn: Vec<u64> = Vec::with_capacity(codeword_len as usize);
-    syn.push(seq.peek());
-    let mut avail = 0u32;
-    let parity = g.divisible_by_x_plus_1();
-    for t in 2..codeword_len {
-        while syn.len() <= t as usize {
-            syn.push(seq.step());
-        }
-        while avail < t - 1 {
-            avail += 1;
-            map.insert(syn[avail as usize], avail);
-        }
-        let rt = syn[t as usize];
-        let shifts = (l - t as u64) as u128;
-        // N3(t): unique i (injectivity below the order) with r(i) = 1^r(t).
-        if !parity {
-            if let Some(i) = map.get(1 ^ rt) {
-                debug_assert!(i >= 1 && i < t);
-                w3 += shifts;
-            }
-        }
-        // N4(t): pairs i < j in [1, t-1] with r(i) ^ r(j) = 1 ^ r(t).
-        let target = 1 ^ rt;
-        let mut pairs: u128 = 0;
-        for i in 1..t {
-            if let Some(j) = map.get(target ^ syn[i as usize]) {
-                if j > i {
-                    pairs += 1;
-                }
-            }
-        }
-        w4 += pairs * shifts;
-    }
-    Ok(Weights234 {
-        data_len,
-        codeword_len,
-        w2,
-        w3,
-        w4,
-    })
+    SyndromeWorkspace::new().weights234(g, data_len)
 }
 
 /// Exact `W₂` at any data-word length, from the multiplicative order
@@ -151,14 +91,19 @@ pub fn weight2(g: &GenPoly, data_len: u32) -> Result<u128> {
     let l = data_len
         .checked_add(g.width())
         .ok_or_else(|| Error::BadLength("codeword length overflow".into()))? as u128;
-    let e = dmin2(g);
+    Ok(weight2_from_order(dmin2(g), l))
+}
+
+/// The `W₂` closed form given a precomputed order — shared by
+/// [`weight2`] and the workspace kernels (which cache the order).
+pub(crate) fn weight2_from_order(order: u128, l: u128) -> u128 {
     let mut w2: u128 = 0;
-    let mut d = e;
+    let mut d = order;
     while d < l {
         w2 += l - d;
-        d += e;
+        d += order;
     }
-    Ok(w2)
+    w2
 }
 
 /// The undetected fraction `Wₖ / C(n+r, k)` — the paper's "slightly more

@@ -1,0 +1,938 @@
+//! The shared screening workspace: syndromes, a position index and
+//! per-weight `d_min` knowledge that persist across filter stages,
+//! lengths and weight computations.
+//!
+//! # Why a workspace
+//!
+//! Every question this crate answers about a generator `G` — "does a
+//! weight-w multiple fit in `n` bits?", "what is `d_min(w)`?", "how many
+//! weight-4 codewords exist at length `L`?" — is a subset-XOR question
+//! over the same syndrome sequence `r(i) = x^i mod G`. The scratch paths
+//! (preserved in [`crate::reference`]) rebuild that sequence and its
+//! value→position index from zero on every call, so a staged screen
+//! (filter at 64 bits → profile to 1024 → exact weights at 1024) pays
+//! for overlapping syndrome prefixes many times, and a doubling+bisect
+//! breakpoint search re-derives them ~30 times per polynomial.
+//!
+//! A [`SyndromeWorkspace`] is bound to one polynomial at a time and owns:
+//!
+//! * the **grow-only syndrome table** `r(0)..r(k)`, extended (never
+//!   recomputed) as probed lengths grow;
+//! * a **position index** mapping syndrome values back to their first
+//!   position — a direct-indexed array for widths ≤
+//!   [`DIRECT_INDEX_MAX_WIDTH`] (one L1/L2 load per probe, no hashing),
+//!   falling back to the [`PosMap`] sparse hash for wider generators
+//!   whose value space outruns memory;
+//! * a **per-weight `d_min` memo**: each capped search records either the
+//!   exact minimal degree it found or the degree below which it proved no
+//!   weight-`w` multiple exists, so later stages *resume* scans instead
+//!   of restarting them, and the `weights234` sweep skips every degree
+//!   the profile already certified clean — quadratically less work,
+//!   since the pair loop at degree `t` costs `O(t)` probes.
+//!
+//! All probes bound-check positions explicitly (`p < t`), so the index
+//! may safely run ahead of any particular query: first occurrences are
+//! global minima, and "is there an occurrence before `t`?" is exactly
+//! `first_occurrence < t`.
+//!
+//! # Direct index vs hash fallback
+//!
+//! The direct index stores one `u16` per possible syndrome value
+//! (`2 × 2^width` bytes): 16 KiB at the survey's 13-bit width — small
+//! enough that the table *and* the streamed syndrome row stay inside L1
+//! together (`u16` is enough for positions because first occurrences
+//! are bounded by the multiplicative order `< 2^width ≤ 2^16`). Probes
+//! are a single dependent L1 load — ~5× cheaper than a hash probe
+//! (multiply, mask, and two dependent loads over a larger footprint,
+//! with occasional collision chains). Beyond [`DIRECT_INDEX_MAX_WIDTH`]
+//! positions outgrow `u16` and the table outgrows cache (at 32 bits,
+//! RAM), so the workspace keeps the `PosMap` open-addressing path;
+//! sorted-array merge kernels were considered and rejected because XOR
+//! targets do not preserve sort order (a merge degenerates into
+//! `O(popcount)` recursive splits that lose to one hash probe).
+//! Rebinding to a new polynomial clears the direct index by *replaying*
+//! the positions it inserted (`O(indexed)`, not `O(2^width)`), so a
+//! campaign worker reuses one allocation across every candidate.
+
+use crate::dmin::{dmin2, mitm_scan};
+use crate::filter::FilterVerdict;
+use crate::genpoly::GenPoly;
+use crate::posmap::PosMap;
+use crate::syndrome::SyndromeSeq;
+use crate::weights::{weight2_from_order, Weights234};
+use crate::{Error, Result};
+
+/// Widest generator that uses the direct-indexed position table.
+/// At or below this width both syndrome values and first-occurrence
+/// positions fit in `u16` (first occurrences are bounded by the
+/// multiplicative order, which is `< 2^width`), so the table is
+/// `2 × 2^width` bytes — 16 KiB at 16 bits — and the whole sweep working
+/// set stays L1-resident. Wider generators use the [`PosMap`] hash
+/// fallback.
+pub const DIRECT_INDEX_MAX_WIDTH: u32 = 16;
+
+/// "Slot empty" sentinel of the direct index. `u16::MAX` (not 0) so the
+/// hot pair loop needs a *single* compare: real positions are ≤ 2^16 − 2
+/// (first occurrences sit below the order), sweep degrees `t` are below
+/// the order too, so `p < t` is false for empty slots automatically.
+const DIRECT_EMPTY: u16 = u16::MAX;
+
+/// Weights `2..MEMO_WEIGHTS` get a `d_min` memo slot (covers every
+/// profile weight; rarer weights simply re-scan).
+const MEMO_WEIGHTS: usize = 33;
+
+/// How a workspace chooses its position index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexPolicy {
+    /// Direct-indexed table for widths ≤ [`DIRECT_INDEX_MAX_WIDTH`],
+    /// hash otherwise.
+    Auto,
+    /// Always use the [`PosMap`] hash path — the sparse-probe fallback,
+    /// forced (used by differential tests and before/after benches).
+    ForceHash,
+}
+
+/// Which index flavor a binding ended up with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Direct-indexed `u16` table over the value space.
+    Direct,
+    /// Open-addressing hash table ([`PosMap`]).
+    Hash,
+}
+
+/// What a workspace knows about weight-`w` multiples (constant term 1)
+/// of the bound polynomial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WeightFact {
+    /// Nothing beyond the trivial degree ≥ w−1 bound.
+    Unknown,
+    /// No weight-`w` multiple has degree < this (a capped search came up
+    /// empty through this−1).
+    ZeroBelow(u32),
+    /// The exact minimal degree of a weight-`w` multiple.
+    MinDegree(u32),
+}
+
+/// A reusable, grow-only evaluation workspace for one polynomial at a
+/// time (see the module docs). Create once per worker, then call the
+/// evaluation methods — each auto-binds to its polynomial argument,
+/// keeping all cached state while the polynomial stays the same and
+/// cheaply resetting (allocations retained) when it changes.
+#[derive(Debug, Clone)]
+pub struct SyndromeWorkspace {
+    policy: IndexPolicy,
+    g: Option<GenPoly>,
+    seq: Option<SyndromeSeq>,
+    /// `syn[i] = r(i)`; grow-only while bound.
+    syn: Vec<u64>,
+    order: Option<u128>,
+    facts: [WeightFact; MEMO_WEIGHTS],
+    kind: IndexKind,
+    /// Positions `1..=indexed` are present in the active index.
+    indexed: u32,
+    /// Direct index: `direct[value] = first position`, 0 = absent
+    /// (position 0 is never indexed). Sized lazily to `1 << width`;
+    /// positions fit `u16` because first occurrences are below the
+    /// order, which is below `2^width ≤ 2^16`.
+    direct: Vec<u16>,
+    /// `u16` mirror of `syn` for direct-index sweeps (values are
+    /// `< 2^width ≤ 2^16` there); extended lazily, cleared on rebind.
+    syn16: Vec<u16>,
+    /// Hash fallback index.
+    hash: PosMap,
+    rebinds: u64,
+}
+
+impl Default for SyndromeWorkspace {
+    fn default() -> SyndromeWorkspace {
+        SyndromeWorkspace::new()
+    }
+}
+
+impl SyndromeWorkspace {
+    /// An empty workspace with the [`IndexPolicy::Auto`] index choice.
+    pub fn new() -> SyndromeWorkspace {
+        SyndromeWorkspace::with_policy(IndexPolicy::Auto)
+    }
+
+    /// An empty workspace with an explicit index policy.
+    pub fn with_policy(policy: IndexPolicy) -> SyndromeWorkspace {
+        SyndromeWorkspace {
+            policy,
+            g: None,
+            seq: None,
+            syn: Vec::new(),
+            order: None,
+            facts: [WeightFact::Unknown; MEMO_WEIGHTS],
+            kind: IndexKind::Hash,
+            indexed: 0,
+            direct: Vec::new(),
+            syn16: Vec::new(),
+            hash: PosMap::with_capacity(0),
+            rebinds: 0,
+        }
+    }
+
+    /// Binds the workspace to `g`: a no-op when `g` is already bound,
+    /// otherwise clears the cached state (keeping allocations — the
+    /// direct index is cleared by replaying the positions it holds).
+    pub fn bind(&mut self, g: &GenPoly) {
+        if self.g.as_ref() == Some(g) {
+            return;
+        }
+        match self.kind {
+            IndexKind::Direct => {
+                for i in 1..=self.indexed {
+                    self.direct[self.syn[i as usize] as usize] = DIRECT_EMPTY;
+                }
+            }
+            IndexKind::Hash => self.hash.clear(),
+        }
+        self.indexed = 0;
+        self.syn.clear();
+        self.syn16.clear();
+        self.order = None;
+        self.facts = [WeightFact::Unknown; MEMO_WEIGHTS];
+        self.kind = match self.policy {
+            IndexPolicy::ForceHash => IndexKind::Hash,
+            IndexPolicy::Auto if g.width() <= DIRECT_INDEX_MAX_WIDTH => IndexKind::Direct,
+            IndexPolicy::Auto => IndexKind::Hash,
+        };
+        if self.kind == IndexKind::Direct {
+            let need = 1usize << g.width();
+            if self.direct.len() < need {
+                self.direct.resize(need, DIRECT_EMPTY);
+            }
+        }
+        let seq = SyndromeSeq::new(g);
+        self.syn.push(seq.peek());
+        self.seq = Some(seq);
+        self.g = Some(*g);
+        self.rebinds += 1;
+    }
+
+    /// The polynomial currently bound, if any.
+    pub fn bound(&self) -> Option<&GenPoly> {
+        self.g.as_ref()
+    }
+
+    /// The index flavor of the current binding.
+    pub fn index_kind(&self) -> IndexKind {
+        self.kind
+    }
+
+    /// Number of syndromes `r(0)..` computed so far for the binding.
+    pub fn syndromes_known(&self) -> usize {
+        self.syn.len()
+    }
+
+    /// Number of positions present in the value→position index.
+    pub fn positions_indexed(&self) -> u32 {
+        self.indexed
+    }
+
+    /// How many times the workspace has been (re)bound.
+    pub fn rebinds(&self) -> u64 {
+        self.rebinds
+    }
+
+    /// The multiplicative order of `x` mod `g` (= `d_min(2)`), cached
+    /// across every evaluation of the binding.
+    pub fn order(&mut self, g: &GenPoly) -> u128 {
+        self.bind(g);
+        self.order_value()
+    }
+
+    fn order_value(&mut self) -> u128 {
+        if self.order.is_none() {
+            self.order = Some(dmin2(self.g.as_ref().expect("workspace is bound")));
+        }
+        self.order.expect("just filled")
+    }
+
+    fn fact(&self, w: u32) -> WeightFact {
+        self.facts
+            .get(w as usize)
+            .copied()
+            .unwrap_or(WeightFact::Unknown)
+    }
+
+    fn set_fact(&mut self, w: u32, fact: WeightFact) {
+        if let Some(slot) = self.facts.get_mut(w as usize) {
+            *slot = fact;
+        }
+    }
+
+    /// The degree below which weight-`w` multiples are certified absent
+    /// (0 when nothing is known).
+    fn zero_below(&self, w: u32) -> u32 {
+        match self.fact(w) {
+            WeightFact::Unknown => 0,
+            WeightFact::ZeroBelow(t) => t,
+            WeightFact::MinDegree(d) => d,
+        }
+    }
+
+    /// The direct table sliced to exactly the bound width's value space,
+    /// plus the value mask. The exact length and the mask together let
+    /// the compiler drop the bounds check from every probe (syndromes
+    /// are `< 2^width`, so the mask is the identity on real values).
+    fn direct_table(&self) -> (&[u16], u64) {
+        let width = self.g.as_ref().expect("workspace is bound").width();
+        (&self.direct[..1usize << width], (1u64 << width) - 1)
+    }
+
+    /// Rebuilds the current direct index as a hash index (same
+    /// first-occurrence contents) and flips the binding to
+    /// [`IndexKind::Hash`] — the escape hatch for positions that would
+    /// collide with the `u16` sentinel; see `ensure_indexed`.
+    fn migrate_direct_to_hash(&mut self, upto: u32) {
+        let mut m = PosMap::with_capacity(upto as usize);
+        for i in 1..=self.indexed {
+            let v = self.syn[i as usize];
+            self.direct[v as usize] = DIRECT_EMPTY;
+            m.insert(v, i);
+        }
+        self.hash = m;
+        self.kind = IndexKind::Hash;
+    }
+
+    /// Pre-sizes the hash index for a scan that may index up to `n`
+    /// positions. Scans leave the load factor low this way — exactly
+    /// like the scratch paths, which size their map for the cap — so
+    /// probe collision chains stay short even when an early exit leaves
+    /// the table mostly empty. No-op for the direct index (collision-free
+    /// by construction) or when the table is already big enough.
+    fn reserve_hash(&mut self, n: u32) {
+        if self.kind != IndexKind::Hash || (n as usize) <= self.hash.capacity() {
+            return;
+        }
+        let mut m = PosMap::with_capacity(n as usize);
+        for i in 1..=self.indexed {
+            m.insert(self.syn[i as usize], i);
+        }
+        self.hash = m;
+    }
+
+    /// Extends the `u16` syndrome mirror to cover `syn[..=upto]`.
+    fn ensure_syn16(&mut self, upto: u32) {
+        debug_assert!((upto as usize) < self.syn.len());
+        while self.syn16.len() <= upto as usize {
+            self.syn16.push(self.syn[self.syn16.len()] as u16);
+        }
+    }
+
+    fn ensure_syndromes(&mut self, upto: u32) {
+        let seq = self.seq.as_mut().expect("workspace is bound");
+        seq.extend_table(&mut self.syn, upto as usize);
+    }
+
+    /// Extends the index to cover positions `1..=upto` (syndromes must
+    /// already be computed that far).
+    fn ensure_indexed(&mut self, upto: u32) {
+        debug_assert!((upto as usize) < self.syn.len());
+        if self.kind == IndexKind::Direct && upto >= DIRECT_EMPTY as u32 {
+            // A u16 direct index cannot represent positions at or past
+            // the sentinel. Reachable only when a scan runs past an
+            // order of exactly 2^16 − 1 (a primitive width-16
+            // generator): position 2^16 − 1 re-introduces the value
+            // r(0) = 1, which position 0 never indexed. Migrate the
+            // binding to the hash index (first occurrences preserved by
+            // inserting in position order) and continue there.
+            self.migrate_direct_to_hash(upto);
+        }
+        match self.kind {
+            IndexKind::Direct => {
+                while self.indexed < upto {
+                    self.indexed += 1;
+                    let slot = &mut self.direct[self.syn[self.indexed as usize] as usize];
+                    if *slot == DIRECT_EMPTY {
+                        // An empty slot means a first occurrence, and
+                        // first occurrences lie below the order < 2^16:
+                        // past the order the sequence repeats, so every
+                        // later position finds its value already stored
+                        // (and no stored position collides with the
+                        // sentinel).
+                        debug_assert!(self.indexed < DIRECT_EMPTY as u32);
+                        *slot = self.indexed as u16;
+                    }
+                }
+            }
+            IndexKind::Hash => {
+                while self.indexed < upto {
+                    self.indexed += 1;
+                    self.hash
+                        .insert(self.syn[self.indexed as usize], self.indexed);
+                }
+            }
+        }
+    }
+
+    /// Smallest degree `t ≤ cap` of a weight-`w` multiple of the bound
+    /// polynomial with nonzero constant term — the workspace-backed
+    /// equivalent of [`crate::reference::dmin`], with memoized resume:
+    /// a search capped at `c` leaves behind either the exact answer or a
+    /// certified-clean range, and the next call continues from there.
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::reference::dmin`]: `w < 2` is [`Error::BadLength`];
+    /// `w ≥ 5` searches can return [`Error::BudgetExceeded`].
+    pub fn dmin(&mut self, g: &GenPoly, w: u32, cap: u32) -> Result<Option<u32>> {
+        if w < 2 {
+            return Err(Error::BadLength(format!("weight {w} < 2 has no multiples")));
+        }
+        self.bind(g);
+        if w == 2 {
+            let e = self.order_value();
+            return Ok(if e <= cap as u128 {
+                Some(e as u32)
+            } else {
+                None
+            });
+        }
+        if g.divisible_by_x_plus_1() && w % 2 == 1 {
+            return Ok(None);
+        }
+        if cap < w - 1 {
+            return Ok(None);
+        }
+        match self.fact(w) {
+            WeightFact::MinDegree(d) => {
+                return Ok(if d <= cap { Some(d) } else { None });
+            }
+            WeightFact::ZeroBelow(t) if t > cap => return Ok(None),
+            _ => {}
+        }
+        match w {
+            3 => Ok(self.scan_w3(cap)),
+            4 => Ok(self.scan_w4(cap)),
+            _ => self.scan_mitm(w, cap),
+        }
+    }
+
+    /// Does any weight-`w` codeword fit in `codeword_len` bits?
+    ///
+    /// # Errors
+    ///
+    /// As [`SyndromeWorkspace::dmin`].
+    pub fn exists_weight(&mut self, g: &GenPoly, w: u32, codeword_len: u32) -> Result<bool> {
+        if codeword_len == 0 {
+            return Ok(false);
+        }
+        Ok(self.dmin(g, w, codeword_len - 1)?.is_some())
+    }
+
+    /// First position of `v` in the built index, 0 when absent.
+    #[inline]
+    fn pos_of(&self, v: u64) -> u32 {
+        match self.kind {
+            IndexKind::Direct => {
+                let p = self.direct[v as usize];
+                if p == DIRECT_EMPTY {
+                    0
+                } else {
+                    p as u32
+                }
+            }
+            IndexKind::Hash => self.hash.get(v).unwrap_or(0),
+        }
+    }
+
+    fn scan_w3(&mut self, cap: u32) -> Option<u32> {
+        let start = self.zero_below(3).max(2);
+        if start > cap {
+            return None;
+        }
+        self.reserve_hash(cap - 1);
+        let mut found = None;
+        // Incremental growth (index trails the probe degree by one)
+        // keeps early exits from paying for the full cap, exactly like
+        // the scratch scan.
+        for t in start..=cap {
+            self.ensure_syndromes(t);
+            self.ensure_indexed(t - 1);
+            let p = self.pos_of(1 ^ self.syn[t as usize]);
+            if p != 0 && p < t {
+                found = Some(t);
+                break;
+            }
+        }
+        self.set_fact(
+            3,
+            match found {
+                Some(t) => WeightFact::MinDegree(t),
+                None => WeightFact::ZeroBelow(cap + 1),
+            },
+        );
+        found
+    }
+
+    fn scan_w4(&mut self, cap: u32) -> Option<u32> {
+        let start = self.zero_below(4).max(3);
+        if start > cap {
+            return None;
+        }
+        self.reserve_hash(cap - 1);
+        let mut found = None;
+        for t in start..=cap {
+            self.ensure_syndromes(t);
+            self.ensure_indexed(t - 1);
+            let target = 1 ^ self.syn[t as usize];
+            let hit = match self.kind {
+                IndexKind::Direct => {
+                    let (tbl, mask) = self.direct_table();
+                    row_has_pair(&self.syn, t, target, |v| {
+                        let p = tbl[(v & mask) as usize];
+                        if p == DIRECT_EMPTY {
+                            0
+                        } else {
+                            p as u32
+                        }
+                    })
+                }
+                IndexKind::Hash => {
+                    let map = &self.hash;
+                    row_has_pair(&self.syn, t, target, |v| map.get(v).unwrap_or(0))
+                }
+            };
+            if hit {
+                found = Some(t);
+                break;
+            }
+        }
+        self.set_fact(
+            4,
+            match found {
+                Some(t) => WeightFact::MinDegree(t),
+                None => WeightFact::ZeroBelow(cap + 1),
+            },
+        );
+        found
+    }
+
+    fn scan_mitm(&mut self, w: u32, cap: u32) -> Result<Option<u32>> {
+        let probe_from = self.zero_below(w);
+        let seq = self.seq.as_mut().expect("workspace is bound");
+        let found = mitm_scan(w, cap, probe_from, &mut self.syn, seq)?;
+        self.set_fact(
+            w,
+            match found {
+                Some(d) => WeightFact::MinDegree(d),
+                None => WeightFact::ZeroBelow(cap + 1),
+            },
+        );
+        Ok(found)
+    }
+
+    /// The fast HD filter over this workspace — see
+    /// [`crate::filter::hd_filter_in`], which this delegates to.
+    ///
+    /// # Errors
+    ///
+    /// As [`SyndromeWorkspace::dmin`].
+    pub fn hd_filter(
+        &mut self,
+        g: &GenPoly,
+        data_len: u32,
+        target_hd: u32,
+    ) -> Result<FilterVerdict> {
+        crate::filter::hd_filter_in(self, g, data_len, target_hd)
+    }
+
+    /// Exact `W₂` at any data-word length from the cached order.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::BadLength`] for zero or overflowing lengths.
+    pub fn weight2(&mut self, g: &GenPoly, data_len: u32) -> Result<u128> {
+        if data_len == 0 {
+            return Err(Error::BadLength("data_len must be positive".into()));
+        }
+        let l = data_len
+            .checked_add(g.width())
+            .ok_or_else(|| Error::BadLength("codeword length overflow".into()))?
+            as u128;
+        self.bind(g);
+        Ok(weight2_from_order(self.order_value(), l))
+    }
+
+    /// Exact `W₂`, `W₃`, `W₄` at `data_len` — the workspace-kernel
+    /// equivalent of [`crate::reference::weights234`]. The top-degree
+    /// sweep starts at the smallest degree not already certified clean
+    /// by earlier `d_min` searches on this binding (a profile computed
+    /// first makes most of the sweep vanish), and what the sweep proves
+    /// flows back into the memo.
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::reference::weights234`]: zero/overflowing lengths and
+    /// codeword lengths beyond the polynomial order are
+    /// [`Error::BadLength`].
+    pub fn weights234(&mut self, g: &GenPoly, data_len: u32) -> Result<Weights234> {
+        if data_len == 0 {
+            return Err(Error::BadLength("data_len must be positive".into()));
+        }
+        let r = g.width();
+        let codeword_len = data_len
+            .checked_add(r)
+            .ok_or_else(|| Error::BadLength("codeword length overflow".into()))?;
+        self.bind(g);
+        let order = self.order_value();
+        let l = codeword_len as u64;
+        if (l as u128) > order {
+            return Err(Error::BadLength(format!(
+                "codeword length {l} exceeds the polynomial order {order}; \
+                 exact counting requires distinct syndromes"
+            )));
+        }
+        let w2 = weight2_from_order(order, l as u128);
+        let parity = g.divisible_by_x_plus_1();
+        let zb3 = if parity {
+            u32::MAX
+        } else {
+            self.zero_below(3).max(2)
+        };
+        let zb4 = self.zero_below(4).max(2);
+        let mut w3 = 0u128;
+        let mut w4 = 0u128;
+        if zb3.min(zb4) < codeword_len {
+            self.ensure_syndromes(codeword_len - 1);
+            let sweep = match self.kind {
+                IndexKind::Direct => {
+                    // Collision-free probes: build the whole index once,
+                    // then run the L1-resident u16 kernel.
+                    self.ensure_indexed(codeword_len - 2);
+                    self.ensure_syn16(codeword_len - 1);
+                    let (tbl, mask) = self.direct_table();
+                    sweep_w34_direct(&self.syn16, tbl, mask as u16, codeword_len, zb3, zb4)
+                }
+                IndexKind::Hash => self.sweep_w34_hash(codeword_len, zb3, zb4),
+            };
+            w3 = sweep.w3;
+            w4 = sweep.w4;
+            // Fold what the sweep proved back into the memo: a first hit
+            // is an exact d_min (everything below its start was already
+            // certified clean); a clean sweep certifies the whole range.
+            if !parity {
+                self.note_scan(3, sweep.first3, codeword_len - 1);
+            }
+            self.note_scan(4, sweep.first4, codeword_len - 1);
+        }
+        Ok(Weights234 {
+            data_len,
+            codeword_len,
+            w2,
+            w3,
+            w4,
+        })
+    }
+
+    /// Records a weights-sweep outcome for weight `w`: `first` is the
+    /// first degree with a hit (0 = none), `scanned_to` the last degree
+    /// swept. Facts only ever strengthen — a clean short sweep must not
+    /// shrink a larger certified-clean range left by an earlier search.
+    fn note_scan(&mut self, w: u32, first: u32, scanned_to: u32) {
+        match (self.fact(w), first) {
+            (WeightFact::MinDegree(_), _) => {}
+            (_, 0) => {
+                let zb = (scanned_to + 1).max(self.zero_below(w));
+                self.set_fact(w, WeightFact::ZeroBelow(zb));
+            }
+            (_, t) => self.set_fact(w, WeightFact::MinDegree(t)),
+        }
+    }
+}
+
+/// Is there a pair `i ≠ j`, both in `[1, t-1]`, with
+/// `r(i) ^ r(j) = target`? `lookup` returns the first position of a
+/// value (0 for absent); the explicit `p < t` bound makes an index that
+/// runs ahead of `t` safe.
+#[inline]
+fn row_has_pair(syn: &[u64], t: u32, target: u64, lookup: impl Fn(u64) -> u32) -> bool {
+    for (k, &s) in syn[1..t as usize].iter().enumerate() {
+        let i = (k + 1) as u32;
+        let p = lookup(target ^ s);
+        if p != 0 && p < t && p != i {
+            return true;
+        }
+    }
+    false
+}
+
+/// Accumulated result of one weights sweep.
+#[derive(Default)]
+struct Sweep {
+    w3: u128,
+    w4: u128,
+    /// First degree with a weight-3 hit (0 = none).
+    first3: u32,
+    /// First degree with a weight-4 pair (0 = none).
+    first4: u32,
+}
+
+impl SyndromeWorkspace {
+    /// The weights top-degree sweep over the hash index, with
+    /// certified-zero skipping: the weight-3 probe runs only for
+    /// `t ≥ zb3` and the `O(t)` pair loop only for `t ≥ zb4`. The index
+    /// trails the probe degree (extended per `t`), so on a fresh binding
+    /// early probes hit a nearly-empty table and collision chains ramp
+    /// up exactly like the scratch sweep's; on a reused binding the
+    /// index may already run ahead, which the explicit `p < t` bound
+    /// makes safe. The inner loop keeps the scratch sweep's
+    /// branch-on-hit shape — hash probes miss almost always, and the
+    /// predicted-not-taken branch beats a branchless accumulate there.
+    fn sweep_w34_hash(&mut self, codeword_len: u32, zb3: u32, zb4: u32) -> Sweep {
+        self.reserve_hash(codeword_len.saturating_sub(2));
+        let l = codeword_len as u64;
+        let mut out = Sweep::default();
+        let t_start = zb3.min(zb4).max(2);
+        for t in t_start..codeword_len {
+            self.ensure_indexed(t - 1);
+            let (syn, map) = (&self.syn, &self.hash);
+            let target = 1 ^ syn[t as usize];
+            let shifts = (l - t as u64) as u128;
+            if t >= zb3 {
+                if let Some(p) = map.get(target) {
+                    if p < t {
+                        out.w3 += shifts;
+                        if out.first3 == 0 {
+                            out.first3 = t;
+                        }
+                    }
+                }
+            }
+            if t >= zb4 {
+                let mut pairs = 0u64;
+                for (k, &s) in syn[1..t as usize].iter().enumerate() {
+                    let i = (k + 1) as u32;
+                    if let Some(p) = map.get(target ^ s) {
+                        if p > i && p < t {
+                            pairs += 1;
+                        }
+                    }
+                }
+                if pairs != 0 {
+                    out.w4 += pairs as u128 * shifts;
+                    if out.first4 == 0 {
+                        out.first4 = t;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The direct-index weights sweep, specialized to the `u16` value/
+/// position domain so the probe table and the syndrome row share L1
+/// (see [`DIRECT_INDEX_MAX_WIDTH`]). Semantically identical to
+/// [`sweep_w34`] with a direct-table lookup.
+fn sweep_w34_direct(
+    syn16: &[u16],
+    tbl: &[u16],
+    mask: u16,
+    codeword_len: u32,
+    zb3: u32,
+    zb4: u32,
+) -> Sweep {
+    // Re-slice so the compiler sees `index ≤ mask < tbl.len()` and drops
+    // the bounds check from every probe.
+    let tbl = &tbl[..mask as usize + 1];
+    let l = codeword_len as u64;
+    let mut out = Sweep::default();
+    let t_start = zb3.min(zb4).max(2);
+    for t in t_start..codeword_len {
+        // Weights sweeps run below the order (< 2^16 at these widths).
+        let t16 = t as u16;
+        let target = 1 ^ syn16[t as usize];
+        let shifts = (l - t as u64) as u128;
+        if t >= zb3 {
+            // Empty slots read as DIRECT_EMPTY ≥ t16, so `p < t16` alone
+            // is "an earlier partner exists".
+            let p = tbl[(target & mask) as usize];
+            if p < t16 {
+                out.w3 += shifts;
+                if out.first3 == 0 {
+                    out.first3 = t;
+                }
+            }
+        }
+        if t >= zb4 {
+            // Each unordered pair {i, j} with r(i)^r(j) = target is seen
+            // from both ends (the partner of i is j and vice versa;
+            // p = i is impossible since target ≠ 0 below the order), so
+            // one compare per probe and a final halving count the pairs.
+            let mut twice = 0u64;
+            for &s in &syn16[1..t as usize] {
+                twice += (tbl[((target ^ s) & mask) as usize] < t16) as u64;
+            }
+            if twice != 0 {
+                debug_assert!(twice.is_multiple_of(2));
+                out.w4 += (twice / 2) as u128 * shifts;
+                if out.first4 == 0 {
+                    out.first4 = t;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+
+    fn g32(koopman: u64) -> GenPoly {
+        GenPoly::from_koopman(32, koopman).unwrap()
+    }
+
+    #[test]
+    fn direct_and_hash_agree_with_reference_dmin() {
+        for (width, koopman) in [(8u32, 0x83u64), (8, 0xEA), (13, 0x1021), (16, 0xC86C)] {
+            let g = GenPoly::from_koopman(width, koopman).unwrap();
+            let mut auto = SyndromeWorkspace::new();
+            let mut hash = SyndromeWorkspace::with_policy(IndexPolicy::ForceHash);
+            if width <= DIRECT_INDEX_MAX_WIDTH {
+                auto.bind(&g);
+                assert_eq!(auto.index_kind(), IndexKind::Direct);
+            }
+            for w in 2..=6u32 {
+                for cap in [5u32, 40, 200] {
+                    let want = reference::dmin(&g, w, cap).unwrap();
+                    assert_eq!(auto.dmin(&g, w, cap).unwrap(), want, "auto w={w} cap={cap}");
+                    assert_eq!(hash.dmin(&g, w, cap).unwrap(), want, "hash w={w} cap={cap}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memo_resumes_across_growing_caps() {
+        let g = g32(0x82608EDB);
+        let mut ws = SyndromeWorkspace::new();
+        // d_min(4) = 3006: a short capped search certifies a clean range,
+        // a longer one resumes and finds the exact answer.
+        assert_eq!(ws.dmin(&g, 4, 2000).unwrap(), None);
+        assert_eq!(ws.dmin(&g, 4, 5000).unwrap(), Some(3006));
+        // Memoized: shrinking the cap below the known minimum flips back
+        // to None without re-scanning.
+        assert_eq!(ws.dmin(&g, 4, 3005).unwrap(), None);
+        assert_eq!(ws.dmin(&g, 4, 3006).unwrap(), Some(3006));
+    }
+
+    #[test]
+    fn rebinding_clears_state_between_polynomials() {
+        let mut ws = SyndromeWorkspace::new();
+        let a = GenPoly::from_koopman(8, 0x83).unwrap();
+        let b = GenPoly::from_koopman(8, 0x97).unwrap();
+        for _ in 0..3 {
+            for g in [a, b] {
+                let want = reference::weights234(&g, 9).unwrap();
+                assert_eq!(ws.weights234(&g, 9).unwrap(), want, "{g}");
+            }
+        }
+        assert_eq!(ws.rebinds(), 6);
+    }
+
+    #[test]
+    fn weights_after_profile_match_scratch_weights() {
+        // The memo-hinted sweep (profile first certifies clean ranges)
+        // must count exactly what the scratch sweep counts.
+        for koopman in [0x82608EDBu64, 0xBA0DC66B, 0x8F6E37A0] {
+            let g = g32(koopman);
+            let mut ws = SyndromeWorkspace::new();
+            let _profile = crate::HdProfile::compute_in(&mut ws, &g, 3000, 8).unwrap();
+            let got = ws.weights234(&g, 3000).unwrap();
+            let want = reference::weights234(&g, 3000).unwrap();
+            assert_eq!(got, want, "{koopman:#x}");
+        }
+    }
+
+    #[test]
+    fn weights_sweep_feeds_the_memo() {
+        let g = g32(0x82608EDB);
+        let mut ws = SyndromeWorkspace::new();
+        let w = ws.weights234(&g, 3000).unwrap();
+        assert!(w.w4 > 0);
+        // The sweep discovered the exact d_min(4); the next dmin call is
+        // answered from the memo.
+        assert_eq!(ws.dmin(&g, 4, 5000).unwrap(), Some(3006));
+    }
+
+    #[test]
+    fn order_restriction_and_bad_lengths_match_reference() {
+        let g = GenPoly::from_normal(8, 0x83).unwrap(); // order 14
+        let mut ws = SyndromeWorkspace::new();
+        assert!(ws.weights234(&g, 30).is_err());
+        assert!(ws.weights234(&g, 0).is_err());
+        assert!(reference::weights234(&g, 30).is_err());
+        assert_eq!(
+            ws.weight2(&g, 30).unwrap(),
+            crate::weights::weight2(&g, 30).unwrap()
+        );
+    }
+
+    #[test]
+    fn direct_index_migrates_before_sentinel_positions() {
+        // Only a generator with order exactly 2^16 - 1 (primitive width
+        // 16) re-introduces a value (r(0) = 1, never indexed at position
+        // 0) at the position that collides with the u16 sentinel; the
+        // index must flip to the hash flavor before storing it.
+        let g = (0x8000u64..0x8400)
+            .filter_map(|k| GenPoly::from_koopman(16, k).ok())
+            .find(|g| dmin2(g) == 65_535)
+            .expect("a primitive 16-bit generator in range");
+        let mut ws = SyndromeWorkspace::new();
+        ws.bind(&g);
+        assert_eq!(ws.index_kind(), IndexKind::Direct);
+        ws.ensure_syndromes(70_000);
+        ws.ensure_indexed(70_000 - 1);
+        assert_eq!(ws.index_kind(), IndexKind::Hash, "must migrate");
+        // The first indexed occurrence of value 1 is the order itself.
+        assert_eq!(ws.pos_of(1), 65_535);
+        for i in [1u32, 2, 7, 65_534] {
+            let v = ws.syn[i as usize];
+            assert_eq!(ws.pos_of(v), i, "first occurrence of r({i})");
+        }
+        // The migrated binding still answers like the scratch oracle.
+        assert_eq!(
+            ws.dmin(&g, 3, 400).unwrap(),
+            reference::dmin(&g, 3, 400).unwrap()
+        );
+        assert_eq!(
+            ws.weights234(&g, 300).unwrap(),
+            reference::weights234(&g, 300).unwrap()
+        );
+    }
+
+    #[test]
+    fn weights_sweep_never_weakens_certified_ranges() {
+        let g = g32(0x82608EDB);
+        let mut ws = SyndromeWorkspace::new();
+        // A capped search certifies a wide clean range for weight 4...
+        assert_eq!(ws.dmin(&g, 4, 2500).unwrap(), None);
+        assert_eq!(ws.zero_below(4), 2501);
+        // ...and a subsequent *short* weights sweep (which skips all its
+        // weight-4 probes against that range) must not shrink it.
+        let w = ws.weights234(&g, 100).unwrap();
+        assert_eq!((w.w3, w.w4), (0, 0));
+        assert_eq!(ws.zero_below(4), 2501, "short sweep weakened the memo");
+    }
+
+    #[test]
+    fn direct_index_survives_indexing_past_a_query() {
+        // The index may run ahead of any particular question: a long
+        // dmin scan indexes far positions, and a later short query must
+        // still bound-check correctly.
+        let g = GenPoly::from_koopman(13, 0x102D).unwrap();
+        let mut ws = SyndromeWorkspace::new();
+        let long = ws.dmin(&g, 4, 500).unwrap();
+        let mut fresh = SyndromeWorkspace::new();
+        let short = fresh.dmin(&g, 4, 60).unwrap();
+        assert_eq!(short, reference::dmin(&g, 4, 60).unwrap());
+        assert_eq!(long, reference::dmin(&g, 4, 500).unwrap());
+    }
+}

@@ -9,11 +9,10 @@
 use crate::json::{Json, JsonError};
 use crate::{Error, Result};
 use crc_hd::costmodel::engine_cost;
-use crc_hd::filter::hd_filter;
+use crc_hd::filter::hd_filter_in;
 use crc_hd::profile::HdProfile;
 use crc_hd::search::PolySpace;
-use crc_hd::weights::{weight2, weights234};
-use crc_hd::GenPoly;
+use crc_hd::{GenPoly, SyndromeWorkspace};
 
 /// Version stamp written into every artifact; readers reject other
 /// versions instead of guessing.
@@ -296,21 +295,42 @@ pub struct SurvivorRecord {
 impl SurvivorRecord {
     /// Screens `g` and, if it clears the bar, evaluates the full record:
     /// profile parts, factorization class, engine cost and exact weights
-    /// at the reference length.
+    /// at the reference length (one-shot convenience over
+    /// [`SurvivorRecord::screen_in`]).
     ///
     /// # Errors
     ///
     /// Propagates evaluation errors from `crc-hd`.
     pub fn screen(g: &GenPoly, cfg: &CampaignConfig) -> Result<Option<SurvivorRecord>> {
-        if !hd_filter(g, cfg.screen_len(), cfg.min_hd)?.passed() {
+        SurvivorRecord::screen_in(g, cfg, &mut SyndromeWorkspace::new())
+    }
+
+    /// [`SurvivorRecord::screen`] over a caller-held workspace — the
+    /// form the campaign workers run, one workspace per worker across
+    /// all of its candidates. The stages share everything: the
+    /// short-length HD screen's syndromes and certified-clean `d_min`
+    /// ranges seed the full profile (staged-length-first, as in the
+    /// paper's §4.1 funnel), the profile's searches seed the exact
+    /// weight sweep, and the cached order serves `W₂` and the
+    /// distinct-syndrome check for free.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors from `crc-hd`.
+    pub fn screen_in(
+        g: &GenPoly,
+        cfg: &CampaignConfig,
+        ws: &mut SyndromeWorkspace,
+    ) -> Result<Option<SurvivorRecord>> {
+        if !hd_filter_in(ws, g, cfg.screen_len(), cfg.min_hd)?.passed() {
             return Ok(None);
         }
-        let profile = HdProfile::compute_up_to_weight(g, cfg.ref_len(), cfg.max_weight)?;
+        let profile = HdProfile::compute_in(ws, g, cfg.ref_len(), cfg.max_weight)?;
         let ref_len = cfg.ref_len();
-        let w2 = weight2(g, ref_len)?;
+        let w2 = ws.weight2(g, ref_len)?;
         let codeword = ref_len as u128 + g.width() as u128;
         let w34 = if codeword <= profile.order() {
-            let w = weights234(g, ref_len)?;
+            let w = ws.weights234(g, ref_len)?;
             debug_assert_eq!(w.w2, w2);
             Some((w.w3, w.w4))
         } else {
@@ -646,6 +666,7 @@ impl From<JsonError> for Error {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crc_hd::weights::{weight2, weights234};
 
     fn cfg() -> CampaignConfig {
         CampaignConfig {

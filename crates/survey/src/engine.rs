@@ -274,12 +274,16 @@ fn write_atomic(path: &Path, contents: &str) -> Result<()> {
     })
 }
 
-/// Per-worker reusable buffers: the survivor accumulator and the
-/// sampled-mode offset list live across all units a worker processes.
+/// Per-worker reusable state: the survivor accumulator and the
+/// sampled-mode offset list live across all units a worker processes,
+/// and so does the syndrome workspace — every candidate's filter →
+/// profile → weights funnel runs over one set of allocations, rebound
+/// (not reallocated) per candidate.
 #[derive(Default)]
 struct Scratch {
     survivors: Vec<SurvivorRecord>,
     offsets: Vec<u64>,
+    ws: crc_hd::SyndromeWorkspace,
 }
 
 /// Processes one work unit: pure in `(config, unit)`.
@@ -299,7 +303,7 @@ fn process_unit(
             return Ok(());
         }
         *canonical += 1;
-        if let Some(rec) = SurvivorRecord::screen(g, config)? {
+        if let Some(rec) = SurvivorRecord::screen_in(g, config, &mut scratch.ws)? {
             scratch.survivors.push(rec);
         }
         Ok(())
