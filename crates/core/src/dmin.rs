@@ -22,7 +22,7 @@
 //!   syndrome XOR, and `b`-subsets probe it.
 
 use crate::genpoly::GenPoly;
-use crate::posmap::{pack_positions, packed_disjoint_from, XorMultiMap};
+use crate::posmap::{pack_positions, packed_disjoint_from, packed_last, XorMultiMap};
 use crate::syndrome::SyndromeSeq;
 use crate::workspace::SyndromeWorkspace;
 use crate::{Error, Result};
@@ -83,6 +83,36 @@ pub fn exists_weight(g: &GenPoly, w: u32, codeword_len: u32) -> Result<bool> {
     Ok(dmin(g, w, codeword_len - 1)?.is_some())
 }
 
+/// Persistent meet-in-the-middle search state for one weight: the
+/// a-subset multimap plus the highest position whose subsets it holds.
+///
+/// A [`crate::workspace::SyndromeWorkspace`] owns one per weight so the
+/// `hd_filter → HdProfile → weights234` funnel extends subset maps
+/// incrementally instead of rebuilding them per call; the scratch paths
+/// build a throwaway one. Invariant: the map holds exactly the a-subsets
+/// of `[1, avail]` for this weight's split.
+#[derive(Debug, Clone)]
+pub(crate) struct MitmState {
+    map: XorMultiMap,
+    avail: u32,
+}
+
+impl MitmState {
+    pub(crate) fn new() -> MitmState {
+        MitmState {
+            map: XorMultiMap::with_capacity(1024),
+            avail: 0,
+        }
+    }
+
+    /// Forgets every subset (keeping allocations) — called when the
+    /// owning workspace rebinds to a new polynomial.
+    pub(crate) fn reset(&mut self) {
+        self.map.clear();
+        self.avail = 0;
+    }
+}
+
 /// Meet-in-the-middle search for `w ≥ 5`, shared by the workspace and
 /// the [`crate::reference`] scratch path. Grows `syn` through the
 /// caller's `seq` (the grow-only workspace table, or a fresh scratch
@@ -96,37 +126,61 @@ pub(crate) fn mitm_scan(
     syn: &mut Vec<u64>,
     seq: &mut SyndromeSeq,
 ) -> Result<Option<u32>> {
+    mitm_scan_with(w, cap, probe_from, syn, seq, &mut MitmState::new())
+}
+
+/// [`mitm_scan`] over caller-owned state. Three properties make resumed
+/// state answer-identical to a fresh map:
+///
+/// * The subset map's contents at position budget `avail` depend only on
+///   `(w, avail)` — growing it across calls lands in the same state as
+///   one big build.
+/// * A persistent map may hold subsets with positions *beyond* the
+///   current top degree `t` (from an earlier larger-cap call); probes
+///   filter them with [`packed_last`], which is vacuous for fresh maps.
+/// * The memory-budget check is analytic — `C(t−1, a)` entries against
+///   [`MITM_MAP_BUDGET`] — so whether a `(w, cap)` call errors depends
+///   only on those numbers, never on how much state previous calls left
+///   behind. (For a fresh map `C(t−1, a)` *is* `map.len()`: the multimap
+///   keeps duplicates, so the count is exact even past the polynomial's
+///   order.)
+pub(crate) fn mitm_scan_with(
+    w: u32,
+    cap: u32,
+    probe_from: u32,
+    syn: &mut Vec<u64>,
+    seq: &mut SyndromeSeq,
+    state: &mut MitmState,
+) -> Result<Option<u32>> {
     let interior = (w - 2) as usize;
     // Balance the split, but cap the stored side at 7 positions (the
     // packing limit); the probe side may be larger — it only recurses.
     let a = (interior / 2).min(7);
     let b = interior - a;
     debug_assert!(a >= 1 && b >= a);
-    let mut map = XorMultiMap::with_capacity(1024);
-    let mut avail = 0u32; // all a-subsets of [1, avail] are in the map
 
     let mut probe_positions = vec![0u32; b];
     let mut insert_positions = vec![0u32; a];
 
     for t in (w - 1)..=cap {
         seq.extend_table(syn, t as usize);
-        while avail < t - 1 {
-            avail += 1;
-            insert_a_subsets(syn, avail, a, &mut map, &mut insert_positions);
-        }
-        // The map holds C(t-2, a) subsets; abort if the search outgrows
-        // the memory budget before a witness appears.
-        if map.len() as u128 > MITM_MAP_BUDGET {
+        // Abort if the search outgrows the memory budget before a witness
+        // appears (checked before inserting this degree's tranche).
+        if binomial_u128(t as u128 - 1, a as u32) > MITM_MAP_BUDGET {
             return Err(Error::BudgetExceeded {
                 estimated: binomial_u128(cap as u128 - 1, a as u32),
                 limit: MITM_MAP_BUDGET,
             });
         }
+        while state.avail < t - 1 {
+            state.avail += 1;
+            insert_a_subsets(syn, state.avail, a, &mut state.map, &mut insert_positions);
+        }
         if t < probe_from {
             continue;
         }
         let target = 1 ^ syn[t as usize];
-        if probe_b_subsets(syn, t, target, a, b, &map, &mut probe_positions) {
+        if probe_b_subsets(syn, t, target, a, b, &state.map, &mut probe_positions) {
             return Ok(Some(t));
         }
     }
@@ -180,12 +234,13 @@ fn probe_b_subsets(
     map: &XorMultiMap,
     scratch: &mut [u32],
 ) -> bool {
-    rec_probe(syn, t, b, target, a, b, map, scratch)
+    rec_probe(syn, t, t, b, target, a, b, map, scratch)
 }
 
 #[allow(clippy::too_many_arguments)]
 fn rec_probe(
     syn: &[u64],
+    t: u32,
     max_excl: u32,
     remaining: usize,
     acc: u64,
@@ -195,13 +250,19 @@ fn rec_probe(
     scratch: &mut [u32],
 ) -> bool {
     if remaining == 0 {
-        // acc = target ^ XOR(b-subset); need a disjoint a-subset with this XOR.
-        return map.any_match(acc, |packed| packed_disjoint_from(packed, a, &scratch[..b]));
+        // acc = target ^ XOR(b-subset); need a disjoint a-subset with this
+        // XOR whose positions fit the interior [1, t-1] — a persistent map
+        // may hold subsets from beyond this degree (packed_last filters
+        // them; fresh maps never contain any).
+        return map.any_match(acc, |packed| {
+            packed_last(packed, a) < t && packed_disjoint_from(packed, a, &scratch[..b])
+        });
     }
     for p in (remaining as u32..max_excl).rev() {
         scratch[remaining - 1] = p;
         if rec_probe(
             syn,
+            t,
             p,
             remaining - 1,
             acc ^ syn[p as usize],

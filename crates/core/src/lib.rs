@@ -58,16 +58,35 @@
 //!   [`weights::weights234`] top-degree sweep skip every degree the
 //!   profile certified clean, and lets [`filter::breakpoint_search_in`]
 //!   answer its ~30 filter evaluations for roughly the cost of one scan.
-//! * **Index kernels and the crossover** — syndrome values map back to
+//! * **Index kernels and the crossovers** — syndrome values map back to
 //!   first positions through a direct-indexed `u16` table for widths ≤
 //!   [`workspace::DIRECT_INDEX_MAX_WIDTH`] (table and syndrome row stay
 //!   L1-resident together; one compare per probe in the weight-4 pair
-//!   kernel — ~10× over hash probing on the 13-bit survey scenario), and
-//!   through the [`posmap::PosMap`] open-addressing hash above it, where
-//!   the value space outruns `u16` positions and cache. Sorted-array
-//!   merge kernels were evaluated for that regime and rejected: XOR
-//!   targets do not preserve sort order, so merges degenerate into
-//!   recursive splits that lose to a single hash probe.
+//!   kernel — ~10× over hash probing on the 13-bit survey scenario);
+//!   through a **compressed two-level index** for widths up to
+//!   [`workspace::TWO_LEVEL_MAX_WIDTH`] — a 16 KiB L1-resident presence
+//!   screen over the low value bits that kills almost every pair-sweep
+//!   probe in one load, backed by a bucket directory over the high bits
+//!   with exact spill rows for colliding buckets (this is the kernel
+//!   that makes the paper's own 32-bit space affordable); and through
+//!   the [`posmap::PosMap`] open-addressing hash beyond that, or at any
+//!   width via [`workspace::IndexPolicy::ForceHash`] as the
+//!   differential oracle. Sorted-array merge kernels were evaluated and
+//!   rejected: XOR targets do not preserve sort order, so merges
+//!   degenerate into recursive splits that lose to a single probe.
+//! * **Bitsliced block extension** — under
+//!   [`workspace::IndexPolicy::Bitsliced`] the syndrome table grows 64
+//!   positions at a time from bit-plane basis rows selected by a block
+//!   anchor, with anchors advanced by one carryless multiply
+//!   (`pclmulqdq` when the CPU has it, soft multiply otherwise —
+//!   [`gf2x`]) per block instead of 64 dependent shift/XOR steps, and
+//!   the pair sweep runs in mask-then-resolve batches over 64-position
+//!   blocks ([`bitslice`]). Output is bit-identical to serial stepping.
+//! * **Persistent MITM subset maps** — weight ≥ 5 searches keep their
+//!   meet-in-the-middle a-subset multimaps on the workspace, extended
+//!   incrementally across the `hd_filter → HdProfile → weights234`
+//!   funnel and reset (allocations kept) on rebind, so each subset is
+//!   hashed once per binding rather than once per stage.
 //!
 //! The pre-workspace scratch implementations live on in [`reference`] as
 //! the differential-testing oracle (CI job `screening-equivalence`);
@@ -86,13 +105,17 @@
 //! assert_eq!(profile.hd_at(3000), Some(6));
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the CLMUL kernel in [`gf2x`] re-allows it
+// in exactly one feature-gated module, crckit-style.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitslice;
 pub mod costmodel;
 pub mod dmin;
 pub mod filter;
 pub mod genpoly;
+pub mod gf2x;
 pub mod posmap;
 pub mod profile;
 pub mod reference;

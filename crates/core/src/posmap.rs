@@ -77,6 +77,32 @@ impl PosMap {
         self.len == 0
     }
 
+    /// Ensures the table can hold `n` entries at load ≤ ½ without any
+    /// incidental doubling, preserving existing entries.
+    ///
+    /// Growth is amortized: the slot count at least doubles whenever it
+    /// changes, so an index that trails its syndrome table through many
+    /// slightly-increasing caps (the wide-width `ensure_indexed` pattern)
+    /// pays O(log n) resizes total rather than one rebuild per call.
+    /// Explicit resizes are *not* counted by [`PosMap::rehashes`]; that
+    /// counter tracks only implicit growth during [`PosMap::insert`], so
+    /// "sized correctly up front" remains observable as `rehashes() == 0`.
+    pub fn reserve(&mut self, n: usize) {
+        if self.capacity() >= n {
+            return;
+        }
+        let slots = (n.max(4) * 2).next_power_of_two().max(self.keys.len() * 2);
+        let old_keys = std::mem::replace(&mut self.keys, vec![0; slots]);
+        let old_vals = std::mem::replace(&mut self.vals, vec![EMPTY; slots]);
+        self.mask = slots - 1;
+        self.len = 0;
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if v != EMPTY {
+                self.insert(k, v);
+            }
+        }
+    }
+
     #[inline]
     fn slot_of(&self, key: u64) -> usize {
         // Fibonacci hashing: multiply and take the top bits.
@@ -157,11 +183,20 @@ pub struct XorMultiMap {
     /// Packed positions (17 bits each, up to 7 positions) or `u128::MAX`
     /// for an empty slot.
     vals: Vec<u128>,
+    /// Presence screen over the low [`SCREEN_BITS`] bits of every stored
+    /// key: a fixed 16 KiB bitset that answers most negative probes with
+    /// one L1 load instead of a hash multiply + table-sized random load.
+    screen: Vec<u64>,
     mask: usize,
     len: usize,
 }
 
 const SLOT_EMPTY: u128 = u128::MAX;
+
+/// log₂ of the [`XorMultiMap`] presence-screen size in bits (2¹⁷ bits =
+/// 16 KiB: small enough to stay L1-resident under the probe loops, large
+/// enough to keep the false-positive rate low for MITM-sized maps).
+const SCREEN_BITS: u32 = 17;
 
 impl XorMultiMap {
     /// Creates a multimap able to hold `capacity` entries (load ≤ ½).
@@ -170,6 +205,7 @@ impl XorMultiMap {
         XorMultiMap {
             keys: vec![0; slots],
             vals: vec![SLOT_EMPTY; slots],
+            screen: vec![0; 1 << (SCREEN_BITS - 6)],
             mask: slots - 1,
             len: 0,
         }
@@ -187,6 +223,20 @@ impl XorMultiMap {
         self.len == 0
     }
 
+    /// Entries the table holds without growing (½ the slot count).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.keys.len() / 2
+    }
+
+    /// Removes every entry, keeping the allocations — this is what lets a
+    /// workspace-owned MITM subset map persist across polynomial rebinds.
+    pub fn clear(&mut self) {
+        self.vals.fill(SLOT_EMPTY);
+        self.screen.fill(0);
+        self.len = 0;
+    }
+
     #[inline]
     fn slot_of(&self, key: u64) -> usize {
         (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & self.mask
@@ -201,6 +251,8 @@ impl XorMultiMap {
         if (self.len + 1) * 2 > self.keys.len() {
             self.grow();
         }
+        let low = key as usize & ((1 << SCREEN_BITS) - 1);
+        self.screen[low >> 6] |= 1u64 << (low & 63);
         let mut slot = self.slot_of(key);
         while self.vals[slot] != SLOT_EMPTY {
             slot = (slot + 1) & self.mask;
@@ -225,8 +277,15 @@ impl XorMultiMap {
 
     /// Visits every stored subset whose key equals `key`; stops early when
     /// the visitor returns `true` and reports whether it did.
+    ///
+    /// Most probes in a `d_min` search miss; the presence screen rejects
+    /// them before the hash multiply and the (L2-sized) table load.
     #[inline]
     pub fn any_match(&self, key: u64, mut visit: impl FnMut(u128) -> bool) -> bool {
+        let low = key as usize & ((1 << SCREEN_BITS) - 1);
+        if self.screen[low >> 6] & (1u64 << (low & 63)) == 0 {
+            return false;
+        }
         let mut slot = self.slot_of(key);
         loop {
             let v = self.vals[slot];
@@ -260,6 +319,16 @@ pub fn unpack_positions(packed: u128, count: usize, out: &mut [u32]) {
     for (i, o) in out.iter_mut().enumerate().take(count) {
         *o = (packed >> (17 * i)) as u32 & 0x1FFFF;
     }
+}
+
+/// Largest position in a `count`-position packed subset. The MITM
+/// inserters pack positions ascending, so this is the last field; probes
+/// against a persistent map use it to discard subsets whose positions
+/// exceed the current top degree.
+#[inline]
+pub fn packed_last(packed: u128, count: usize) -> u32 {
+    debug_assert!(count >= 1);
+    (packed >> (17 * (count - 1))) as u32 & 0x1FFFF
 }
 
 /// True when the `count`-position packed subset shares no position with
@@ -366,6 +435,63 @@ mod tests {
     }
 
     #[test]
+    fn posmap_reserve_preserves_entries_and_amortizes() {
+        let mut m = PosMap::with_capacity(8);
+        for i in 0..8u64 {
+            m.insert(i * 101 + 3, i as u32);
+        }
+        // Many slightly-increasing reserves: capacity must at least double
+        // on every actual resize, so the number of distinct capacities is
+        // logarithmic in the final size.
+        let mut caps = vec![m.capacity()];
+        for n in (9..4000).step_by(7) {
+            m.reserve(n);
+            if *caps.last().unwrap() != m.capacity() {
+                assert!(
+                    m.capacity() >= 2 * caps.last().unwrap(),
+                    "resize did not at least double"
+                );
+                caps.push(m.capacity());
+            }
+        }
+        assert!(caps.len() <= 12, "too many resizes: {caps:?}");
+        assert_eq!(m.rehashes(), 0, "explicit reserve must not count");
+        for i in 0..8u64 {
+            assert_eq!(m.get(i * 101 + 3), Some(i as u32), "entry lost");
+        }
+    }
+
+    #[test]
+    fn multimap_clear_keeps_allocation_and_screen_consistency() {
+        let mut m = XorMultiMap::with_capacity(16);
+        m.insert(5, pack_positions(&[1, 2]));
+        m.insert(5 + (1 << SCREEN_BITS), pack_positions(&[3, 4]));
+        assert!(m.any_match(5, |_| true));
+        let cap = m.capacity();
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.capacity(), cap);
+        // The screen must forget cleared keys (no stale accepts turning
+        // into full-table probes of empty chains is fine, but a stale
+        // *reject* of a re-inserted key would be a correctness bug).
+        assert!(!m.any_match(5, |_| true));
+        m.insert(5, pack_positions(&[9, 11]));
+        assert!(m.any_match(5, |_| true));
+    }
+
+    #[test]
+    fn multimap_screen_aliases_do_not_reject() {
+        // Keys that collide in the low SCREEN_BITS bits but differ overall
+        // must still be distinguished by the exact table.
+        let mut m = XorMultiMap::with_capacity(4);
+        let k1 = 0x42u64;
+        let k2 = k1 + (1 << SCREEN_BITS);
+        m.insert(k1, pack_positions(&[1]));
+        assert!(m.any_match(k1, |_| true));
+        assert!(!m.any_match(k2, |_| true), "alias must miss in the table");
+    }
+
+    #[test]
     fn multimap_duplicate_keys_all_visible() {
         let mut m = XorMultiMap::with_capacity(16);
         m.insert(5, pack_positions(&[1, 2]));
@@ -407,5 +533,13 @@ mod tests {
         assert!(!packed_disjoint_from(packed, 7, &[2, 70_000]));
         // Prefix-only checks respect the count.
         assert!(packed_disjoint_from(packed, 2, &[9]));
+    }
+
+    #[test]
+    fn packed_last_reads_the_top_position() {
+        let ascending = [3u32, 9, 17, 131_000];
+        assert_eq!(packed_last(pack_positions(&ascending), 4), 131_000);
+        assert_eq!(packed_last(pack_positions(&ascending), 2), 9);
+        assert_eq!(packed_last(pack_positions(&[7]), 1), 7);
     }
 }

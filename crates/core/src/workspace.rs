@@ -35,7 +35,7 @@
 //! global minima, and "is there an occurrence before `t`?" is exactly
 //! `first_occurrence < t`.
 //!
-//! # Direct index vs hash fallback
+//! # Direct index, two-level wide index, hash fallback
 //!
 //! The direct index stores one `u16` per possible syndrome value
 //! (`2 × 2^width` bytes): 16 KiB at the survey's 13-bit width — small
@@ -45,16 +45,36 @@
 //! are a single dependent L1 load — ~5× cheaper than a hash probe
 //! (multiply, mask, and two dependent loads over a larger footprint,
 //! with occasional collision chains). Beyond [`DIRECT_INDEX_MAX_WIDTH`]
-//! positions outgrow `u16` and the table outgrows cache (at 32 bits,
-//! RAM), so the workspace keeps the `PosMap` open-addressing path;
-//! sorted-array merge kernels were considered and rejected because XOR
-//! targets do not preserve sort order (a merge degenerates into
-//! `O(popcount)` recursive splits that lose to one hash probe).
-//! Rebinding to a new polynomial clears the direct index by *replaying*
-//! the positions it inserted (`O(indexed)`, not `O(2^width)`), so a
-//! campaign worker reuses one allocation across every candidate.
+//! positions outgrow `u16` and a full direct table outgrows cache (at
+//! 32 bits, RAM), so widths 17–32 use a **compressed two-level index**:
+//!
+//! * level 0 — a fixed 16 KiB presence *screen* (one bit per low-bits
+//!   slice of the value space) that stays L1-resident and answers the
+//!   overwhelmingly-miss probes of the pair sweep with one load;
+//! * level 1 — a bucket *directory* over the high bits of the value
+//!   (`4 × 2^min(width,20)` bytes). A bucket holds "empty", a single
+//!   first-occurrence position (confirmed with one compare against the
+//!   syndrome table), or a spill marker into a dense `u32` position row
+//!   for the rare colliding buckets — so a surviving probe costs at most
+//!   one directory hop plus one compare, and the structure stays *exact*
+//!   (no false positives or negatives), unlike a plain fingerprint
+//!   filter.
+//!
+//! Beyond [`TWO_LEVEL_MAX_WIDTH`] the workspace keeps the `PosMap`
+//! open-addressing path (also available at every width via
+//! [`IndexPolicy::ForceHash`] as the differential oracle); sorted-array
+//! merge kernels were considered and rejected because XOR targets do not
+//! preserve sort order (a merge degenerates into `O(popcount)` recursive
+//! splits that lose to one hash probe). Rebinding to a new polynomial
+//! clears each index by *replaying* the positions it inserted
+//! (`O(indexed)`, not `O(2^width)`), so a campaign worker reuses one
+//! allocation across every candidate. The [`IndexPolicy::Bitsliced`]
+//! policy layers the [`crate::bitslice`] block kernels (bulk syndrome
+//! extension through CLMUL-advanced bit-plane blocks, batch pair-scans)
+//! on top of the two-level index.
 
-use crate::dmin::{dmin2, mitm_scan};
+use crate::bitslice::PlaneState;
+use crate::dmin::{dmin2, mitm_scan_with, MitmState};
 use crate::filter::FilterVerdict;
 use crate::genpoly::GenPoly;
 use crate::posmap::PosMap;
@@ -77,19 +97,52 @@ pub const DIRECT_INDEX_MAX_WIDTH: u32 = 16;
 /// the order too, so `p < t` is false for empty slots automatically.
 const DIRECT_EMPTY: u16 = u16::MAX;
 
-/// Weights `2..MEMO_WEIGHTS` get a `d_min` memo slot (covers every
-/// profile weight; rarer weights simply re-scan).
+/// Weights `2..MEMO_WEIGHTS` get a `d_min` memo slot and a persistent
+/// MITM subset-map slot (covers every profile weight; rarer weights
+/// simply re-scan with transient state).
 const MEMO_WEIGHTS: usize = 33;
+
+/// Widest generator that uses the compressed two-level index; wider
+/// generators fall back to the [`PosMap`] hash (the paper's subject —
+/// the 32-bit space — sits exactly at this ceiling).
+pub const TWO_LEVEL_MAX_WIDTH: u32 = 32;
+
+/// log₂ of the largest two-level bucket directory (`4 × 2^20` = 4 MiB;
+/// widths below this use their full value space and are collision-free).
+/// Collisions only cost spill-row hops, so the directory can stay far
+/// smaller than the 32-bit value space.
+const WIDE_DIR_BITS: u32 = 20;
+
+/// log₂ of the two-level presence screen in bits (2¹⁷ bits = 16 KiB,
+/// L1-resident; indexed by the *low* value bits, complementing the
+/// high-bits directory).
+const WIDE_SCREEN_BITS: u32 = 17;
+
+/// "Bucket empty" sentinel of the two-level directory.
+const WIDE_EMPTY: u32 = u32::MAX;
+
+/// Directory entries with this bit set hold a spill-row number, not a
+/// position (positions are < 2³¹; the sweep's `e < t` compare rejects
+/// both markers and the sentinel for free).
+const WIDE_SPILL: u32 = 1 << 31;
 
 /// How a workspace chooses its position index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IndexPolicy {
     /// Direct-indexed table for widths ≤ [`DIRECT_INDEX_MAX_WIDTH`],
-    /// hash otherwise.
+    /// two-level for widths ≤ [`TWO_LEVEL_MAX_WIDTH`], hash otherwise.
     Auto,
     /// Always use the [`PosMap`] hash path — the sparse-probe fallback,
     /// forced (used by differential tests and before/after benches).
     ForceHash,
+    /// Force the two-level index at any width ≤ [`TWO_LEVEL_MAX_WIDTH`]
+    /// (hash beyond); exercises the wide kernels at narrow widths.
+    ForceTwoLevel,
+    /// Two-level index plus the [`crate::bitslice`] block kernels:
+    /// bulk syndrome extension through CLMUL-advanced bit-plane blocks
+    /// and the batch (mask-then-resolve) pair sweep. Falls back to hash
+    /// + serial beyond [`TWO_LEVEL_MAX_WIDTH`].
+    Bitsliced,
 }
 
 /// Which index flavor a binding ended up with.
@@ -97,6 +150,9 @@ pub enum IndexPolicy {
 pub enum IndexKind {
     /// Direct-indexed `u16` table over the value space.
     Direct,
+    /// Compressed two-level index (presence screen + bucket directory +
+    /// spill rows) for wide widths.
+    TwoLevel,
     /// Open-addressing hash table ([`PosMap`]).
     Hash,
 }
@@ -141,6 +197,30 @@ pub struct SyndromeWorkspace {
     syn16: Vec<u16>,
     /// Hash fallback index.
     hash: PosMap,
+    /// Two-level bucket directory over the high `dir_bits` bits of a
+    /// value: [`WIDE_EMPTY`], a first-occurrence position, or a
+    /// [`WIDE_SPILL`]-tagged row number. Grow-only across bindings
+    /// (a narrower binding uses a prefix), cleared by replay.
+    dir: Vec<u32>,
+    /// Bits of the value space the directory covers (`min(width, 20)`).
+    dir_bits: u32,
+    /// `width - dir_bits`: the probe's high-bits shift.
+    dir_shift: u32,
+    /// Spill rows for the rare buckets holding ≥ 2 distinct values;
+    /// positions ascending, deduplicated by value (first occurrence).
+    rows: Vec<Vec<u32>>,
+    /// Two-level presence screen (see [`WIDE_SCREEN_BITS`]); allocated on
+    /// first two-level binding, cleared by replay.
+    wscreen: Vec<u64>,
+    /// Whether this binding runs the bitsliced block kernels.
+    bitsliced: bool,
+    /// Bit-plane block state for [`IndexPolicy::Bitsliced`] bindings
+    /// (basis + CLMUL modmul context); rebuilt per binding.
+    bs: Option<PlaneState>,
+    /// Persistent MITM subset maps, one per memoized weight, extended
+    /// incrementally across calls and reset (allocations kept) on
+    /// rebind — see [`MitmState`].
+    mitm: Vec<Option<MitmState>>,
     rebinds: u64,
 }
 
@@ -170,6 +250,14 @@ impl SyndromeWorkspace {
             direct: Vec::new(),
             syn16: Vec::new(),
             hash: PosMap::with_capacity(0),
+            dir: Vec::new(),
+            dir_bits: 0,
+            dir_shift: 0,
+            rows: Vec::new(),
+            wscreen: Vec::new(),
+            bitsliced: false,
+            bs: None,
+            mitm: Vec::new(),
             rebinds: 0,
         }
     }
@@ -187,6 +275,15 @@ impl SyndromeWorkspace {
                     self.direct[self.syn[i as usize] as usize] = DIRECT_EMPTY;
                 }
             }
+            IndexKind::TwoLevel => {
+                for i in 1..=self.indexed {
+                    let v = self.syn[i as usize];
+                    self.dir[(v >> self.dir_shift) as usize] = WIDE_EMPTY;
+                    let low = v as usize & ((1 << WIDE_SCREEN_BITS) - 1);
+                    self.wscreen[low >> 6] &= !(1u64 << (low & 63));
+                }
+                self.rows.clear();
+            }
             IndexKind::Hash => self.hash.clear(),
         }
         self.indexed = 0;
@@ -194,15 +291,38 @@ impl SyndromeWorkspace {
         self.syn16.clear();
         self.order = None;
         self.facts = [WeightFact::Unknown; MEMO_WEIGHTS];
+        for state in self.mitm.iter_mut().flatten() {
+            state.reset();
+        }
+        self.bs = None;
         self.kind = match self.policy {
             IndexPolicy::ForceHash => IndexKind::Hash,
+            IndexPolicy::ForceTwoLevel | IndexPolicy::Bitsliced
+                if g.width() <= TWO_LEVEL_MAX_WIDTH =>
+            {
+                IndexKind::TwoLevel
+            }
+            IndexPolicy::ForceTwoLevel | IndexPolicy::Bitsliced => IndexKind::Hash,
             IndexPolicy::Auto if g.width() <= DIRECT_INDEX_MAX_WIDTH => IndexKind::Direct,
+            IndexPolicy::Auto if g.width() <= TWO_LEVEL_MAX_WIDTH => IndexKind::TwoLevel,
             IndexPolicy::Auto => IndexKind::Hash,
         };
+        self.bitsliced = self.policy == IndexPolicy::Bitsliced && g.width() <= TWO_LEVEL_MAX_WIDTH;
         if self.kind == IndexKind::Direct {
             let need = 1usize << g.width();
             if self.direct.len() < need {
                 self.direct.resize(need, DIRECT_EMPTY);
+            }
+        }
+        if self.kind == IndexKind::TwoLevel {
+            self.dir_bits = g.width().min(WIDE_DIR_BITS);
+            self.dir_shift = g.width() - self.dir_bits;
+            let need = 1usize << self.dir_bits;
+            if self.dir.len() < need {
+                self.dir.resize(need, WIDE_EMPTY);
+            }
+            if self.wscreen.is_empty() {
+                self.wscreen = vec![0; 1 << (WIDE_SCREEN_BITS - 6)];
             }
         }
         let seq = SyndromeSeq::new(g);
@@ -235,6 +355,13 @@ impl SyndromeWorkspace {
     /// How many times the workspace has been (re)bound.
     pub fn rebinds(&self) -> u64 {
         self.rebinds
+    }
+
+    /// Implicit growth rehashes of the hash index (see
+    /// [`PosMap::rehashes`]) — stays 0 when every scan pre-sizes through
+    /// `reserve_hash` per the documented sizing contract.
+    pub fn hash_rehashes(&self) -> u64 {
+        self.hash.rehashes()
     }
 
     /// The multiplicative order of `x` mod `g` (= `d_min(2)`), cached
@@ -302,17 +429,16 @@ impl SyndromeWorkspace {
     /// positions. Scans leave the load factor low this way — exactly
     /// like the scratch paths, which size their map for the cap — so
     /// probe collision chains stay short even when an early exit leaves
-    /// the table mostly empty. No-op for the direct index (collision-free
-    /// by construction) or when the table is already big enough.
+    /// the table mostly empty. [`PosMap::reserve`] at-least-doubles on
+    /// every actual resize, so an index trailing its table through many
+    /// slightly-growing caps (the breakpoint search's bisection pattern
+    /// at 32-bit cardinalities) pays `O(log n)` rebuilds total, and
+    /// `rehashes()` stays 0 under the sizing contract. No-op for the
+    /// direct and two-level indexes (collision-free / spill-row based).
     fn reserve_hash(&mut self, n: u32) {
-        if self.kind != IndexKind::Hash || (n as usize) <= self.hash.capacity() {
-            return;
+        if self.kind == IndexKind::Hash {
+            self.hash.reserve(n as usize);
         }
-        let mut m = PosMap::with_capacity(n as usize);
-        for i in 1..=self.indexed {
-            m.insert(self.syn[i as usize], i);
-        }
-        self.hash = m;
     }
 
     /// Extends the `u16` syndrome mirror to cover `syn[..=upto]`.
@@ -325,6 +451,19 @@ impl SyndromeWorkspace {
 
     fn ensure_syndromes(&mut self, upto: u32) {
         let seq = self.seq.as_mut().expect("workspace is bound");
+        if self.bitsliced && upto as usize >= crate::bitslice::BASIS_PREFIX {
+            // Bulk path: serial prefix for the plane basis, then whole
+            // 64-position blocks whose anchors advance by one CLMUL
+            // modmul each (values bit-identical to serial stepping; the
+            // table may overshoot `upto` by up to 63 positions, which
+            // every consumer's explicit bounds make safe).
+            seq.extend_table(&mut self.syn, crate::bitslice::BASIS_PREFIX - 1);
+            let g = self.g.as_ref().expect("workspace is bound");
+            let bs = self.bs.get_or_insert_with(|| PlaneState::new(g, &self.syn));
+            bs.extend(&mut self.syn, upto as usize);
+            seq.resync(*self.syn.last().expect("table is seeded"));
+            return;
+        }
         seq.extend_table(&mut self.syn, upto as usize);
     }
 
@@ -357,6 +496,37 @@ impl SyndromeWorkspace {
                         debug_assert!(self.indexed < DIRECT_EMPTY as u32);
                         *slot = self.indexed as u16;
                     }
+                }
+            }
+            IndexKind::TwoLevel => {
+                let shift = self.dir_shift;
+                while self.indexed < upto {
+                    self.indexed += 1;
+                    let p = self.indexed;
+                    debug_assert!(p < WIDE_SPILL, "positions stay below the spill tag");
+                    let v = self.syn[p as usize];
+                    let low = v as usize & ((1 << WIDE_SCREEN_BITS) - 1);
+                    self.wscreen[low >> 6] |= 1u64 << (low & 63);
+                    let bucket = (v >> shift) as usize;
+                    let e = self.dir[bucket];
+                    if e == WIDE_EMPTY {
+                        self.dir[bucket] = p;
+                    } else if e & WIDE_SPILL != 0 {
+                        let ri = (e & !WIDE_SPILL) as usize;
+                        if !self.rows[ri].iter().any(|&q| self.syn[q as usize] == v) {
+                            self.rows[ri].push(p);
+                        }
+                    } else if self.syn[e as usize] != v {
+                        // Second distinct value in this bucket: spill both
+                        // positions to a dense row (ascending, so the first
+                        // match during a scan is the first occurrence).
+                        let ri = self.rows.len() as u32;
+                        debug_assert!(ri < WIDE_SPILL);
+                        self.rows.push(vec![e, p]);
+                        self.dir[bucket] = WIDE_SPILL | ri;
+                    }
+                    // else: later occurrence of an indexed value — keep the
+                    // first position, exactly like the other index kinds.
                 }
             }
             IndexKind::Hash => {
@@ -436,6 +606,14 @@ impl SyndromeWorkspace {
                     p as u32
                 }
             }
+            IndexKind::TwoLevel => twolevel_pos(
+                &self.syn,
+                &self.wscreen,
+                &self.dir,
+                self.dir_shift,
+                &self.rows,
+                v,
+            ),
             IndexKind::Hash => self.hash.get(v).unwrap_or(0),
         }
     }
@@ -492,6 +670,13 @@ impl SyndromeWorkspace {
                         }
                     })
                 }
+                IndexKind::TwoLevel => {
+                    let (syn, screen) = (&self.syn, &self.wscreen[..]);
+                    let (dir, rows, shift) = (&self.dir[..], &self.rows[..], self.dir_shift);
+                    row_has_pair(syn, t, target, |v| {
+                        twolevel_pos(syn, screen, dir, shift, rows, v)
+                    })
+                }
                 IndexKind::Hash => {
                     let map = &self.hash;
                     row_has_pair(&self.syn, t, target, |v| map.get(v).unwrap_or(0))
@@ -514,8 +699,45 @@ impl SyndromeWorkspace {
 
     fn scan_mitm(&mut self, w: u32, cap: u32) -> Result<Option<u32>> {
         let probe_from = self.zero_below(w);
+        if w == 5 && self.kind != IndexKind::Hash && (cap as u128) < self.order_value() {
+            // Weight-5 specialization: the MITM a-side here is a
+            // *singleton* map, and below the order (values distinct, so
+            // first occurrences are the only occurrences) that map is
+            // exactly the workspace's first-occurrence index. Probing the
+            // b = 2 inner pairs against the index replaces the subset-map
+            // build entirely, shares syndromes/index with every other
+            // scan, and needs no budget (the map it replaces is the
+            // index, whose size is bounded by the cap).
+            let found = self.scan_w5_indexed(cap, probe_from);
+            self.set_fact(
+                5,
+                match found {
+                    Some(d) => WeightFact::MinDegree(d),
+                    None => WeightFact::ZeroBelow(cap + 1),
+                },
+            );
+            return Ok(found);
+        }
+        if self.mitm.is_empty() && (w as usize) < MEMO_WEIGHTS {
+            self.mitm = std::iter::repeat_with(|| None).take(MEMO_WEIGHTS).collect();
+        }
         let seq = self.seq.as_mut().expect("workspace is bound");
-        let found = mitm_scan(w, cap, probe_from, &mut self.syn, seq)?;
+        let found = if let Some(slot) = self.mitm.get_mut(w as usize) {
+            // Persistent subset map: extended incrementally across calls
+            // on this binding, so `hd_filter → HdProfile → weights234`
+            // funnels stop rebuilding it from scratch per stage.
+            let state = slot.get_or_insert_with(MitmState::new);
+            mitm_scan_with(w, cap, probe_from, &mut self.syn, seq, state)?
+        } else {
+            mitm_scan_with(
+                w,
+                cap,
+                probe_from,
+                &mut self.syn,
+                seq,
+                &mut MitmState::new(),
+            )?
+        };
         self.set_fact(
             w,
             match found {
@@ -524,6 +746,36 @@ impl SyndromeWorkspace {
             },
         );
         Ok(found)
+    }
+
+    /// The index-backed weight-5 scan (see `scan_mitm`): for each top
+    /// degree `t`, probe every inner pair `i < j` for a third partner
+    /// position completing `r(i)^r(j)^r(k) = 1^r(t)` — the same probe
+    /// count as the reference MITM split (a = 1, b = 2), with the
+    /// singleton map replaced by the shared index. Only called with
+    /// `cap` below the order, where first occurrences are unique
+    /// occurrences, so the index answers exactly what the map would.
+    fn scan_w5_indexed(&mut self, cap: u32, probe_from: u32) -> Option<u32> {
+        let start = probe_from.max(4);
+        if start > cap {
+            return None;
+        }
+        self.reserve_hash(cap - 1);
+        for t in start..=cap {
+            self.ensure_syndromes(t);
+            self.ensure_indexed(t - 1);
+            let target = 1 ^ self.syn[t as usize];
+            for j in 2..t {
+                let vj = target ^ self.syn[j as usize];
+                for i in 1..j {
+                    let k = self.pos_of(vj ^ self.syn[i as usize]);
+                    if k != 0 && k < t && k != i && k != j {
+                        return Some(t);
+                    }
+                }
+            }
+        }
+        None
     }
 
     /// The fast HD filter over this workspace — see
@@ -608,6 +860,17 @@ impl SyndromeWorkspace {
                     let (tbl, mask) = self.direct_table();
                     sweep_w34_direct(&self.syn16, tbl, mask as u16, codeword_len, zb3, zb4)
                 }
+                IndexKind::TwoLevel => {
+                    // Spill-row probes are exact and bound-checked, so
+                    // build the whole index once (no trailing) and run
+                    // the screen-first kernel.
+                    self.ensure_indexed(codeword_len - 2);
+                    if self.bitsliced {
+                        self.sweep_w34_bitsliced(codeword_len, zb3, zb4)
+                    } else {
+                        self.sweep_w34_twolevel(codeword_len, zb3, zb4)
+                    }
+                }
                 IndexKind::Hash => self.sweep_w34_hash(codeword_len, zb3, zb4),
             };
             w3 = sweep.w3;
@@ -656,6 +919,70 @@ fn row_has_pair(syn: &[u64], t: u32, target: u64, lookup: impl Fn(u64) -> u32) -
         let p = lookup(target ^ s);
         if p != 0 && p < t && p != i {
             return true;
+        }
+    }
+    false
+}
+
+/// First position of `v` in a two-level index, 0 when absent: presence
+/// screen (low bits, one L1 load — rejects ~all pair-sweep misses) →
+/// bucket directory (high bits) → one confirming compare against the
+/// syndrome table, or a spill-row scan for the rare colliding buckets.
+#[inline]
+fn twolevel_pos(
+    syn: &[u64],
+    screen: &[u64],
+    dir: &[u32],
+    shift: u32,
+    rows: &[Vec<u32>],
+    v: u64,
+) -> u32 {
+    let low = v as usize & ((1 << WIDE_SCREEN_BITS) - 1);
+    if screen[low >> 6] & (1u64 << (low & 63)) == 0 {
+        return 0;
+    }
+    let e = dir[(v >> shift) as usize];
+    if e == WIDE_EMPTY {
+        return 0;
+    }
+    if e & WIDE_SPILL == 0 {
+        return if syn[e as usize] == v { e } else { 0 };
+    }
+    rows[(e & !WIDE_SPILL) as usize]
+        .iter()
+        .copied()
+        .find(|&q| syn[q as usize] == v)
+        .unwrap_or(0)
+}
+
+/// Resolves a screen-surviving pair probe `v` (partner of position `i`
+/// at top degree `t`) against the directory: true iff `v` first occurs
+/// at a position in `(i, t)` — the "count each unordered pair from its
+/// smaller side once" rule of the hash sweep, in branch-light form. The
+/// `e < t` compare rejects [`WIDE_EMPTY`], spill tags *and* positions
+/// the index holds beyond `t` in one go; sweeps run below the order, so
+/// a first occurrence is the only occurrence below `t`.
+#[inline]
+fn twolevel_pair_hit(
+    syn: &[u64],
+    dir: &[u32],
+    shift: u32,
+    rows: &[Vec<u32>],
+    v: u64,
+    i: u32,
+    t: u32,
+) -> bool {
+    let e = dir[(v >> shift) as usize];
+    if e < t {
+        return syn[e as usize] == v && e > i;
+    }
+    if e != WIDE_EMPTY && e & WIDE_SPILL != 0 {
+        if let Some(q) = rows[(e & !WIDE_SPILL) as usize]
+            .iter()
+            .copied()
+            .find(|&q| syn[q as usize] == v)
+        {
+            return q > i && q < t;
         }
     }
     false
@@ -712,6 +1039,120 @@ impl SyndromeWorkspace {
                             pairs += 1;
                         }
                     }
+                }
+                if pairs != 0 {
+                    out.w4 += pairs as u128 * shifts;
+                    if out.first4 == 0 {
+                        out.first4 = t;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The wide-width weights sweep over the two-level index. The inner
+    /// pair loop leads with the 16 KiB presence screen — one L1 load and
+    /// a predicted-not-taken branch kill almost every probe before it
+    /// touches the (much larger) bucket directory, which is what buys
+    /// the 32-bit speedup over the hash sweep. Probes run against the
+    /// *full* syndrome table on purpose: on a reused binding the
+    /// directory and spill rows may reference positions past this
+    /// sweep's length (from an earlier longer scan), and the explicit
+    /// `< t` bounds in [`twolevel_pair_hit`] make that safe where a
+    /// truncated slice would panic.
+    fn sweep_w34_twolevel(&self, codeword_len: u32, zb3: u32, zb4: u32) -> Sweep {
+        let syn = &self.syn[..];
+        let screen = &self.wscreen[..1 << (WIDE_SCREEN_BITS - 6)];
+        let dir = &self.dir[..1usize << self.dir_bits];
+        let rows = &self.rows[..];
+        let shift = self.dir_shift;
+        let l = codeword_len as u64;
+        let mut out = Sweep::default();
+        let t_start = zb3.min(zb4).max(2);
+        for t in t_start..codeword_len {
+            let target = 1 ^ syn[t as usize];
+            let shifts = (l - t as u64) as u128;
+            if t >= zb3 {
+                let p = twolevel_pos(syn, screen, dir, shift, rows, target);
+                if p != 0 && p < t {
+                    out.w3 += shifts;
+                    if out.first3 == 0 {
+                        out.first3 = t;
+                    }
+                }
+            }
+            if t >= zb4 {
+                let mut pairs = 0u64;
+                for (k, &s) in syn[1..t as usize].iter().enumerate() {
+                    let v = target ^ s;
+                    let low = v as usize & ((1 << WIDE_SCREEN_BITS) - 1);
+                    if screen[low >> 6] & (1u64 << (low & 63)) == 0 {
+                        continue;
+                    }
+                    let i = (k + 1) as u32;
+                    pairs += twolevel_pair_hit(syn, dir, shift, rows, v, i, t) as u64;
+                }
+                if pairs != 0 {
+                    out.w4 += pairs as u128 * shifts;
+                    if out.first4 == 0 {
+                        out.first4 = t;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The batch (mask-then-resolve) variant of the two-level sweep for
+    /// [`IndexPolicy::Bitsliced`] bindings: pass 1 runs the presence
+    /// screen over 64-position blocks branch-free, packing survivors
+    /// into a lane mask; pass 2 resolves only the set lanes against the
+    /// directory. Separating the always-run screen from the almost-never
+    /// -run resolve keeps the hot pass free of unpredictable branches
+    /// (the screen's ~5% hit rate is poison for a fused loop's branch
+    /// predictor) and pairs with the block-extended syndrome table from
+    /// [`crate::bitslice`].
+    fn sweep_w34_bitsliced(&self, codeword_len: u32, zb3: u32, zb4: u32) -> Sweep {
+        let syn = &self.syn[..];
+        let screen = &self.wscreen[..1 << (WIDE_SCREEN_BITS - 6)];
+        let dir = &self.dir[..1usize << self.dir_bits];
+        let rows = &self.rows[..];
+        let shift = self.dir_shift;
+        let l = codeword_len as u64;
+        let mut out = Sweep::default();
+        let t_start = zb3.min(zb4).max(2);
+        for t in t_start..codeword_len {
+            let target = 1 ^ syn[t as usize];
+            let shifts = (l - t as u64) as u128;
+            if t >= zb3 {
+                let p = twolevel_pos(syn, screen, dir, shift, rows, target);
+                if p != 0 && p < t {
+                    out.w3 += shifts;
+                    if out.first3 == 0 {
+                        out.first3 = t;
+                    }
+                }
+            }
+            if t >= zb4 {
+                let mut pairs = 0u64;
+                let row = &syn[1..t as usize];
+                let mut base = 0usize;
+                while base < row.len() {
+                    let lanes = (row.len() - base).min(64);
+                    let mut mask = 0u64;
+                    for (lane, &s) in row[base..base + lanes].iter().enumerate() {
+                        let low = (target ^ s) as usize & ((1 << WIDE_SCREEN_BITS) - 1);
+                        mask |= ((screen[low >> 6] >> (low & 63)) & 1) << lane;
+                    }
+                    while mask != 0 {
+                        let lane = mask.trailing_zeros() as usize;
+                        mask &= mask - 1;
+                        let v = target ^ row[base + lane];
+                        let i = (base + lane + 1) as u32;
+                        pairs += twolevel_pair_hit(syn, dir, shift, rows, v, i, t) as u64;
+                    }
+                    base += lanes;
                 }
                 if pairs != 0 {
                     out.w4 += pairs as u128 * shifts;

@@ -144,6 +144,92 @@ fn dmin_identical_under_shuffled_cap_schedules() {
     }
 }
 
+/// The four index/kernel flavors a wide-width binding can run under.
+const WIDE_POLICIES: [IndexPolicy; 4] = [
+    IndexPolicy::Auto,      // resolves to the two-level index at 17–32
+    IndexPolicy::ForceHash, // the differential oracle path
+    IndexPolicy::ForceTwoLevel,
+    IndexPolicy::Bitsliced, // two-level + CLMUL block kernels
+];
+
+#[test]
+fn wide_widths_identical_across_every_index_flavor() {
+    // The PR-6 kernels (two-level index, bitsliced block extension,
+    // persistent MITM maps) at the widths they exist for, against the
+    // scratch oracle, under shuffled length/cap schedules: verdicts,
+    // weights, profiles and d_min must be bit-identical.
+    for width in [17u32, 24, 29, 32] {
+        for policy in WIDE_POLICIES {
+            let mut ws = SyndromeWorkspace::with_policy(policy);
+            for g in sample_polys(width, 4, 71) {
+                for cap in [5u32, 300, 40, 500, 299] {
+                    for w in 2..=6u32 {
+                        let got = ws.dmin(&g, w, cap).unwrap();
+                        let want = reference::dmin(&g, w, cap).unwrap();
+                        assert_eq!(got, want, "{g} w={w} cap={cap} policy={policy:?}");
+                    }
+                }
+                for len in [100u32, 16, 900, 64, 899] {
+                    let got = ws.weights234(&g, len);
+                    let want = reference::weights234(&g, len);
+                    match (got, want) {
+                        (Ok(a), Ok(b)) => assert_eq!(a, b, "{g} len={len} policy={policy:?}"),
+                        (Err(_), Err(_)) => {} // same refusal (past the order)
+                        (a, b) => panic!("{g} len={len}: {a:?} vs {b:?}"),
+                    }
+                }
+                for (len, hd) in [(64u32, 5u32), (250, 4), (120, 6)] {
+                    let got = hd_filter_in(&mut ws, &g, len, hd).unwrap();
+                    let want = reference::hd_filter(&g, len, hd).unwrap();
+                    assert_eq!(got, want, "{g} len={len} hd={hd} policy={policy:?}");
+                }
+                let got = HdProfile::compute_in(&mut ws, &g, 400, 8).unwrap();
+                let want = reference::profile(&g, 400, 8).unwrap();
+                assert_eq!(got.dmins(), want.dmins(), "{g} policy={policy:?}");
+                assert_eq!(got.bands(), want.bands(), "{g} policy={policy:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn bitsliced_block_growth_interleaves_with_serial() {
+    // Alternate calls that grow the table in bulk (weights sweeps, long
+    // caps) with short serial growth on the same binding; the resynced
+    // stepper and the block extension must stay value-identical.
+    let g = GenPoly::from_koopman(32, 0x82608EDB).unwrap();
+    let mut ws = SyndromeWorkspace::with_policy(IndexPolicy::Bitsliced);
+    for (w, cap) in [(3u32, 50u32), (4, 4000), (3, 120), (5, 700), (4, 5000)] {
+        assert_eq!(
+            ws.dmin(&g, w, cap).unwrap(),
+            reference::dmin(&g, w, cap).unwrap(),
+            "w={w} cap={cap}"
+        );
+    }
+    assert_eq!(
+        ws.weights234(&g, 3000).unwrap(),
+        reference::weights234(&g, 3000).unwrap()
+    );
+}
+
+#[test]
+fn hash_index_never_rehashes_under_the_sizing_contract() {
+    // Width-32 regression for the PosMap reserve audit: every scan
+    // pre-sizes through `reserve_hash`, and `PosMap::reserve`
+    // at-least-doubles per actual resize, so even the breakpoint
+    // search's bisection pattern (the index trailing its table through
+    // many slightly-growing caps) must trigger zero implicit growth
+    // rehashes.
+    let g = GenPoly::from_koopman(32, 0x82608EDB).unwrap();
+    let mut ws = SyndromeWorkspace::with_policy(IndexPolicy::ForceHash);
+    for cap in [10u32, 500, 1200, 1201, 1300, 2000, 3500, 5000] {
+        ws.dmin(&g, 4, cap).unwrap();
+    }
+    breakpoint_search_in(&mut ws, &g, 5, 65_536).unwrap();
+    ws.weights234(&g, 3000).unwrap();
+    assert_eq!(ws.hash_rehashes(), 0, "implicit rehash despite reserve");
+}
+
 #[test]
 fn breakpoint_search_evaluation_counts_identical() {
     // The workspace variant must take the *same* doubling+bisect path:
