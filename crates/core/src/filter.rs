@@ -10,7 +10,7 @@
 //!    `early_bailout = true` vs a full count).
 //! 3. **FCS-bits-first ordering** — try error patterns touching the FCS
 //!    field first, because most rejected polynomials have an early
-//!    counterexample there ([`EnumOrder::FcsFirst`]).
+//!    counterexample there ([`enumerative::EnumOrder::FcsFirst`]).
 //! 4. **Increasing-length staged filtering** — filter the population at a
 //!    short length before re-filtering survivors at longer lengths
 //!    ([`StagedFilter`]); **inverse filtering** reuses the early-out

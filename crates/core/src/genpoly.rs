@@ -145,7 +145,7 @@ impl GenPoly {
     }
 
     /// The reciprocal generator (coefficients reversed), which has an
-    /// identical weight profile [Peterson72] — the pairing the paper uses
+    /// identical weight profile \[Peterson72\] — the pairing the paper uses
     /// to halve its search space.
     pub fn reciprocal(&self) -> GenPoly {
         let full = self.to_poly().reciprocal();

@@ -33,7 +33,7 @@ pub fn clmul_active() -> bool {
     })
 }
 
-/// Carryless (GF(2)[x]) product of two 64-bit polynomials, full
+/// Carryless (GF(2)\[x\]) product of two 64-bit polynomials, full
 /// 127-bit result.
 #[inline]
 pub fn mul64(a: u64, b: u64) -> u128 {

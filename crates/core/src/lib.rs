@@ -88,7 +88,7 @@
 //!   funnel and reset (allocations kept) on rebind, so each subset is
 //!   hashed once per binding rather than once per stage.
 //!
-//! The pre-workspace scratch implementations live on in [`reference`] as
+//! The pre-workspace scratch implementations live on in [`mod@reference`] as
 //! the differential-testing oracle (CI job `screening-equivalence`);
 //! `crates/survey` threads one workspace per campaign worker through
 //! `SurvivorRecord::screen_in`.

@@ -170,6 +170,24 @@ enum WeightFact {
     MinDegree(u32),
 }
 
+/// A persisted `d_min` memo fact for one weight: the public,
+/// serializable mirror of the workspace's internal memo. Every capped
+/// search deposits either the exact answer or a certified-clean range;
+/// [`SyndromeWorkspace::memo_facts`] exports those deposits and
+/// [`SyndromeWorkspace::seed_memo`] replants them — in a fresh
+/// workspace, or a fresh *process* — so a second evaluation pass (say,
+/// re-profiling a survey survivor at 8k–64k bits) resumes each weight's
+/// scan where the first pass stopped instead of restarting from degree
+/// `w − 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoFact {
+    /// No weight-`w` multiple has degree below this bound (a capped
+    /// search came up empty through `bound − 1`).
+    ZeroBelow(u32),
+    /// The exact minimal degree of a weight-`w` multiple.
+    MinDegree(u32),
+}
+
 /// A reusable, grow-only evaluation workspace for one polynomial at a
 /// time (see the module docs). Create once per worker, then call the
 /// evaluation methods — each auto-binds to its polynomial argument,
@@ -376,6 +394,60 @@ impl SyndromeWorkspace {
             self.order = Some(dmin2(self.g.as_ref().expect("workspace is bound")));
         }
         self.order.expect("just filled")
+    }
+
+    /// Exports every non-trivial `d_min` memo fact the binding to `g`
+    /// holds, as `(weight, fact)` pairs in ascending weight order —
+    /// the serializable state a caller persists to resume evaluation in
+    /// a later process via [`SyndromeWorkspace::seed_memo`]. Weight 2 is
+    /// excluded: its answer is the multiplicative order, which callers
+    /// persist separately (see [`SyndromeWorkspace::seed_order`]).
+    pub fn memo_facts(&mut self, g: &GenPoly) -> Vec<(u32, MemoFact)> {
+        self.bind(g);
+        (3..MEMO_WEIGHTS as u32)
+            .filter_map(|w| match self.fact(w) {
+                WeightFact::Unknown => None,
+                WeightFact::ZeroBelow(t) => Some((w, MemoFact::ZeroBelow(t))),
+                WeightFact::MinDegree(d) => Some((w, MemoFact::MinDegree(d))),
+            })
+            .collect()
+    }
+
+    /// Seeds the binding to `g` with previously exported memo facts
+    /// (see [`SyndromeWorkspace::memo_facts`]). Facts only ever
+    /// strengthen: an exact answer is never displaced, and
+    /// certified-clean bounds merge to the larger one, so seeding stale
+    /// or partial state is always safe — but the facts themselves are
+    /// *caller-certified*: they must describe `g` (as exported by an
+    /// earlier binding to the same polynomial), or later answers will be
+    /// wrong. Weights outside the memoized range are ignored.
+    pub fn seed_memo(&mut self, g: &GenPoly, facts: &[(u32, MemoFact)]) {
+        self.bind(g);
+        for &(w, fact) in facts {
+            if !(3..MEMO_WEIGHTS as u32).contains(&w) {
+                continue;
+            }
+            let merged = match (self.fact(w), fact) {
+                (WeightFact::MinDegree(d), _) => WeightFact::MinDegree(d),
+                (_, MemoFact::MinDegree(d)) => WeightFact::MinDegree(d),
+                (WeightFact::ZeroBelow(a), MemoFact::ZeroBelow(b)) => {
+                    WeightFact::ZeroBelow(a.max(b))
+                }
+                (WeightFact::Unknown, MemoFact::ZeroBelow(b)) => WeightFact::ZeroBelow(b),
+            };
+            self.set_fact(w, merged);
+        }
+    }
+
+    /// Seeds the cached multiplicative order of `x` mod `g` (caller-
+    /// certified, like [`SyndromeWorkspace::seed_memo`]): the one
+    /// evaluation input the memo facts do not cover. A no-op when the
+    /// binding already computed its order.
+    pub fn seed_order(&mut self, g: &GenPoly, order: u128) {
+        self.bind(g);
+        if self.order.is_none() {
+            self.order = Some(order);
+        }
     }
 
     fn fact(&self, w: u32) -> WeightFact {
@@ -1361,6 +1433,52 @@ mod tests {
         let w = ws.weights234(&g, 100).unwrap();
         assert_eq!((w.w3, w.w4), (0, 0));
         assert_eq!(ws.zero_below(4), 2501, "short sweep weakened the memo");
+    }
+
+    #[test]
+    fn memo_facts_export_seed_and_resume() {
+        // CRC-32 (IEEE): first weight-4 codeword near length 3007, no
+        // weight-3 codeword until far beyond — so a 4000-bit pass
+        // deposits one exact answer and one certified-clean range.
+        let g = g32(0x82608EDB);
+        let mut first = SyndromeWorkspace::new();
+        let d4 = first.dmin(&g, 4, 4000).unwrap().expect("weight-4 < 4000");
+        assert_eq!(first.dmin(&g, 3, 4000).unwrap(), None);
+        let facts = first.memo_facts(&g);
+        assert!(facts.contains(&(4, MemoFact::MinDegree(d4))));
+        assert!(facts.contains(&(3, MemoFact::ZeroBelow(4001))));
+        let order = first.order(&g);
+
+        // Seeding a fresh workspace resumes instead of restarting: a
+        // query inside the certified range answers from the memo alone,
+        // before a single syndrome beyond r(0) is computed.
+        let mut second = SyndromeWorkspace::new();
+        second.seed_memo(&g, &facts);
+        second.seed_order(&g, order);
+        assert_eq!(second.dmin(&g, 3, 3000).unwrap(), None);
+        assert_eq!(second.dmin(&g, 4, 4000).unwrap(), Some(d4));
+        assert_eq!(second.syndromes_known(), 1, "memo answered, not a scan");
+        assert_eq!(second.order(&g), order);
+        // Extending past the certified range picks up where the first
+        // pass stopped and agrees with the scratch oracle.
+        assert_eq!(
+            second.dmin(&g, 3, 6000).unwrap(),
+            reference::dmin(&g, 3, 6000).unwrap()
+        );
+
+        // Seeding only strengthens: a weaker bound cannot displace a
+        // stronger one, and an exact answer is never displaced.
+        let mut third = SyndromeWorkspace::new();
+        third.seed_memo(&g, &[(3, MemoFact::ZeroBelow(4001))]);
+        third.seed_memo(&g, &[(3, MemoFact::ZeroBelow(10))]);
+        assert_eq!(third.zero_below(3), 4001);
+        third.seed_memo(&g, &[(4, MemoFact::MinDegree(d4))]);
+        third.seed_memo(&g, &[(4, MemoFact::ZeroBelow(2))]);
+        assert_eq!(third.dmin(&g, 4, 4000).unwrap(), Some(d4));
+        // Rebinding clears seeded state like any other cached state.
+        let other = g32(0xBA0DC66B);
+        third.bind(&other);
+        assert_eq!(third.zero_below(3), 0);
     }
 
     #[test]

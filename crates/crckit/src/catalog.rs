@@ -30,7 +30,7 @@ pub const KOOPMAN_D419CC15: u64 = 0xD419_CC15;
 /// `{32}` with the minimum possible taps achieving HD=5 to almost 64 Kbits.
 pub const KOOPMAN_80108400: u64 = 0x8010_8400;
 
-/// The misprinted Castagnoli value from [Castagnoli93] Table XI
+/// The misprinted Castagnoli value from \[Castagnoli93\] Table XI
 /// (`1F6ACFB13` instead of `1F4ACFB13`): the paper shows it only achieves
 /// HD=6 to 382 bits and "should not be used". Kept for the reproduction of
 /// that finding.

@@ -12,7 +12,7 @@
 //! With `reg(M)` the shift register after absorbing `M` from an all-zero
 //! start, linearity over GF(2) gives
 //! `reg(A‖B, init) = reg(B, 0) ⊕ shift(reg(A, init), 8·|B|)`, where
-//! `shift(v, n)` multiplies by `x^n` in GF(2)[x]/G. Unwrapping `init`,
+//! `shift(v, n)` multiplies by `x^n` in GF(2)\[x\]/G. Unwrapping `init`,
 //! `refout` and `xorout` from the two inputs and rewrapping the result is
 //! all the bookkeeping this module does.
 

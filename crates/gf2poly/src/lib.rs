@@ -33,7 +33,7 @@
 //! rather than silently truncating.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod class;
 pub mod factor;

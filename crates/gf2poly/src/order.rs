@@ -1,4 +1,4 @@
-//! Multiplicative order of `x` in GF(2)[x]/(f) — algebraically, via the
+//! Multiplicative order of `x` in GF(2)\[x\]/(f) — algebraically, via the
 //! factorization of `f` and of the group orders `2^d − 1`.
 //!
 //! The order `e` is the smallest positive exponent with `x^e ≡ 1 (mod f)`,

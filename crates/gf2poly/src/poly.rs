@@ -215,7 +215,7 @@ impl Poly {
     /// The reciprocal polynomial: coefficients reversed about the degree.
     ///
     /// Reciprocal pairs have identical error-detection weight profiles
-    /// ([Peterson72], exploited by the paper to halve its search space).
+    /// (\[Peterson72\], exploited by the paper to halve its search space).
     ///
     /// ```
     /// use gf2poly::Poly;

@@ -91,7 +91,7 @@ impl FrameCodec {
 
 /// An iSCSI-like PDU: a fixed-size header segment and a variable data
 /// segment, each protected by its own digest — the structure the iSCSI
-/// drafts debated when [Sheinwald00] recommended Castagnoli's polynomial,
+/// drafts debated when \[Sheinwald00\] recommended Castagnoli's polynomial,
 /// and where the paper's 0xBA0DC66B offers HD=6 across full-MTU bursts.
 #[derive(Debug, Clone)]
 pub struct IscsiPdu {
@@ -121,7 +121,7 @@ impl IscsiPdu {
     }
 
     /// Builds the draft-standard variant: CRC-32C digests, as adopted by
-    /// RFC 3720 following [Sheinwald00].
+    /// RFC 3720 following \[Sheinwald00\].
     pub fn crc32c() -> IscsiPdu {
         IscsiPdu::new(catalog::CRC32_ISCSI)
     }

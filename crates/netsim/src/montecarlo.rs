@@ -299,7 +299,7 @@ impl Simulator {
     ///
     /// Like [`Simulator::shard_frames`], this is part of the random-stream
     /// layout for channels whose `corrupt_batch` override spans frame
-    /// boundaries (e.g. [`BscChannel`]): exact tallies are reproducible at
+    /// boundaries (e.g. [`crate::channel::BscChannel`]): exact tallies are reproducible at
     /// equal `batch`; the distribution is identical at any `batch`.
     pub fn batch(mut self, batch: usize) -> Simulator {
         assert!(batch >= 1, "batch must be at least 1");
@@ -388,7 +388,7 @@ impl Simulator {
     /// regardless of `threads` and of sharded vs [`Simulator::pipelined`]
     /// mode. Exact tallies are also reproducible at equal `batch`; a
     /// channel whose `corrupt_batch` override carries a random stream
-    /// across frame boundaries (e.g. [`BscChannel`]'s geometric skip)
+    /// across frame boundaries (e.g. [`crate::channel::BscChannel`]'s geometric skip)
     /// lays that stream out per burst, so a *different* batch size can
     /// regroup it — same distribution, different draws.
     ///

@@ -1,24 +1,89 @@
 //! The survey campaign CLI.
 //!
 //! ```text
-//! survey run    --dir DIR --width W [--shards S] [--threads N] [--seed S]
-//!               [--lengths a,b,c] [--min-hd H] [--max-weight W]
-//!               [--ber 1e-5,1e-6] [--sample N] [--stop-after K]
-//! survey resume --dir DIR [--threads N] [--stop-after K]
-//! survey report --dir DIR [--out FILE] [--top K] [--no-spot-check]
+//! survey run        --dir DIR --width W [--shards S] [--threads N] [--seed S]
+//!                   [--lengths a,b,c] [--min-hd H] [--max-weight W]
+//!                   [--ber 1e-5,1e-6] [--sample N] [--stop-after K]
+//!                   [--census N [--classes SIG;SIG;...]]
+//! survey resume     --dir DIR [--threads N] [--stop-after K]
+//! survey report     --dir DIR [--out FILE] [--top K] [--no-spot-check] [--z Z]
+//! survey coordinate --dir DIR --transport T [--lease-ttl SECS] [--linger MS]
+//!                   [creation flags, for a fresh DIR]
+//! survey work       --transport T [--name NAME] [--max-shards K]
+//! survey merge      --dir DIR LOG [LOG...]
 //! ```
 //!
-//! `run` creates a campaign and drives it to completion (or for
-//! `--stop-after K` checkpoints — the kill-at-a-checkpoint primitive CI
-//! uses to exercise resume). `resume` continues whatever `campaign.json`
-//! records. `report` loads a completed campaign's survivor logs and
-//! writes the leaderboard JSON (plus tables and CSV on stdout).
+//! `run` creates a campaign and drives it to completion on local
+//! threads. `resume` continues whatever `campaign.json` records.
+//! `report` loads a completed campaign and writes the leaderboard JSON
+//! (or, for census campaigns, the stratified estimate document).
+//!
+//! `coordinate`/`work` are the distributed pair: the coordinator owns
+//! the campaign directory and leases shards over a transport (`file:DIR`
+//! for a shared queue directory, `tcp:HOST:PORT` for a socket); workers
+//! need only the transport address. `merge` folds shard-log files that
+//! arrived out of band into the checkpoint. Run `survey help` for the
+//! full story.
 
-use crc_survey::campaign::{CampaignConfig, Mode};
+use crc_survey::campaign::{CampaignConfig, Mode, ShardResult};
+use crc_survey::census::{census_report, render_census_table, Z95};
+use crc_survey::coordinator::Coordinator;
 use crc_survey::engine::Campaign;
+use crc_survey::json::Json;
 use crc_survey::leaderboard::{build, render_tables, LeaderboardOptions};
-use std::path::PathBuf;
+use crc_survey::transport::{FileQueueClient, FileQueueServer, TcpClient, TcpServer};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
+
+/// The one sentence that defines `--stop-after`; docs/CENSUS.md quotes
+/// it verbatim and the CLI smoke test holds both to it.
+const STOP_AFTER_SEMANTICS: &str = "--stop-after K exits at the next checkpoint boundary: \
+after this invocation checkpoints K shards (fewer if the campaign finishes first) the \
+process stops, and a later resume continues the manifest to artifacts byte-identical to \
+an uninterrupted run.";
+
+const USAGE: &str = "usage: survey <run|resume|report|coordinate|work|merge|help> [options]";
+
+fn help_text() -> String {
+    format!(
+        "{USAGE}
+
+  run        --dir DIR --width W [--shards S] [--threads N] [--seed S]
+             [--lengths a,b,c] [--min-hd H] [--max-weight W] [--ber 1e-5,...]
+             [--sample N | --census N [--classes SIG;SIG;...]] [--stop-after K]
+                 create a campaign and drive it on local threads.
+                 --sample N draws N candidates per shard instead of
+                 enumerating; --census N creates a stratified census
+                 (N draws per stratum: one stratum per feedback-tap
+                 count, plus one per --classes factorization signature,
+                 e.g. --classes '{{1,15}};{{16}}').
+  resume     --dir DIR [--threads N] [--stop-after K]
+                 continue a campaign from its checkpoint.
+  report     --dir DIR [--out FILE] [--top K] [--no-spot-check] [--z Z]
+                 write leaderboard.json for a completed campaign, or
+                 census.json (estimates with Wilson bounds at critical
+                 value Z, default 95%) for a census campaign.
+  coordinate --dir DIR --transport T [--lease-ttl SECS] [--linger MS]
+                 serve the campaign to remote workers; accepts the same
+                 creation flags as `run` when DIR has no campaign yet.
+                 Leases that expire re-issue the shard; duplicate
+                 submissions are idempotent.
+  work       --transport T [--name NAME] [--max-shards K]
+                 attach a worker to a coordinator: lease, evaluate,
+                 submit, repeat until the coordinator reports the
+                 campaign complete.
+  merge      --dir DIR LOG [LOG...]
+                 fold shard-log JSON files (collected out of band) into
+                 the campaign checkpoint; byte-identical logs are
+                 accepted idempotently, conflicting ones refused.
+
+transports: file:DIR (shared queue directory) or tcp:HOST:PORT.
+
+checkpoints: {STOP_AFTER_SEMANTICS}
+"
+    )
+}
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
@@ -67,6 +132,81 @@ fn stop_after(args: &[String]) -> Result<Option<u64>, String> {
     })
 }
 
+fn config_from_args(args: &[String]) -> Result<CampaignConfig, String> {
+    let width: u32 = parse_or(args, "--width", 0)?;
+    if width == 0 {
+        return Err("--width is required".into());
+    }
+    let lengths: Vec<u32> = match flag_value(args, "--lengths") {
+        Some(v) => parse_list(&v, "length")?,
+        None => vec![64, 256, 1024],
+    };
+    let ber_grid: Vec<f64> = match flag_value(args, "--ber") {
+        Some(v) => parse_list(&v, "BER")?,
+        None => vec![1e-5, 1e-6],
+    };
+    let census: Option<u64> = match flag_value(args, "--census") {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("bad value {v:?} for --census"))?,
+        ),
+        None => None,
+    };
+    let (mode, shards) = match census {
+        Some(per_stratum) => {
+            if flag_value(args, "--sample").is_some() {
+                return Err("--census and --sample are mutually exclusive".into());
+            }
+            let classes: Vec<String> = match flag_value(args, "--classes") {
+                Some(v) => v
+                    .split(';')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect(),
+                None => Vec::new(),
+            };
+            // One shard per stratum: the w tap counts, then the classes.
+            let shards = width as u64 + classes.len() as u64;
+            (
+                Mode::Census {
+                    per_stratum,
+                    classes,
+                },
+                shards,
+            )
+        }
+        None => {
+            let mode = match flag_value(args, "--sample") {
+                Some(v) => Mode::Sampled {
+                    per_shard: v
+                        .parse()
+                        .map_err(|_| format!("bad value {v:?} for --sample"))?,
+                },
+                None => Mode::Exhaustive,
+            };
+            (mode, parse_or(args, "--shards", 16)?)
+        }
+    };
+    Ok(CampaignConfig {
+        width,
+        shards,
+        seed: parse_or(args, "--seed", 1)?,
+        mode,
+        min_hd: parse_or(args, "--min-hd", 4)?,
+        target_lengths: lengths,
+        ber_grid,
+        max_weight: parse_or(args, "--max-weight", 8)?,
+    })
+}
+
+fn open_or_create(dir: &Path, args: &[String]) -> Result<Campaign, String> {
+    if dir.join("campaign.json").exists() {
+        Campaign::open(dir).map_err(|e| e.to_string())
+    } else {
+        Campaign::create(dir, config_from_args(args)?).map_err(|e| e.to_string())
+    }
+}
+
 fn drive(campaign: &mut Campaign, threads: usize, stop: Option<u64>) -> Result<(), String> {
     let (done, total) = campaign.progress();
     eprintln!(
@@ -88,36 +228,7 @@ fn drive(campaign: &mut Campaign, threads: usize, stop: Option<u64>) -> Result<(
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let dir = require_dir(args)?;
-    let width: u32 = parse_or(args, "--width", 0)?;
-    if width == 0 {
-        return Err("--width is required".into());
-    }
-    let lengths: Vec<u32> = match flag_value(args, "--lengths") {
-        Some(v) => parse_list(&v, "length")?,
-        None => vec![64, 256, 1024],
-    };
-    let ber_grid: Vec<f64> = match flag_value(args, "--ber") {
-        Some(v) => parse_list(&v, "BER")?,
-        None => vec![1e-5, 1e-6],
-    };
-    let mode = match flag_value(args, "--sample") {
-        Some(v) => Mode::Sampled {
-            per_shard: v
-                .parse()
-                .map_err(|_| format!("bad value {v:?} for --sample"))?,
-        },
-        None => Mode::Exhaustive,
-    };
-    let config = CampaignConfig {
-        width,
-        shards: parse_or(args, "--shards", 16)?,
-        seed: parse_or(args, "--seed", 1)?,
-        mode,
-        min_hd: parse_or(args, "--min-hd", 4)?,
-        target_lengths: lengths,
-        ber_grid,
-        max_weight: parse_or(args, "--max-weight", 8)?,
-    };
+    let config = config_from_args(args)?;
     let mut campaign = Campaign::create(&dir, config).map_err(|e| e.to_string())?;
     drive(&mut campaign, threads_or_default(args)?, stop_after(args)?)
 }
@@ -131,6 +242,17 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
 fn cmd_report(args: &[String]) -> Result<(), String> {
     let dir = require_dir(args)?;
     let campaign = Campaign::open(&dir).map_err(|e| e.to_string())?;
+    let z: f64 = parse_or(args, "--z", Z95)?;
+    if matches!(campaign.config().mode, Mode::Census { .. }) {
+        let doc = census_report(&campaign, z).map_err(|e| e.to_string())?;
+        let out = flag_value(args, "--out")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| dir.join("census.json"));
+        std::fs::write(&out, doc.render()).map_err(|e| format!("write {}: {e}", out.display()))?;
+        print!("{}", render_census_table(&doc));
+        eprintln!("wrote {}", out.display());
+        return Ok(());
+    }
     let opts = LeaderboardOptions {
         top: parse_or(args, "--top", 5)?,
         spot_check_32: !args.iter().any(|a| a == "--no-spot-check"),
@@ -147,13 +269,142 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+enum Transport {
+    File(PathBuf),
+    Tcp(String),
+}
+
+fn transport_from_args(args: &[String]) -> Result<Transport, String> {
+    let spec = flag_value(args, "--transport")
+        .ok_or_else(|| "--transport is required (file:DIR or tcp:HOST:PORT)".to_string())?;
+    if let Some(dir) = spec.strip_prefix("file:") {
+        Ok(Transport::File(PathBuf::from(dir)))
+    } else if let Some(addr) = spec.strip_prefix("tcp:") {
+        Ok(Transport::Tcp(addr.to_string()))
+    } else {
+        Err(format!(
+            "bad transport {spec:?}: expected file:DIR or tcp:HOST:PORT"
+        ))
+    }
+}
+
+fn cmd_coordinate(args: &[String]) -> Result<(), String> {
+    let dir = require_dir(args)?;
+    let campaign = open_or_create(&dir, args)?;
+    let lease_ttl = Duration::from_secs(parse_or(args, "--lease-ttl", 300u64)?);
+    let linger = Duration::from_millis(parse_or(args, "--linger", 1_000u64)?);
+    let poll = Duration::from_millis(10);
+    let (done, total) = campaign.progress();
+    let mut coordinator = Coordinator::new(campaign, lease_ttl);
+    eprintln!(
+        "coordinating {}: {done}/{total} shards done, lease ttl {lease_ttl:?}",
+        dir.display()
+    );
+    let summary = match transport_from_args(args)? {
+        Transport::File(queue) => {
+            let mut server = FileQueueServer::new(&queue).map_err(|e| e.to_string())?;
+            coordinator.serve(&mut server, poll, linger)
+        }
+        Transport::Tcp(addr) => {
+            let mut server = TcpServer::bind(&addr).map_err(|e| e.to_string())?;
+            eprintln!(
+                "listening on {}",
+                server.local_addr().map_err(|e| e.to_string())?
+            );
+            coordinator.serve(&mut server, poll, linger)
+        }
+    }
+    .map_err(|e| e.to_string())?;
+    eprintln!(
+        "campaign complete: {} shards recorded, {} duplicates, {} leases re-issued, {} refusals",
+        summary.shards_recorded, summary.duplicates, summary.leases_expired, summary.refusals
+    );
+    Ok(())
+}
+
+fn cmd_work(args: &[String]) -> Result<(), String> {
+    let name = flag_value(args, "--name").unwrap_or_else(|| format!("w{}", std::process::id()));
+    let opts = crc_survey::worker::WorkerOptions {
+        name,
+        max_shards: match flag_value(args, "--max-shards") {
+            None => None,
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|_| format!("bad value {v:?} for --max-shards"))?,
+            ),
+        },
+    };
+    let summary = match transport_from_args(args)? {
+        Transport::File(queue) => {
+            let mut client = FileQueueClient::new(&queue, &opts.name).map_err(|e| e.to_string())?;
+            crc_survey::worker::run_worker(&mut client, &opts)
+        }
+        Transport::Tcp(addr) => {
+            let mut client = TcpClient::new(&addr);
+            crc_survey::worker::run_worker(&mut client, &opts)
+        }
+    }
+    .map_err(|e| e.to_string())?;
+    eprintln!(
+        "worker {} done: {} shards submitted ({} duplicates)",
+        opts.name, summary.shards_submitted, summary.duplicates
+    );
+    Ok(())
+}
+
+fn cmd_merge(args: &[String]) -> Result<(), String> {
+    let dir = require_dir(args)?;
+    let mut campaign = Campaign::open(&dir).map_err(|e| e.to_string())?;
+    let hash = campaign.config().content_hash();
+    // Everything that is not a recognized flag (or its value) is a log.
+    let mut logs = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--dir" {
+            i += 2;
+        } else {
+            logs.push(PathBuf::from(&args[i]));
+            i += 1;
+        }
+    }
+    if logs.is_empty() {
+        return Err("merge needs at least one shard-log file".into());
+    }
+    let (mut fresh, mut dup) = (0u64, 0u64);
+    for path in logs {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let doc = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let result =
+            ShardResult::from_json(&doc, hash).map_err(|e| format!("{}: {e}", path.display()))?;
+        if campaign
+            .record_shard(&result)
+            .map_err(|e| format!("{}: {e}", path.display()))?
+        {
+            fresh += 1;
+        } else {
+            dup += 1;
+        }
+    }
+    let (done, total) = campaign.progress();
+    eprintln!("merged {fresh} new shard logs ({dup} duplicates); {done}/{total} complete");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let outcome = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("resume") => cmd_resume(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
-        _ => Err("usage: survey <run|resume|report> --dir DIR [options]".into()),
+        Some("coordinate") => cmd_coordinate(&args[1..]),
+        Some("work") => cmd_work(&args[1..]),
+        Some("merge") => cmd_merge(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") => {
+            print!("{}", help_text());
+            return ExitCode::SUCCESS;
+        }
+        _ => Err(USAGE.into()),
     };
     match outcome {
         Ok(()) => ExitCode::SUCCESS,

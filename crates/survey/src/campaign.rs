@@ -12,14 +12,16 @@ use crc_hd::costmodel::engine_cost;
 use crc_hd::filter::hd_filter_in;
 use crc_hd::profile::HdProfile;
 use crc_hd::search::PolySpace;
+use crc_hd::workspace::MemoFact;
 use crc_hd::{GenPoly, SyndromeWorkspace};
 
 /// Version stamp written into every artifact; readers reject other
-/// versions instead of guessing.
-pub const FORMAT_VERSION: u64 = 1;
+/// versions instead of guessing. Version 2 added the stratified census
+/// mode and the persisted `d_min` memo on survivor records.
+pub const FORMAT_VERSION: u64 = 2;
 
 /// How a shard covers its slice of the polynomial space.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Mode {
     /// Every polynomial in the shard's range is screened.
     Exhaustive,
@@ -30,6 +32,21 @@ pub enum Mode {
     Sampled {
         /// Random draws per shard (duplicates collapse before screening).
         per_shard: u64,
+    },
+    /// Stratified sampled census: one shard per stratum, where the
+    /// strata are every feedback-tap count (tap count `t` has exactly
+    /// `C(width−1, t−1)` members, so estimates extrapolate exactly) plus
+    /// any named factorization classes ([`gf2poly::FactorClass`], whose
+    /// exact sizes the class machinery provides). Each stratum draws
+    /// from its own SplitMix64 stream; see [`crate::census`] for the
+    /// strata layout and the Wilson-interval extrapolation.
+    Census {
+        /// Random draws per stratum (duplicates collapse before
+        /// screening).
+        per_stratum: u64,
+        /// Factorization-class strata (signature strings like
+        /// `"{1,3,28}"`), screened in addition to the tap-count strata.
+        classes: Vec<String>,
     },
 }
 
@@ -103,9 +120,31 @@ impl CampaignConfig {
                 "ber_grid must be nonempty with every rate in (0, 0.5)".into(),
             ));
         }
-        if let Mode::Sampled { per_shard } = self.mode {
-            if per_shard == 0 {
-                return Err(Error::Config("sampled mode needs per_shard >= 1".into()));
+        match &self.mode {
+            Mode::Exhaustive => {}
+            Mode::Sampled { per_shard } => {
+                if *per_shard == 0 {
+                    return Err(Error::Config("sampled mode needs per_shard >= 1".into()));
+                }
+            }
+            Mode::Census {
+                per_stratum,
+                classes,
+            } => {
+                if *per_stratum == 0 {
+                    return Err(Error::Config("census mode needs per_stratum >= 1".into()));
+                }
+                crate::census::validate_classes(self.width, classes)?;
+                let strata = self.width as u64 + classes.len() as u64;
+                if self.shards != strata {
+                    return Err(Error::Config(format!(
+                        "census mode needs shards == strata count {strata} \
+                         (width {} tap strata + {} classes), found {}",
+                        self.width,
+                        classes.len(),
+                        self.shards
+                    )));
+                }
             }
         }
         Ok(())
@@ -126,9 +165,21 @@ impl CampaignConfig {
         PolySpace::new(self.width)
     }
 
-    /// The shard decomposition: contiguous offset ranges covering the
-    /// space exactly once, in shard order.
+    /// The shard decomposition. Exhaustive and sampled campaigns split
+    /// the enumeration into contiguous offset ranges covering the space
+    /// exactly once, in shard order; a census campaign has one unit per
+    /// stratum, whose range `0..per_stratum` counts draws rather than
+    /// offsets.
     pub fn work_units(&self) -> Vec<WorkUnit> {
+        if let Mode::Census { per_stratum, .. } = &self.mode {
+            return (0..self.shards)
+                .map(|shard| WorkUnit {
+                    shard,
+                    start: 0,
+                    end: *per_stratum,
+                })
+                .collect();
+        }
         let total = self.space().total();
         let chunk = total.div_ceil(self.shards);
         (0..self.shards)
@@ -154,9 +205,21 @@ impl CampaignConfig {
 
     /// The canonical JSON form (field order fixed).
     pub fn to_json(&self) -> Json {
-        let mode = match self.mode {
+        let mode = match &self.mode {
             Mode::Exhaustive => Json::Str("exhaustive".into()),
-            Mode::Sampled { per_shard } => Json::obj([("sampled_per_shard", Json::Int(per_shard))]),
+            Mode::Sampled { per_shard } => {
+                Json::obj([("sampled_per_shard", Json::Int(*per_shard))])
+            }
+            Mode::Census {
+                per_stratum,
+                classes,
+            } => Json::obj([
+                ("census_per_stratum", Json::Int(*per_stratum)),
+                (
+                    "census_classes",
+                    Json::Arr(classes.iter().map(|c| Json::Str(c.clone())).collect()),
+                ),
+            ]),
         };
         Json::obj([
             ("width", Json::Int(self.width as u64)),
@@ -192,6 +255,20 @@ impl CampaignConfig {
         let mode = match mode_v.as_str() {
             Some("exhaustive") => Mode::Exhaustive,
             Some(other) => return Err(Error::Parse(format!("unknown mode {other:?}"))),
+            None if mode_v.get("census_per_stratum").is_some() => Mode::Census {
+                per_stratum: require_u64(mode_v, "census_per_stratum")?,
+                classes: mode_v
+                    .require("census_classes")?
+                    .as_arr()
+                    .ok_or_else(|| Error::Parse("census_classes not an array".into()))?
+                    .iter()
+                    .map(|c| {
+                        c.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| Error::Parse("bad census class".into()))
+                    })
+                    .collect::<Result<Vec<String>>>()?,
+            },
             None => Mode::Sampled {
                 per_shard: require_u64(mode_v, "sampled_per_shard")?,
             },
@@ -279,6 +356,14 @@ pub struct SurvivorRecord {
     pub order: u128,
     /// `(w, d_min(w))` profile parts (`HdProfile::dmins`).
     pub dmins: Vec<(u32, u32)>,
+    /// The full `d_min` memo the screening funnel deposited
+    /// ([`SyndromeWorkspace::memo_facts`]): exact minimal degrees *and*
+    /// certified-clean ranges. Where `dmins` is the profile's censored
+    /// summary, this is the resumable state — seeding it back
+    /// ([`SurvivorRecord::reprofile_in`]) lets a second pass at longer
+    /// lengths (8k–64k bits) continue each weight's scan where the
+    /// campaign stopped instead of restarting from degree `w − 1`.
+    pub memo: Vec<(u32, MemoFact)>,
     /// Highest weight the profile explored.
     pub max_weight_explored: u32,
     /// Data length (bits) the weight counts below refer to.
@@ -343,6 +428,7 @@ impl SurvivorRecord {
             taps: engine_cost(g).taps,
             order: profile.order(),
             dmins: profile.dmins().to_vec(),
+            memo: ws.memo_facts(g),
             max_weight_explored: profile.max_weight_explored(),
             ref_len,
             w2,
@@ -380,6 +466,30 @@ impl SurvivorRecord {
             self.dmins.clone(),
             self.max_weight_explored,
         )?)
+    }
+
+    /// Recomputes the HD profile over `1..=max_len`, which — unlike
+    /// [`SurvivorRecord::profile`] — may exceed the campaign's explored
+    /// range: the record's persisted order and `d_min` memo are seeded
+    /// into `ws` first, so every weight's scan *resumes* from the degree
+    /// the campaign certified clean rather than restarting from `w − 1`.
+    /// This is the second-pass entry point for re-profiling survivors at
+    /// 8k–64k bits after a short-length census.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors from `crc-hd` (e.g. a weight ≥ 5
+    /// search exceeding its budget at very long lengths).
+    pub fn reprofile_in(
+        &self,
+        ws: &mut SyndromeWorkspace,
+        max_len: u32,
+        max_weight: u32,
+    ) -> Result<HdProfile> {
+        let g = self.poly();
+        ws.seed_order(&g, self.order);
+        ws.seed_memo(&g, &self.memo);
+        Ok(HdProfile::compute_in(ws, &g, max_len, max_weight)?)
     }
 
     /// The probability of an undetected error at `ref_len` under a BSC
@@ -429,6 +539,25 @@ impl SurvivorRecord {
                     self.dmins
                         .iter()
                         .map(|&(w, d)| Json::Arr(vec![Json::Int(w as u64), Json::Int(d as u64)]))
+                        .collect(),
+                ),
+            ),
+            (
+                "memo",
+                Json::Arr(
+                    self.memo
+                        .iter()
+                        .map(|&(w, fact)| {
+                            let (kind, val) = match fact {
+                                MemoFact::MinDegree(d) => ("min", d),
+                                MemoFact::ZeroBelow(t) => ("zero_below", t),
+                            };
+                            Json::Arr(vec![
+                                Json::Int(w as u64),
+                                Json::Str(kind.into()),
+                                Json::Int(val as u64),
+                            ])
+                        })
                         .collect(),
                 ),
             ),
@@ -488,6 +617,30 @@ impl SurvivorRecord {
                 ))
             })
             .collect::<Result<Vec<(u32, u32)>>>()?;
+        let memo = v
+            .require("memo")?
+            .as_arr()
+            .ok_or_else(|| Error::Parse("memo is not an array".into()))?
+            .iter()
+            .map(|entry| {
+                let entry = entry
+                    .as_arr()
+                    .filter(|e| e.len() == 3)
+                    .ok_or_else(|| Error::Parse("memo entry is not a triple".into()))?;
+                let w = entry[0]
+                    .as_u32()
+                    .ok_or_else(|| Error::Parse("bad memo weight".into()))?;
+                let val = entry[2]
+                    .as_u32()
+                    .ok_or_else(|| Error::Parse("bad memo value".into()))?;
+                let fact = match entry[1].as_str() {
+                    Some("min") => MemoFact::MinDegree(val),
+                    Some("zero_below") => MemoFact::ZeroBelow(val),
+                    other => return Err(Error::Parse(format!("bad memo kind {other:?}"))),
+                };
+                Ok((w, fact))
+            })
+            .collect::<Result<Vec<(u32, MemoFact)>>>()?;
         let rec = SurvivorRecord {
             koopman,
             width: require_u64(v, "width")? as u32,
@@ -499,6 +652,7 @@ impl SurvivorRecord {
             taps: require_u64(v, "taps")? as u32,
             order: parse_u128("order")?,
             dmins,
+            memo,
             max_weight_explored: require_u64(v, "max_weight_explored")? as u32,
             ref_len: require_u64(v, "ref_len")? as u32,
             w2: parse_u128("w2")?,

@@ -1,0 +1,541 @@
+//! The stratified sampled census: strata, per-stratum draws, and the
+//! Wilson-interval extrapolation to the full space.
+//!
+//! The paper's real subject is the 2³¹ space of 32-bit generators —
+//! far past what an exhaustive toy survey covers. The census mode
+//! ([`Mode::Census`]) replaces contiguous enumeration shards with one
+//! shard per *stratum* and extrapolates what the sample shows to the
+//! whole space:
+//!
+//! * **Tap-count strata.** A width-`r` generator in normal notation has
+//!   its constant bit fixed at 1 and `r − 1` free coefficient bits, so
+//!   the polynomials with exactly `t` feedback taps number
+//!   `C(r−1, t−1)` — an *exact* stratum size. Sampling uniformly inside
+//!   a stratum is combination unranking: draw an index below
+//!   `C(r−1, t−1)`, decode it to a set of tap positions. The `r` tap
+//!   strata partition the space, so their per-stratum estimates sum to
+//!   a full-space estimate. Taps are also the engine-cost axis, so the
+//!   strata double as the cost dimension of the frontier.
+//! * **Factorization-class strata.** The paper's Table 2 counts HD=6
+//!   survivors per irreducible-factorization class;
+//!   [`gf2poly::FactorClass`] supplies exact class sizes and uniform
+//!   member sampling, so named classes ride along as extra strata
+//!   (overlapping the tap strata — they refine the question, not the
+//!   partition, and are excluded from the totals row).
+//!
+//! Every stratum draws from its own SplitMix64 stream
+//! ([`crate::campaign::unit_seed`]), so a census campaign shards,
+//! checkpoints, resumes and distributes exactly like an exhaustive one.
+//!
+//! # Interpreting the estimates
+//!
+//! For a stratum of exact size `N` with `n` distinct sampled members of
+//! which `s` survive the screen (`HD ≥ min_hd` at the screen length),
+//! the report gives the observed density `s/n`, its Wilson score
+//! interval at the configured `z` (the same interval the simulator's
+//! Monte-Carlo statistics use — robust at the tiny densities and zero
+//! counts a census meets), and the extrapolated survivor counts
+//! `N · density` with `N · [low, high]` bounds. Per-target-length rows
+//! estimate the HD-boundary density the same way: the fraction still at
+//! `HD ≥ min_hd` at each leaderboard length. The totals row sums the
+//! tap strata; summed bounds are conservative when read jointly.
+
+use crate::campaign::{Mode, ShardResult, FORMAT_VERSION};
+use crate::engine::Campaign;
+use crate::json::Json;
+use crate::{Error, Result};
+use gf2poly::{FactorClass, SplitMix64};
+
+/// One census stratum: an exactly sized, uniformly sampleable subset of
+/// the polynomial space.
+#[derive(Debug, Clone)]
+pub enum Stratum {
+    /// All generators with exactly this many feedback taps
+    /// (`C(width−1, taps−1)` of them).
+    Taps(u32),
+    /// All generators with this irreducible-factorization signature.
+    Class(FactorClass),
+}
+
+impl Stratum {
+    /// Human-readable stratum label, used in reports.
+    pub fn label(&self) -> String {
+        match self {
+            Stratum::Taps(t) => format!("taps={t}"),
+            Stratum::Class(c) => format!("class={c}"),
+        }
+    }
+
+    /// Exact number of member polynomials for width `width`.
+    pub fn size(&self, width: u32) -> u128 {
+        match self {
+            Stratum::Taps(t) => binomial(width as u64 - 1, *t as u64 - 1),
+            Stratum::Class(c) => c.size(),
+        }
+    }
+
+    /// Draws one member uniformly, as a Koopman-notation value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates class-sampling errors; [`Error::Config`] if a sampled
+    /// class member does not form a valid generator (prevented by
+    /// [`validate_classes`]).
+    pub fn draw(&self, width: u32, rng: &mut SplitMix64) -> Result<u64> {
+        match self {
+            Stratum::Taps(t) => {
+                // Free coefficient bits in Koopman notation are
+                // 0..width−2 (normal bits 1..width−1 shifted down by
+                // the implicit +1); the top bit width−1 is always set.
+                let m = width as u64 - 1;
+                let k = *t as u64 - 1;
+                let idx = rng.next_below(binomial(m, k) as u64);
+                Ok((1u64 << (width - 1)) | unrank_combination(m, k, idx))
+            }
+            Stratum::Class(c) => {
+                let p = c
+                    .sample(rng)
+                    .map_err(|e| Error::Config(format!("class sample: {e}")))?;
+                let g = crc_hd::GenPoly::from_poly(p)
+                    .map_err(|e| Error::Config(format!("class member: {e}")))?;
+                Ok(g.koopman())
+            }
+        }
+    }
+}
+
+/// The deterministic strata layout of a census campaign: tap counts
+/// `1..=width` first (shard id = taps − 1), then the configured classes
+/// in config order.
+///
+/// # Errors
+///
+/// [`Error::Config`] when the campaign is not in census mode or a class
+/// signature fails to parse.
+pub fn strata(config: &crate::campaign::CampaignConfig) -> Result<Vec<Stratum>> {
+    let Mode::Census { classes, .. } = &config.mode else {
+        return Err(Error::Config("not a census campaign".into()));
+    };
+    let mut out: Vec<Stratum> = (1..=config.width).map(Stratum::Taps).collect();
+    for s in classes {
+        out.push(Stratum::Class(parse_class(config.width, s)?));
+    }
+    Ok(out)
+}
+
+fn parse_class(width: u32, s: &str) -> Result<FactorClass> {
+    let c = FactorClass::parse(s).map_err(|e| Error::Config(format!("census class {s:?}: {e}")))?;
+    if c.total_degree() != width {
+        return Err(Error::Config(format!(
+            "census class {s:?} has total degree {}, campaign width is {width}",
+            c.total_degree()
+        )));
+    }
+    Ok(c)
+}
+
+/// Validates census class signatures: parseable, canonical spelling,
+/// total degree equal to the campaign width, no duplicates.
+///
+/// # Errors
+///
+/// [`Error::Config`] naming the first offending signature.
+pub fn validate_classes(width: u32, classes: &[String]) -> Result<()> {
+    let mut seen = std::collections::BTreeSet::new();
+    for s in classes {
+        let c = parse_class(width, s)?;
+        let canonical = c.to_string();
+        if *s != canonical {
+            return Err(Error::Config(format!(
+                "census class {s:?} is not in canonical form (write {canonical:?})"
+            )));
+        }
+        if !seen.insert(canonical) {
+            return Err(Error::Config(format!("duplicate census class {s:?}")));
+        }
+    }
+    Ok(())
+}
+
+/// Exact binomial coefficient `C(n, k)` (ascending-factor form keeps
+/// every intermediate division exact). The census uses it for stratum
+/// sizes and unranking at `n ≤ 31`, far inside `u128` range.
+pub fn binomial(n: u64, k: u64) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let (n, k) = (n as u128, k as u128);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc * (n - k + i + 1) / (i + 1);
+    }
+    acc
+}
+
+/// Decodes combination index `idx` (in `0..C(m, k)`) to the bit mask of
+/// `k` set positions among `0..m` — the decreasing combinadic, so the
+/// map is a bijection and uniform indices give uniform combinations.
+pub fn unrank_combination(m: u64, k: u64, idx: u64) -> u64 {
+    debug_assert!((idx as u128) < binomial(m, k));
+    let mut idx = idx as u128;
+    let mut k = k;
+    let mut mask = 0u64;
+    for p in (0..m).rev() {
+        if k == 0 {
+            break;
+        }
+        let c = binomial(p, k);
+        if idx >= c {
+            idx -= c;
+            mask |= 1 << p;
+            k -= 1;
+        }
+    }
+    debug_assert_eq!(k, 0);
+    mask
+}
+
+/// The Wilson score interval around `s/n` at critical value `z`: the
+/// same interval netsim's Monte-Carlo statistics report, chosen for the
+/// same reason — it stays honest at the tiny densities and zero counts
+/// a census meets. Returns `(density, low, high)`; `(0, 0, 1)` when
+/// nothing was sampled.
+pub fn wilson(s: u64, n: u64, z: f64) -> (f64, f64, f64) {
+    if n == 0 {
+        return (0.0, 0.0, 1.0);
+    }
+    let nf = n as f64;
+    let p = s as f64 / nf;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / nf;
+    let center = (p + z2 / (2.0 * nf)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / nf + z2 / (4.0 * nf * nf)).sqrt();
+    // The bounds are exact at the extremes; snapping them hides the
+    // ±1 ulp the center−half cancellation would otherwise leak.
+    let low = if s == 0 {
+        0.0
+    } else {
+        (center - half).max(0.0)
+    };
+    let high = if s == n {
+        1.0
+    } else {
+        (center + half).min(1.0)
+    };
+    (p, low, high)
+}
+
+/// The critical value of the standard 95% interval.
+pub const Z95: f64 = 1.959_963_984_540_054;
+
+/// Builds the census report for a completed census campaign: one entry
+/// per stratum with densities, Wilson bounds at `z` and extrapolated
+/// survivor counts, per-target-length HD-boundary estimates, and a
+/// totals row summing the tap strata (which partition the space). The
+/// document is byte-deterministic for a given campaign and `z`.
+///
+/// # Errors
+///
+/// [`Error::Config`] when the campaign is not in census mode,
+/// [`Error::Incomplete`] before every stratum is checkpointed, and IO or
+/// parse errors from unreadable shard logs.
+pub fn census_report(campaign: &Campaign, z: f64) -> Result<Json> {
+    let config = campaign.config();
+    let strata = strata(config)?;
+    let (done, total) = campaign.progress();
+    if done != total {
+        return Err(Error::Incomplete { done, total });
+    }
+    let config_hash = config.content_hash();
+    let lengths = &config.target_lengths;
+    let tap_count = config.width as usize;
+
+    // Totals accumulate over the tap strata only — they partition the
+    // space; class strata overlap them.
+    let mut tot_sampled = 0u64;
+    let mut tot_survivors = 0u64;
+    let mut tot_est = vec![(0.0f64, 0.0f64, 0.0f64); lengths.len() + 1];
+
+    let mut rows = Vec::new();
+    for (i, stratum) in strata.iter().enumerate() {
+        let path = campaign.shard_log_path(i as u64);
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| Error::Io(format!("read {}: {e}", path.display())))?;
+        let result = ShardResult::from_json(&Json::parse(&text)?, config_hash)?;
+        let size = stratum.size(config.width);
+        let n = result.scanned;
+
+        // Survivor counts: index 0 is the screen itself, then one per
+        // target length (HD still ≥ min_hd there; profiles censored at
+        // max_weight report "above" as surviving, consistently with the
+        // screen's own verdict).
+        let mut counts = vec![0u64; lengths.len() + 1];
+        for rec in &result.survivors {
+            counts[0] += 1;
+            let profile = rec.profile(rec.ref_len)?;
+            for (j, &len) in lengths.iter().enumerate() {
+                if profile.hd_at(len).is_none_or(|hd| hd >= config.min_hd) {
+                    counts[j + 1] += 1;
+                }
+            }
+        }
+
+        let mut est = Vec::new();
+        for (j, &s) in counts.iter().enumerate() {
+            let (p, lo, hi) = wilson(s, n, z);
+            let sz = size as f64;
+            est.push((s, p, lo, hi, sz * p, sz * lo, sz * hi));
+            if i < tap_count {
+                tot_est[j].0 += sz * p;
+                tot_est[j].1 += sz * lo;
+                tot_est[j].2 += sz * hi;
+            }
+        }
+        if i < tap_count {
+            tot_sampled += n;
+            tot_survivors += counts[0];
+        }
+
+        let row_for = |label: &str, e: &(u64, f64, f64, f64, f64, f64, f64)| {
+            Json::obj([
+                ("at", Json::Str(label.to_string())),
+                ("survivors", Json::Int(e.0)),
+                ("density", Json::Num(e.1)),
+                ("density_low", Json::Num(e.2)),
+                ("density_high", Json::Num(e.3)),
+                ("est", Json::Num(e.4)),
+                ("est_low", Json::Num(e.5)),
+                ("est_high", Json::Num(e.6)),
+            ])
+        };
+        let mut length_rows = vec![row_for("screen", &est[0])];
+        for (j, &len) in lengths.iter().enumerate() {
+            length_rows.push(row_for(&format!("len={len}"), &est[j + 1]));
+        }
+        rows.push(Json::obj([
+            ("stratum", Json::Str(stratum.label())),
+            (
+                "kind",
+                Json::Str(
+                    match stratum {
+                        Stratum::Taps(_) => "taps",
+                        Stratum::Class(_) => "class",
+                    }
+                    .into(),
+                ),
+            ),
+            ("size", Json::Str(size.to_string())),
+            ("sampled", Json::Int(n)),
+            ("estimates", Json::Arr(length_rows)),
+        ]));
+    }
+
+    let space: u128 = strata
+        .iter()
+        .take(tap_count)
+        .map(|s| s.size(config.width))
+        .sum();
+    let mut total_rows = Vec::new();
+    let labels: Vec<String> = std::iter::once("screen".to_string())
+        .chain(lengths.iter().map(|l| format!("len={l}")))
+        .collect();
+    for (label, &(est, lo, hi)) in labels.iter().zip(&tot_est) {
+        total_rows.push(Json::obj([
+            ("at", Json::Str(label.clone())),
+            ("est", Json::Num(est)),
+            ("est_low", Json::Num(lo)),
+            ("est_high", Json::Num(hi)),
+        ]));
+    }
+
+    Ok(Json::obj([
+        ("format", Json::Str("crc-survey-census".into())),
+        ("version", Json::Int(FORMAT_VERSION)),
+        ("config_hash", Json::Str(format!("{config_hash:#018x}"))),
+        ("z", Json::Num(z)),
+        ("space", Json::Str(space.to_string())),
+        ("min_hd", Json::Int(config.min_hd as u64)),
+        ("screen_len", Json::Int(config.screen_len() as u64)),
+        ("strata", Json::Arr(rows)),
+        (
+            "totals",
+            Json::obj([
+                ("size", Json::Str(space.to_string())),
+                ("sampled", Json::Int(tot_sampled)),
+                ("survivors", Json::Int(tot_survivors)),
+                ("estimates", Json::Arr(total_rows)),
+            ]),
+        ),
+    ]))
+}
+
+/// Renders the census report as a text table (one line per stratum at
+/// the screen length, then the totals row).
+pub fn render_census_table(doc: &Json) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "census: survivors with HD >= {} at {} bits (z = {})",
+        doc.get("min_hd").and_then(Json::as_u64).unwrap_or(0),
+        doc.get("screen_len").and_then(Json::as_u64).unwrap_or(0),
+        doc.get("z").and_then(Json::as_f64).unwrap_or(0.0),
+    );
+    let _ = writeln!(
+        out,
+        "{:<18} {:>14} {:>8} {:>9} {:>12} {:>12} {:>12}",
+        "stratum", "size", "sampled", "survive", "est", "est_low", "est_high"
+    );
+    let strata = doc.get("strata").and_then(Json::as_arr).unwrap_or(&[]);
+    for row in strata {
+        let screen = row
+            .get("estimates")
+            .and_then(Json::as_arr)
+            .and_then(|e| e.first());
+        let Some(screen) = screen else { continue };
+        let _ = writeln!(
+            out,
+            "{:<18} {:>14} {:>8} {:>9} {:>12.1} {:>12.1} {:>12.1}",
+            row.get("stratum").and_then(Json::as_str).unwrap_or("?"),
+            row.get("size").and_then(Json::as_str).unwrap_or("?"),
+            row.get("sampled").and_then(Json::as_u64).unwrap_or(0),
+            screen.get("survivors").and_then(Json::as_u64).unwrap_or(0),
+            screen.get("est").and_then(Json::as_f64).unwrap_or(0.0),
+            screen.get("est_low").and_then(Json::as_f64).unwrap_or(0.0),
+            screen.get("est_high").and_then(Json::as_f64).unwrap_or(0.0),
+        );
+    }
+    if let Some(totals) = doc.get("totals") {
+        let screen = totals
+            .get("estimates")
+            .and_then(Json::as_arr)
+            .and_then(|e| e.first());
+        if let Some(screen) = screen {
+            let _ = writeln!(
+                out,
+                "{:<18} {:>14} {:>8} {:>9} {:>12.1} {:>12.1} {:>12.1}",
+                "TOTAL (taps)",
+                totals.get("size").and_then(Json::as_str).unwrap_or("?"),
+                totals.get("sampled").and_then(Json::as_u64).unwrap_or(0),
+                totals.get("survivors").and_then(Json::as_u64).unwrap_or(0),
+                screen.get("est").and_then(Json::as_f64).unwrap_or(0.0),
+                screen.get("est_low").and_then(Json::as_f64).unwrap_or(0.0),
+                screen.get("est_high").and_then(Json::as_f64).unwrap_or(0.0),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::CampaignConfig;
+
+    #[test]
+    fn tap_strata_partition_the_space() {
+        for width in [3u32, 8, 13, 16, 32] {
+            let total: u128 = (1..=width).map(|t| Stratum::Taps(t).size(width)).sum();
+            assert_eq!(total, 1u128 << (width - 1), "width {width}");
+        }
+    }
+
+    #[test]
+    fn unranking_is_a_bijection() {
+        let (m, k) = (7u64, 3u64);
+        let n = binomial(m, k) as u64;
+        let mut seen = std::collections::BTreeSet::new();
+        for idx in 0..n {
+            let mask = unrank_combination(m, k, idx);
+            assert_eq!(mask.count_ones() as u64, k);
+            assert!(mask < 1 << m);
+            assert!(seen.insert(mask), "duplicate combination {mask:#b}");
+        }
+        assert_eq!(seen.len() as u64, n);
+    }
+
+    #[test]
+    fn tap_draws_land_in_their_stratum() {
+        let mut rng = SplitMix64::new(7);
+        for t in 1..=13u32 {
+            let s = Stratum::Taps(t);
+            for _ in 0..50 {
+                let k = s.draw(13, &mut rng).unwrap();
+                let g = crc_hd::GenPoly::from_koopman(13, k).unwrap();
+                assert_eq!(crc_hd::costmodel::engine_cost(&g).taps, t);
+            }
+        }
+    }
+
+    #[test]
+    fn class_draws_land_in_their_class() {
+        let c = parse_class(13, "{1,12}").unwrap();
+        let s = Stratum::Class(c);
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..20 {
+            let k = s.draw(13, &mut rng).unwrap();
+            let g = crc_hd::GenPoly::from_koopman(13, k).unwrap();
+            let sig = gf2poly::factor(g.to_poly()).signature().to_string();
+            assert_eq!(sig, "{1,12}");
+        }
+    }
+
+    #[test]
+    fn wilson_interval_is_sane() {
+        assert_eq!(wilson(0, 0, Z95), (0.0, 0.0, 1.0));
+        let (p, lo, hi) = wilson(0, 100, Z95);
+        assert_eq!(p, 0.0);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.05);
+        let (p, lo, hi) = wilson(100, 100, Z95);
+        assert_eq!(p, 1.0);
+        assert!(lo > 0.95 && hi == 1.0);
+        let (p, lo, hi) = wilson(10, 100, Z95);
+        assert!(lo < p && p < hi, "{lo} < {p} < {hi}");
+        // Wider z widens the interval.
+        let (_, lo3, hi3) = wilson(10, 100, 3.0);
+        assert!(lo3 < lo && hi3 > hi);
+    }
+
+    #[test]
+    fn class_validation_rejects_bad_signatures() {
+        assert!(validate_classes(13, &["{1,12}".into()]).is_ok());
+        assert!(validate_classes(13, &["{1,11}".into()]).is_err(), "degree");
+        assert!(validate_classes(13, &["nope".into()]).is_err(), "parse");
+        assert!(
+            validate_classes(13, &["{12,1}".into()]).is_err(),
+            "canonical spelling"
+        );
+        assert!(
+            validate_classes(13, &["{1,12}".into(), "{1,12}".into()]).is_err(),
+            "duplicate"
+        );
+    }
+
+    #[test]
+    fn census_config_validates_strata_count() {
+        let mut c = CampaignConfig {
+            width: 13,
+            shards: 13,
+            seed: 1,
+            mode: Mode::Census {
+                per_stratum: 10,
+                classes: vec![],
+            },
+            min_hd: 4,
+            target_lengths: vec![64],
+            ber_grid: vec![1e-5],
+            max_weight: 6,
+        };
+        assert!(c.validate().is_ok());
+        c.shards = 12;
+        assert!(c.validate().is_err(), "shards must equal strata");
+        c.shards = 14;
+        c.mode = Mode::Census {
+            per_stratum: 10,
+            classes: vec!["{1,12}".into()],
+        };
+        assert!(c.validate().is_ok());
+    }
+}

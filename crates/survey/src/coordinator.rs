@@ -1,0 +1,344 @@
+//! The campaign coordinator: owns the manifest, leases shards, merges
+//! submissions.
+//!
+//! A coordinator wraps an open [`Campaign`] and answers the protocol of
+//! [`crate::transport`]:
+//!
+//! * [`Request::Hello`] → the campaign config + content hash, so workers
+//!   need no local copy of anything but the queue address;
+//! * [`Request::Lease`] → the lowest-numbered pending, unleased shard,
+//!   stamped with a lease deadline. A worker that dies mid-lease simply
+//!   stops renewing: once the deadline passes the shard is handed to the
+//!   next asker. Because unit results are pure in `(config, shard id)`,
+//!   re-running a shard is always safe;
+//! * [`Request::Submit`] → the shard log is parsed and recorded through
+//!   [`Campaign::record_shard`] — the exact write path (and therefore
+//!   the exact bytes) of a single-host run. Duplicate submissions from
+//!   zombie workers are idempotent; conflicting bytes are refused.
+//!
+//! All decisions live in [`Coordinator::handle`], which takes the
+//! current time as an argument so lease expiry is testable without
+//! sleeping. [`Coordinator::serve`] is the production loop: poll the
+//! transport, sleep when idle, exit shortly after the campaign
+//! completes.
+
+use crate::campaign::ShardResult;
+use crate::engine::Campaign;
+use crate::transport::{Reply, Request, ServeTransport};
+use crate::Result;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Backoff hint sent with [`Reply::Wait`].
+const WAIT_BACKOFF_MS: u64 = 100;
+
+/// Tallies of coordinator activity, reported when [`Coordinator::serve`]
+/// returns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoordSummary {
+    /// Shard logs recorded for the first time.
+    pub shards_recorded: u64,
+    /// Idempotent duplicate submissions (byte-identical resubmits).
+    pub duplicates: u64,
+    /// Leases that expired and were returned to the pending pool.
+    pub leases_expired: u64,
+    /// Submissions refused (wrong campaign, conflicting bytes,
+    /// malformed logs).
+    pub refusals: u64,
+}
+
+/// The coordinator state machine.
+#[derive(Debug)]
+pub struct Coordinator {
+    campaign: Campaign,
+    lease_ttl: Duration,
+    leases: HashMap<u64, (String, Instant)>,
+    summary: CoordSummary,
+}
+
+impl Coordinator {
+    /// Wraps `campaign`; shards leased out and not submitted within
+    /// `lease_ttl` are re-issued.
+    pub fn new(campaign: Campaign, lease_ttl: Duration) -> Coordinator {
+        Coordinator {
+            campaign,
+            lease_ttl,
+            leases: HashMap::new(),
+            summary: CoordSummary::default(),
+        }
+    }
+
+    /// The underlying campaign.
+    pub fn campaign(&self) -> &Campaign {
+        &self.campaign
+    }
+
+    /// Activity counters so far.
+    pub fn summary(&self) -> CoordSummary {
+        self.summary
+    }
+
+    /// Shards currently leased out, ascending.
+    pub fn leased_shards(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.leases.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn expire_leases(&mut self, now: Instant) {
+        let before = self.leases.len();
+        self.leases.retain(|_, (_, deadline)| *deadline > now);
+        self.summary.leases_expired += (before - self.leases.len()) as u64;
+    }
+
+    /// Answers one request as of `now` (injected for testable expiry).
+    pub fn handle(&mut self, req: Request, now: Instant) -> Reply {
+        match req {
+            Request::Hello { .. } => Reply::Welcome {
+                config: self.campaign.config().to_json(),
+                config_hash: format!("{:#018x}", self.campaign.config().content_hash()),
+            },
+            Request::Lease { worker } => {
+                if self.campaign.is_complete() {
+                    return Reply::Done;
+                }
+                self.expire_leases(now);
+                let next = self
+                    .campaign
+                    .pending_shards()
+                    .into_iter()
+                    .find(|s| !self.leases.contains_key(s));
+                match next {
+                    Some(shard) => {
+                        self.leases.insert(shard, (worker, now + self.lease_ttl));
+                        let unit = self.campaign.config().work_units()[shard as usize];
+                        Reply::Assign {
+                            shard,
+                            start: unit.start,
+                            end: unit.end,
+                        }
+                    }
+                    None => Reply::Wait {
+                        backoff_ms: WAIT_BACKOFF_MS,
+                    },
+                }
+            }
+            Request::Submit { worker: _, log } => {
+                let hash = self.campaign.config().content_hash();
+                let recorded = ShardResult::from_json(&log, hash)
+                    .and_then(|r| Ok((r.unit.shard, self.campaign.record_shard(&r)?)));
+                match recorded {
+                    Ok((shard, fresh)) => {
+                        self.leases.remove(&shard);
+                        if fresh {
+                            self.summary.shards_recorded += 1;
+                        } else {
+                            self.summary.duplicates += 1;
+                        }
+                        Reply::Accepted {
+                            shard,
+                            fresh,
+                            complete: self.campaign.is_complete(),
+                        }
+                    }
+                    Err(e) => {
+                        self.summary.refusals += 1;
+                        Reply::Refused {
+                            reason: e.to_string(),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Serves `transport` until the campaign completes, then lingers
+    /// for `linger` so workers parked in [`Reply::Wait`] backoff can
+    /// still learn it is [`Reply::Done`]. Sleeps `poll` between empty
+    /// polls.
+    ///
+    /// # Errors
+    ///
+    /// Transport-level failures from
+    /// [`ServeTransport::serve_one`]; per-request problems are answered
+    /// with [`Reply::Refused`] and never end the loop.
+    pub fn serve(
+        &mut self,
+        transport: &mut dyn ServeTransport,
+        poll: Duration,
+        linger: Duration,
+    ) -> Result<CoordSummary> {
+        let mut complete_since: Option<Instant> = None;
+        loop {
+            let served = transport.serve_one(&mut |req| self.handle(req, Instant::now()))?;
+            if self.campaign.is_complete() {
+                let since = *complete_since.get_or_insert_with(Instant::now);
+                if !served && since.elapsed() >= linger {
+                    return Ok(self.summary);
+                }
+            }
+            if !served {
+                std::thread::sleep(poll);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{CampaignConfig, Mode};
+    use crate::engine::{evaluate_unit, UnitScratch};
+    use crate::json::Json;
+
+    fn test_config() -> CampaignConfig {
+        CampaignConfig {
+            width: 10,
+            shards: 3,
+            seed: 11,
+            mode: Mode::Exhaustive,
+            min_hd: 4,
+            target_lengths: vec![16, 64],
+            ber_grid: vec![1e-5],
+            max_weight: 6,
+        }
+    }
+
+    fn fresh_coordinator(tag: &str, ttl: Duration) -> (Coordinator, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!("crc-coord-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let campaign = Campaign::create(&dir, test_config()).unwrap();
+        (Coordinator::new(campaign, ttl), dir)
+    }
+
+    fn shard_log(config: &CampaignConfig, shard: u64) -> Json {
+        let unit = config.work_units()[shard as usize];
+        let result = evaluate_unit(config, unit, &mut UnitScratch::default()).unwrap();
+        result.to_json(config.content_hash())
+    }
+
+    #[test]
+    fn leases_expire_and_reissue() {
+        let (mut coord, dir) = fresh_coordinator("expire", Duration::from_secs(5));
+        let t0 = Instant::now();
+        // Worker a takes shard 0 and dies.
+        let r = coord.handle(Request::Lease { worker: "a".into() }, t0);
+        assert!(matches!(r, Reply::Assign { shard: 0, .. }));
+        // While the lease lives, worker b is routed around shard 0.
+        let r = coord.handle(Request::Lease { worker: "b".into() }, t0);
+        assert!(matches!(r, Reply::Assign { shard: 1, .. }));
+        let r = coord.handle(Request::Lease { worker: "b".into() }, t0);
+        assert!(matches!(r, Reply::Assign { shard: 2, .. }));
+        let r = coord.handle(Request::Lease { worker: "b".into() }, t0);
+        assert!(matches!(r, Reply::Wait { .. }));
+        // Past the deadline, shard 0 is re-issued.
+        let late = t0 + Duration::from_secs(6);
+        let r = coord.handle(Request::Lease { worker: "b".into() }, late);
+        assert!(matches!(r, Reply::Assign { shard: 0, .. }));
+        assert_eq!(coord.summary().leases_expired, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_submissions_are_idempotent() {
+        let (mut coord, dir) = fresh_coordinator("dup", Duration::from_secs(5));
+        let config = coord.campaign().config().clone();
+        let now = Instant::now();
+        let log = shard_log(&config, 1);
+        let r = coord.handle(
+            Request::Submit {
+                worker: "a".into(),
+                log: log.clone(),
+            },
+            now,
+        );
+        assert_eq!(
+            r,
+            Reply::Accepted {
+                shard: 1,
+                fresh: true,
+                complete: false
+            }
+        );
+        // The zombie resubmits the identical unit: accepted, not fresh,
+        // artifacts untouched.
+        let before = std::fs::read_to_string(coord.campaign().shard_log_path(1)).unwrap();
+        let r = coord.handle(
+            Request::Submit {
+                worker: "zombie".into(),
+                log,
+            },
+            now,
+        );
+        assert_eq!(
+            r,
+            Reply::Accepted {
+                shard: 1,
+                fresh: false,
+                complete: false
+            }
+        );
+        let after = std::fs::read_to_string(coord.campaign().shard_log_path(1)).unwrap();
+        assert_eq!(before, after);
+        assert_eq!(coord.summary().duplicates, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn conflicting_or_foreign_submissions_are_refused() {
+        let (mut coord, dir) = fresh_coordinator("refuse", Duration::from_secs(5));
+        let now = Instant::now();
+        // A log from a different campaign (wrong hash) is refused.
+        let mut other = test_config();
+        other.seed = 999;
+        let foreign = shard_log(&other, 0);
+        let r = coord.handle(
+            Request::Submit {
+                worker: "a".into(),
+                log: foreign,
+            },
+            now,
+        );
+        assert!(matches!(r, Reply::Refused { .. }));
+        assert_eq!(coord.summary().refusals, 1);
+        assert_eq!(coord.campaign().pending_shards(), vec![0, 1, 2]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn full_protocol_completes_a_campaign() {
+        let (mut coord, dir) = fresh_coordinator("full", Duration::from_secs(60));
+        let now = Instant::now();
+        let Reply::Welcome {
+            config,
+            config_hash,
+        } = coord.handle(Request::Hello { worker: "w".into() }, now)
+        else {
+            panic!("expected welcome")
+        };
+        let config = CampaignConfig::from_json(&config).unwrap();
+        assert_eq!(config_hash, format!("{:#018x}", config.content_hash()));
+        let mut scratch = UnitScratch::default();
+        loop {
+            match coord.handle(Request::Lease { worker: "w".into() }, Instant::now()) {
+                Reply::Assign { shard, .. } => {
+                    let unit = config.work_units()[shard as usize];
+                    let result = evaluate_unit(&config, unit, &mut scratch).unwrap();
+                    let r = coord.handle(
+                        Request::Submit {
+                            worker: "w".into(),
+                            log: result.to_json(config.content_hash()),
+                        },
+                        Instant::now(),
+                    );
+                    assert!(matches!(r, Reply::Accepted { fresh: true, .. }));
+                }
+                Reply::Done => break,
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+        assert!(coord.campaign().is_complete());
+        assert_eq!(coord.summary().shards_recorded, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -6,7 +6,7 @@
 //! the checkpoint's completed set), then spawns a scoped worker pool.
 //! Workers claim pending units through one atomic counter (the same
 //! claim-by-index idiom as netsim's shard pool and `core::search`); each
-//! worker carries its own scratch ([`Scratch`]) so per-unit allocations
+//! worker carries its own scratch ([`UnitScratch`]) so per-unit allocations
 //! are reused across the units it processes. A unit's result depends
 //! only on `(config, shard id)` — never on thread count, claim order, or
 //! what other units ran in the same process — which is the whole
@@ -129,6 +129,14 @@ impl Campaign {
         self.checkpoint.completed.len() as u64 == self.checkpoint.config.shards
     }
 
+    /// Shard ids not yet checkpointed, ascending — what a coordinator
+    /// still has to hand out.
+    pub fn pending_shards(&self) -> Vec<u64> {
+        (0..self.checkpoint.config.shards)
+            .filter(|s| !self.checkpoint.completed.contains(s))
+            .collect()
+    }
+
     /// Path of one shard's survivor log.
     pub fn shard_log_path(&self, shard: u64) -> PathBuf {
         shard_log_path_in(&self.dir, shard)
@@ -167,7 +175,7 @@ impl Campaign {
         crossbeam::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|_| {
-                    let mut scratch = Scratch::default();
+                    let mut scratch = UnitScratch::default();
                     loop {
                         // Claim one unit of allowance, then one unit.
                         if allowance
@@ -184,7 +192,7 @@ impl Campaign {
                         }
                         let unit = pending[idx];
                         let outcome =
-                            process_unit(&config, unit, &mut scratch).and_then(|result| {
+                            evaluate_unit(&config, unit, &mut scratch).and_then(|result| {
                                 write_atomic(
                                     &shard_log_path_in(dir, unit.shard),
                                     &result.to_json(config_hash).render(),
@@ -247,6 +255,53 @@ impl Campaign {
         Ok(out)
     }
 
+    /// Records one shard's result — the coordinator's merge path,
+    /// sharing the byte-for-byte write protocol of [`Campaign::run`]
+    /// (shard log atomically first, then the manifest). Idempotent:
+    /// resubmitting an already checkpointed shard succeeds when the
+    /// bytes match (deterministic work units always match) and returns
+    /// `false`; a conflicting resubmission is refused without touching
+    /// the artifacts.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] for a shard id outside the campaign or a
+    /// result that conflicts with the checkpointed log; IO errors from
+    /// the writes.
+    pub fn record_shard(&mut self, result: &ShardResult) -> Result<bool> {
+        let shard = result.unit.shard;
+        let config = &self.checkpoint.config;
+        if shard >= config.shards {
+            return Err(Error::Config(format!(
+                "shard {shard} outside 0..{}",
+                config.shards
+            )));
+        }
+        let expect = config.work_units()[shard as usize];
+        if result.unit != expect {
+            return Err(Error::Config(format!(
+                "shard {shard} covers {}..{}, campaign expects {}..{}",
+                result.unit.start, result.unit.end, expect.start, expect.end
+            )));
+        }
+        let bytes = result.to_json(config.content_hash()).render();
+        let path = self.shard_log_path(shard);
+        if self.checkpoint.completed.contains(&shard) {
+            let existing = std::fs::read_to_string(&path)
+                .map_err(|e| Error::Io(format!("read {}: {e}", path.display())))?;
+            if existing == bytes {
+                return Ok(false);
+            }
+            return Err(Error::Config(format!(
+                "shard {shard} resubmitted with different contents than its checkpointed log"
+            )));
+        }
+        write_atomic(&path, &bytes)?;
+        self.checkpoint.completed.insert(shard);
+        self.write_checkpoint()?;
+        Ok(true)
+    }
+
     fn write_checkpoint(&self) -> Result<()> {
         write_atomic(
             &self.dir.join("campaign.json"),
@@ -278,38 +333,47 @@ fn write_atomic(path: &Path, contents: &str) -> Result<()> {
 /// sampled-mode offset list live across all units a worker processes,
 /// and so does the syndrome workspace — every candidate's filter →
 /// profile → weights funnel runs over one set of allocations, rebound
-/// (not reallocated) per candidate.
+/// (not reallocated) per candidate. One per local worker thread, one
+/// per remote [`crate::worker`] loop.
 #[derive(Default)]
-struct Scratch {
+pub struct UnitScratch {
     survivors: Vec<SurvivorRecord>,
     offsets: Vec<u64>,
     ws: crc_hd::SyndromeWorkspace,
 }
 
-/// Processes one work unit: pure in `(config, unit)`.
-fn process_unit(
+/// Processes one work unit: pure in `(config, unit)` — never affected
+/// by thread count, claim order, host, or transport, which is the whole
+/// determinism story. Exposed so [`crate::worker`] runs the exact code
+/// path the local pool runs.
+///
+/// # Errors
+///
+/// Propagates evaluation errors from `crc-hd`.
+pub fn evaluate_unit(
     config: &CampaignConfig,
     unit: WorkUnit,
-    scratch: &mut Scratch,
+    scratch: &mut UnitScratch,
 ) -> Result<ShardResult> {
     let space = config.space();
     scratch.survivors.clear();
     let mut scanned = 0u64;
     let mut canonical = 0u64;
 
-    let screen = |g: &crc_hd::GenPoly, scratch: &mut Scratch, canonical: &mut u64| -> Result<()> {
-        // One member per reciprocal pair, as in the paper's search.
-        if g.koopman() > g.reciprocal().koopman() {
-            return Ok(());
-        }
-        *canonical += 1;
-        if let Some(rec) = SurvivorRecord::screen_in(g, config, &mut scratch.ws)? {
-            scratch.survivors.push(rec);
-        }
-        Ok(())
-    };
+    let screen =
+        |g: &crc_hd::GenPoly, scratch: &mut UnitScratch, canonical: &mut u64| -> Result<()> {
+            // One member per reciprocal pair, as in the paper's search.
+            if g.koopman() > g.reciprocal().koopman() {
+                return Ok(());
+            }
+            *canonical += 1;
+            if let Some(rec) = SurvivorRecord::screen_in(g, config, &mut scratch.ws)? {
+                scratch.survivors.push(rec);
+            }
+            Ok(())
+        };
 
-    match config.mode {
+    match &config.mode {
         Mode::Exhaustive => {
             for g in space.iter_range(unit.start, unit.end) {
                 scanned += 1;
@@ -324,7 +388,7 @@ fn process_unit(
             let span = unit.end - unit.start;
             if span > 0 {
                 let mut rng = SplitMix64::new(unit_seed(config.seed, unit.shard, STREAM_SAMPLE));
-                for _ in 0..per_shard {
+                for _ in 0..*per_shard {
                     scratch.offsets.push(unit.start + rng.next_below(span));
                 }
                 scratch.offsets.sort_unstable();
@@ -333,6 +397,35 @@ fn process_unit(
                     let offset = scratch.offsets[i];
                     scanned += 1;
                     screen(&space.nth(offset), scratch, &mut canonical)?;
+                }
+            }
+        }
+        Mode::Census { per_stratum, .. } => {
+            // One shard per stratum; each draws from its own stream and
+            // screens *every* distinct draw — density estimates cover
+            // the whole stratum, so there is no reciprocal skip here
+            // (`canonical` still counts the canonical-form members, for
+            // the record).
+            let stratum = crate::census::strata(config)?
+                .into_iter()
+                .nth(unit.shard as usize)
+                .ok_or_else(|| Error::Config(format!("shard {} has no stratum", unit.shard)))?;
+            let mut rng = SplitMix64::new(unit_seed(config.seed, unit.shard, STREAM_SAMPLE));
+            scratch.offsets.clear();
+            for _ in 0..*per_stratum {
+                scratch.offsets.push(stratum.draw(config.width, &mut rng)?);
+            }
+            scratch.offsets.sort_unstable();
+            scratch.offsets.dedup();
+            for i in 0..scratch.offsets.len() {
+                let g = crc_hd::GenPoly::from_koopman(config.width, scratch.offsets[i])
+                    .map_err(|e| Error::Config(format!("census draw: {e}")))?;
+                scanned += 1;
+                if g.koopman() <= g.reciprocal().koopman() {
+                    canonical += 1;
+                }
+                if let Some(rec) = SurvivorRecord::screen_in(&g, config, &mut scratch.ws)? {
+                    scratch.survivors.push(rec);
                 }
             }
         }

@@ -128,6 +128,46 @@ impl Json {
         out
     }
 
+    /// Renders on a single line with no newline — the form the
+    /// line-delimited transports ship (string escaping keeps embedded
+    /// newlines out of the output). Parsing the result reproduces the
+    /// value exactly, like [`Json::render`].
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null | Json::Bool(_) | Json::Int(_) | Json::Num(_) | Json::Str(_) => {
+                self.write_value(out, 0)
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    v.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write_string(out, k);
+                    out.push_str(": ");
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write_value(&self, out: &mut String, depth: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -453,6 +493,23 @@ mod tests {
         assert_eq!(back, doc);
         // Render → parse → render is a fixed point (byte determinism).
         assert_eq!(back.render(), text);
+    }
+
+    #[test]
+    fn compact_render_is_one_line_and_round_trips() {
+        let doc = Json::obj([
+            ("type", Json::Str("submit".into())),
+            ("note", Json::Str("line\nbreak".into())),
+            ("ids", Json::Arr(vec![Json::Int(1), Json::Int(2)])),
+            (
+                "nested",
+                Json::obj([("empty", Json::Arr(vec![])), ("obj", Json::obj([]))]),
+            ),
+            ("x", Json::Num(1.5)),
+        ]);
+        let line = doc.render_compact();
+        assert!(!line.contains('\n'), "{line:?}");
+        assert_eq!(Json::parse(&line).unwrap(), doc);
     }
 
     #[test]

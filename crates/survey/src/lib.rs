@@ -79,16 +79,38 @@
 //! std::fs::remove_dir_all(&dir).unwrap();
 //! ```
 //!
+//! # Going distributed
+//!
+//! Because work units are pure in `(config, shard id)` and artifacts
+//! are byte-deterministic, the single-host pool generalizes to many
+//! hosts without touching the formats: a [`coordinator`] owns the
+//! manifest and leases shards over a pluggable [`transport`] (a shared
+//! file-queue directory, or line-delimited JSON over TCP) to
+//! [`worker`] loops that run [`engine::evaluate_unit`] — the exact
+//! code path of the local pool — and stream shard logs back. Lease
+//! expiry re-issues a dead worker's shards; duplicate submissions are
+//! idempotent because recomputing a unit reproduces its bytes. The
+//! merged campaign directory is byte-identical to a single-host run.
+//!
+//! The [`census`] module adds the stratified sampled census over the
+//! spaces too large to enumerate, with exact stratum sizes and
+//! Wilson-interval extrapolation; see `docs/CENSUS.md` for the
+//! operator runbook.
+//!
 //! [`PolySpace`]: crc_hd::search::PolySpace
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod campaign;
+pub mod census;
+pub mod coordinator;
 pub mod engine;
 pub mod json;
 pub mod leaderboard;
 pub mod pareto;
+pub mod transport;
+pub mod worker;
 
 pub use campaign::{CampaignConfig, Mode, SurvivorRecord};
 pub use engine::{Campaign, RunSummary};

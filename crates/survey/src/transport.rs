@@ -1,0 +1,783 @@
+//! Pluggable coordinator↔worker message transport.
+//!
+//! The distributed campaign protocol is a plain request/reply exchange
+//! of JSON documents; this module defines the messages and two wire
+//! implementations with identical semantics:
+//!
+//! * **File queue** ([`FileQueueClient`] / [`FileQueueServer`]) — a
+//!   shared directory (NFS-friendly, no ports, trivially debuggable):
+//!   workers drop request files into `inbox/` with an atomic rename and
+//!   poll `outbox/<worker>/` for the matching reply file. Sequence
+//!   numbers in the file names pair requests with replies.
+//! * **TCP** ([`TcpClient`] / [`TcpServer`]) — line-delimited JSON over
+//!   `std::net`: one connection per request, one compact-rendered
+//!   request line in, one reply line back.
+//!
+//! Both sides see only the [`Request`]/[`Reply`] enums; the coordinator
+//! serves any [`ServeTransport`], a worker drives any
+//! [`WorkerTransport`]. Transport choice never affects campaign
+//! artifacts — work units are pure in `(config, shard id)` and the
+//! coordinator re-renders submissions through the same schema types the
+//! single-host engine writes.
+
+use crate::json::Json;
+use crate::{Error, Result};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// A worker-originated protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// First contact: asks for the campaign configuration.
+    Hello {
+        /// The worker's self-chosen name (file-name safe).
+        worker: String,
+    },
+    /// Asks for a shard lease.
+    Lease {
+        /// The requesting worker.
+        worker: String,
+    },
+    /// Submits one completed shard log (the full shard-log document).
+    Submit {
+        /// The submitting worker.
+        worker: String,
+        /// The shard-log JSON document.
+        log: Json,
+    },
+}
+
+impl Request {
+    /// The worker name carried by any request.
+    pub fn worker(&self) -> &str {
+        match self {
+            Request::Hello { worker } | Request::Lease { worker } => worker,
+            Request::Submit { worker, .. } => worker,
+        }
+    }
+
+    /// The wire form.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Hello { worker } => Json::obj([
+                ("type", Json::Str("hello".into())),
+                ("worker", Json::Str(worker.clone())),
+            ]),
+            Request::Lease { worker } => Json::obj([
+                ("type", Json::Str("lease".into())),
+                ("worker", Json::Str(worker.clone())),
+            ]),
+            Request::Submit { worker, log } => Json::obj([
+                ("type", Json::Str("submit".into())),
+                ("worker", Json::Str(worker.clone())),
+                ("log", log.clone()),
+            ]),
+        }
+    }
+
+    /// Parses the wire form.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Parse`] on schema problems or an unsafe worker name.
+    pub fn from_json(v: &Json) -> Result<Request> {
+        let worker = v
+            .require("worker")?
+            .as_str()
+            .ok_or_else(|| Error::Parse("worker is not a string".into()))?
+            .to_string();
+        validate_worker_name(&worker)?;
+        match v.require("type")?.as_str() {
+            Some("hello") => Ok(Request::Hello { worker }),
+            Some("lease") => Ok(Request::Lease { worker }),
+            Some("submit") => Ok(Request::Submit {
+                worker,
+                log: v.require("log")?.clone(),
+            }),
+            other => Err(Error::Parse(format!("unknown request type {other:?}"))),
+        }
+    }
+}
+
+/// A coordinator reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// Answer to [`Request::Hello`]: the campaign configuration and its
+    /// content hash — workers need no local copy of the config.
+    Welcome {
+        /// The campaign config document (`CampaignConfig::to_json`).
+        config: Json,
+        /// The config content hash (`{:#018x}`), echoed for sanity.
+        config_hash: String,
+    },
+    /// A shard lease: process this unit and submit its log.
+    Assign {
+        /// Shard id.
+        shard: u64,
+        /// First offset (or draw index) covered, inclusive.
+        start: u64,
+        /// One past the last offset covered.
+        end: u64,
+    },
+    /// Nothing to lease right now (all pending shards are leased out);
+    /// retry after the hinted backoff.
+    Wait {
+        /// Suggested retry delay in milliseconds.
+        backoff_ms: u64,
+    },
+    /// The campaign is complete; the worker may exit.
+    Done,
+    /// A submission was accepted.
+    Accepted {
+        /// The shard that was recorded.
+        shard: u64,
+        /// `false` when the shard was already checkpointed (idempotent
+        /// duplicate).
+        fresh: bool,
+        /// `true` once the whole campaign is complete — the worker may
+        /// exit without another round trip.
+        complete: bool,
+    },
+    /// The request was rejected (wrong campaign, conflicting bytes,
+    /// malformed log).
+    Refused {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl Reply {
+    /// The wire form.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Reply::Welcome {
+                config,
+                config_hash,
+            } => Json::obj([
+                ("type", Json::Str("welcome".into())),
+                ("config", config.clone()),
+                ("config_hash", Json::Str(config_hash.clone())),
+            ]),
+            Reply::Assign { shard, start, end } => Json::obj([
+                ("type", Json::Str("assign".into())),
+                ("shard", Json::Int(*shard)),
+                ("start", Json::Int(*start)),
+                ("end", Json::Int(*end)),
+            ]),
+            Reply::Wait { backoff_ms } => Json::obj([
+                ("type", Json::Str("wait".into())),
+                ("backoff_ms", Json::Int(*backoff_ms)),
+            ]),
+            Reply::Done => Json::obj([("type", Json::Str("done".into()))]),
+            Reply::Accepted {
+                shard,
+                fresh,
+                complete,
+            } => Json::obj([
+                ("type", Json::Str("accepted".into())),
+                ("shard", Json::Int(*shard)),
+                ("fresh", Json::Bool(*fresh)),
+                ("complete", Json::Bool(*complete)),
+            ]),
+            Reply::Refused { reason } => Json::obj([
+                ("type", Json::Str("refused".into())),
+                ("reason", Json::Str(reason.clone())),
+            ]),
+        }
+    }
+
+    /// Parses the wire form.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Parse`] on schema problems.
+    pub fn from_json(v: &Json) -> Result<Reply> {
+        let int = |key: &str| -> Result<u64> {
+            v.require(key)?
+                .as_u64()
+                .ok_or_else(|| Error::Parse(format!("{key} is not an unsigned integer")))
+        };
+        match v.require("type")?.as_str() {
+            Some("welcome") => Ok(Reply::Welcome {
+                config: v.require("config")?.clone(),
+                config_hash: v
+                    .require("config_hash")?
+                    .as_str()
+                    .ok_or_else(|| Error::Parse("config_hash is not a string".into()))?
+                    .to_string(),
+            }),
+            Some("assign") => Ok(Reply::Assign {
+                shard: int("shard")?,
+                start: int("start")?,
+                end: int("end")?,
+            }),
+            Some("wait") => Ok(Reply::Wait {
+                backoff_ms: int("backoff_ms")?,
+            }),
+            Some("done") => Ok(Reply::Done),
+            Some("accepted") => Ok(Reply::Accepted {
+                shard: int("shard")?,
+                fresh: v
+                    .require("fresh")?
+                    .as_bool()
+                    .ok_or_else(|| Error::Parse("fresh is not a bool".into()))?,
+                complete: v
+                    .require("complete")?
+                    .as_bool()
+                    .ok_or_else(|| Error::Parse("complete is not a bool".into()))?,
+            }),
+            Some("refused") => Ok(Reply::Refused {
+                reason: v
+                    .require("reason")?
+                    .as_str()
+                    .ok_or_else(|| Error::Parse("reason is not a string".into()))?
+                    .to_string(),
+            }),
+            other => Err(Error::Parse(format!("unknown reply type {other:?}"))),
+        }
+    }
+}
+
+/// Validates a worker name: nonempty, ≤ 64 chars, file-name-safe
+/// (`A–Z a–z 0–9 . _ -`), since file-queue paths embed it.
+///
+/// # Errors
+///
+/// [`Error::Config`] describing the violation.
+pub fn validate_worker_name(name: &str) -> Result<()> {
+    let ok = !name.is_empty()
+        && name.len() <= 64
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'));
+    if ok {
+        Ok(())
+    } else {
+        Err(Error::Config(format!(
+            "worker name {name:?} is not file-name safe ([A-Za-z0-9._-], 1..=64 chars)"
+        )))
+    }
+}
+
+/// The worker side of a transport: one blocking request/reply round
+/// trip per call.
+pub trait WorkerTransport {
+    /// Sends `req` and waits for the coordinator's reply.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] on wire failures or timeout, [`Error::Parse`] on a
+    /// malformed reply.
+    fn call(&mut self, req: &Request) -> Result<Reply>;
+}
+
+/// The coordinator side of a transport: poll-style service of one
+/// pending request at a time.
+pub trait ServeTransport {
+    /// Serves at most one pending request through `handler` and returns
+    /// whether one was served (callers sleep briefly on `false`).
+    /// Malformed or truncated client traffic is dropped (optionally
+    /// answered with [`Reply::Refused`]) rather than propagated — a
+    /// misbehaving worker must not take the coordinator down.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] on transport-level failures (unreadable queue
+    /// directory, dead listener).
+    fn serve_one(&mut self, handler: &mut dyn FnMut(Request) -> Reply) -> Result<bool>;
+}
+
+// ---------------------------------------------------------------------
+// File-queue transport
+// ---------------------------------------------------------------------
+
+fn io_err<T>(what: &str, path: &Path, e: std::io::Error) -> Result<T> {
+    Err(Error::Io(format!("{what} {}: {e}", path.display())))
+}
+
+fn write_file_atomic(dir: &Path, tmp_dir: &Path, name: &str, contents: &str) -> Result<()> {
+    let tmp = tmp_dir.join(name);
+    std::fs::write(&tmp, contents).or_else(|e| io_err("write", &tmp, e))?;
+    let dst = dir.join(name);
+    std::fs::rename(&tmp, &dst).or_else(|e| io_err("rename into", &dst, e))
+}
+
+/// The worker end of the file-queue transport rooted at a shared
+/// directory. Creating a client resets any stale reply directory left
+/// by a previous worker of the same name.
+#[derive(Debug)]
+pub struct FileQueueClient {
+    root: PathBuf,
+    worker: String,
+    seq: u64,
+    poll: Duration,
+    timeout: Duration,
+}
+
+impl FileQueueClient {
+    /// Opens (and creates, if needed) the queue at `root` for `worker`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] for an unsafe worker name, [`Error::Io`] when
+    /// the queue directories cannot be created.
+    pub fn new(root: &Path, worker: &str) -> Result<FileQueueClient> {
+        validate_worker_name(worker)?;
+        let outbox = root.join("outbox").join(worker);
+        let _ = std::fs::remove_dir_all(&outbox);
+        for d in [root.join("inbox"), root.join("tmp"), outbox] {
+            std::fs::create_dir_all(&d).or_else(|e| io_err("create", &d, e))?;
+        }
+        Ok(FileQueueClient {
+            root: root.to_path_buf(),
+            worker: worker.to_string(),
+            seq: 0,
+            poll: Duration::from_millis(25),
+            timeout: Duration::from_secs(120),
+        })
+    }
+
+    /// Overrides the reply poll interval and overall call timeout.
+    pub fn with_timing(mut self, poll: Duration, timeout: Duration) -> FileQueueClient {
+        self.poll = poll;
+        self.timeout = timeout;
+        self
+    }
+}
+
+impl WorkerTransport for FileQueueClient {
+    fn call(&mut self, req: &Request) -> Result<Reply> {
+        self.seq += 1;
+        let name = format!("req-{}-{:08}.json", self.worker, self.seq);
+        write_file_atomic(
+            &self.root.join("inbox"),
+            &self.root.join("tmp"),
+            &name,
+            &req.to_json().render_compact(),
+        )?;
+        let rsp = self
+            .root
+            .join("outbox")
+            .join(&self.worker)
+            .join(format!("rsp-{:08}.json", self.seq));
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            match std::fs::read_to_string(&rsp) {
+                Ok(text) => {
+                    let _ = std::fs::remove_file(&rsp);
+                    return Reply::from_json(&Json::parse(&text)?);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return io_err("read", &rsp, e),
+            }
+            if Instant::now() >= deadline {
+                return Err(Error::Io(format!(
+                    "no reply to {name} within {:?} (coordinator gone?)",
+                    self.timeout
+                )));
+            }
+            std::thread::sleep(self.poll);
+        }
+    }
+}
+
+/// The coordinator end of the file-queue transport.
+#[derive(Debug)]
+pub struct FileQueueServer {
+    root: PathBuf,
+}
+
+impl FileQueueServer {
+    /// Opens (and creates, if needed) the queue at `root`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] when the queue directories cannot be created.
+    pub fn new(root: &Path) -> Result<FileQueueServer> {
+        for d in [root.join("inbox"), root.join("outbox"), root.join("tmp")] {
+            std::fs::create_dir_all(&d).or_else(|e| io_err("create", &d, e))?;
+        }
+        Ok(FileQueueServer {
+            root: root.to_path_buf(),
+        })
+    }
+}
+
+impl ServeTransport for FileQueueServer {
+    fn serve_one(&mut self, handler: &mut dyn FnMut(Request) -> Reply) -> Result<bool> {
+        let inbox = self.root.join("inbox");
+        let mut names: Vec<String> = std::fs::read_dir(&inbox)
+            .or_else(|e| io_err("list", &inbox, e))?
+            .filter_map(|entry| entry.ok()?.file_name().into_string().ok())
+            .filter(|n| n.starts_with("req-") && n.ends_with(".json"))
+            .collect();
+        names.sort();
+        let Some(name) = names.into_iter().next() else {
+            return Ok(false);
+        };
+        let path = inbox.join(&name);
+        let text = std::fs::read_to_string(&path).or_else(|e| io_err("read", &path, e))?;
+        // Malformed requests are dropped, not fatal: remove the file so
+        // the queue keeps moving.
+        let parsed = Json::parse(&text).map_err(Error::from).and_then(|v| {
+            let req = Request::from_json(&v)?;
+            let stem = name
+                .strip_prefix("req-")
+                .and_then(|s| s.strip_suffix(".json"))
+                .unwrap_or_default();
+            let (worker, seq) = stem
+                .rsplit_once('-')
+                .ok_or_else(|| Error::Parse(format!("bad request file name {name:?}")))?;
+            if worker != req.worker() {
+                return Err(Error::Parse(format!(
+                    "request file {name:?} does not match its worker field {:?}",
+                    req.worker()
+                )));
+            }
+            Ok((req, seq.to_string()))
+        });
+        match parsed {
+            Ok((req, seq)) => {
+                let reply = handler(req.clone());
+                let outbox = self.root.join("outbox").join(req.worker());
+                std::fs::create_dir_all(&outbox).or_else(|e| io_err("create", &outbox, e))?;
+                write_file_atomic(
+                    &outbox,
+                    &self.root.join("tmp"),
+                    &format!("rsp-{seq}.json"),
+                    &reply.to_json().render_compact(),
+                )?;
+                let _ = std::fs::remove_file(&path);
+                Ok(true)
+            }
+            Err(_) => {
+                let _ = std::fs::remove_file(&path);
+                Ok(true)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// TCP transport (line-delimited JSON)
+// ---------------------------------------------------------------------
+
+/// The worker end of the TCP transport: one connection per call, one
+/// compact JSON line each way.
+#[derive(Debug)]
+pub struct TcpClient {
+    addr: String,
+    timeout: Duration,
+}
+
+impl TcpClient {
+    /// A client for the coordinator at `addr` (`host:port`).
+    pub fn new(addr: &str) -> TcpClient {
+        TcpClient {
+            addr: addr.to_string(),
+            timeout: Duration::from_secs(120),
+        }
+    }
+
+    /// Overrides the connect/read timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> TcpClient {
+        self.timeout = timeout;
+        self
+    }
+}
+
+impl WorkerTransport for TcpClient {
+    fn call(&mut self, req: &Request) -> Result<Reply> {
+        // Connect with retry: workers may start before the coordinator
+        // binds its listener.
+        let deadline = Instant::now() + self.timeout;
+        let mut stream = loop {
+            match TcpStream::connect(&self.addr) {
+                Ok(s) => break s,
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(Error::Io(format!("connect {}: {e}", self.addr)));
+                    }
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        };
+        stream
+            .set_read_timeout(Some(self.timeout))
+            .map_err(|e| Error::Io(format!("socket timeout: {e}")))?;
+        let mut line = req.to_json().render_compact();
+        line.push('\n');
+        stream
+            .write_all(line.as_bytes())
+            .map_err(|e| Error::Io(format!("send to {}: {e}", self.addr)))?;
+        let mut reply_line = String::new();
+        BufReader::new(&mut stream)
+            .read_line(&mut reply_line)
+            .map_err(|e| Error::Io(format!("receive from {}: {e}", self.addr)))?;
+        if reply_line.is_empty() {
+            return Err(Error::Io(format!(
+                "coordinator at {} closed the connection",
+                self.addr
+            )));
+        }
+        Reply::from_json(&Json::parse(reply_line.trim_end())?)
+    }
+}
+
+/// The coordinator end of the TCP transport: a non-blocking listener
+/// polled by [`ServeTransport::serve_one`].
+#[derive(Debug)]
+pub struct TcpServer {
+    listener: TcpListener,
+    io_timeout: Duration,
+}
+
+impl TcpServer {
+    /// Binds `addr` (`host:port`; port 0 picks a free one).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] when the address cannot be bound.
+    pub fn bind(addr: &str) -> Result<TcpServer> {
+        let listener =
+            TcpListener::bind(addr).map_err(|e| Error::Io(format!("bind {addr}: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| Error::Io(format!("nonblocking listener: {e}")))?;
+        Ok(TcpServer {
+            listener,
+            io_timeout: Duration::from_secs(10),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] when the socket has no local address.
+    pub fn local_addr(&self) -> Result<std::net::SocketAddr> {
+        self.listener
+            .local_addr()
+            .map_err(|e| Error::Io(format!("local addr: {e}")))
+    }
+}
+
+/// Reads one `\n`-terminated line from a blocking stream.
+fn read_line_from(stream: &mut TcpStream, timeout: Duration) -> std::io::Result<String> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(timeout))?;
+    let mut buf = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        let n = stream.read(&mut byte)?;
+        if n == 0 || byte[0] == b'\n' {
+            break;
+        }
+        buf.push(byte[0]);
+        if buf.len() > 1 << 26 {
+            return Err(std::io::Error::other("request line too long"));
+        }
+    }
+    String::from_utf8(buf).map_err(|_| std::io::Error::other("request line is not UTF-8"))
+}
+
+impl ServeTransport for TcpServer {
+    fn serve_one(&mut self, handler: &mut dyn FnMut(Request) -> Reply) -> Result<bool> {
+        let (mut stream, _) = match self.listener.accept() {
+            Ok(conn) => conn,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(false),
+            Err(e) => return Err(Error::Io(format!("accept: {e}"))),
+        };
+        // From here on, client failures are the client's problem: drop
+        // the connection and keep serving.
+        let Ok(line) = read_line_from(&mut stream, self.io_timeout) else {
+            return Ok(true);
+        };
+        let reply = match Json::parse(&line)
+            .map_err(Error::from)
+            .and_then(|v| Request::from_json(&v))
+        {
+            Ok(req) => handler(req),
+            Err(e) => Reply::Refused {
+                reason: e.to_string(),
+            },
+        };
+        let mut out = reply.to_json().render_compact();
+        out.push('\n');
+        let _ = stream.write_all(out.as_bytes());
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_messages() -> (Vec<Request>, Vec<Reply>) {
+        let reqs = vec![
+            Request::Hello {
+                worker: "w1".into(),
+            },
+            Request::Lease {
+                worker: "w-2.a".into(),
+            },
+            Request::Submit {
+                worker: "w1".into(),
+                log: Json::obj([("shard", Json::Int(3))]),
+            },
+        ];
+        let replies = vec![
+            Reply::Welcome {
+                config: Json::obj([("width", Json::Int(13))]),
+                config_hash: "0x0123456789abcdef".into(),
+            },
+            Reply::Assign {
+                shard: 2,
+                start: 512,
+                end: 1024,
+            },
+            Reply::Wait { backoff_ms: 50 },
+            Reply::Done,
+            Reply::Accepted {
+                shard: 2,
+                fresh: true,
+                complete: false,
+            },
+            Reply::Refused {
+                reason: "wrong campaign".into(),
+            },
+        ];
+        (reqs, replies)
+    }
+
+    #[test]
+    fn messages_round_trip_compactly() {
+        let (reqs, replies) = sample_messages();
+        for r in reqs {
+            let line = r.to_json().render_compact();
+            assert!(!line.contains('\n'));
+            assert_eq!(Request::from_json(&Json::parse(&line).unwrap()).unwrap(), r);
+        }
+        for r in replies {
+            let line = r.to_json().render_compact();
+            assert!(!line.contains('\n'));
+            assert_eq!(Reply::from_json(&Json::parse(&line).unwrap()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn worker_names_are_validated() {
+        assert!(validate_worker_name("w1").is_ok());
+        assert!(validate_worker_name("host-3.worker_9").is_ok());
+        assert!(validate_worker_name("").is_err());
+        assert!(validate_worker_name("a/b").is_err());
+        assert!(validate_worker_name("a b").is_err());
+        assert!(validate_worker_name(&"x".repeat(65)).is_err());
+    }
+
+    fn echo_handler(req: Request) -> Reply {
+        match req {
+            Request::Hello { .. } => Reply::Welcome {
+                config: Json::obj([("width", Json::Int(13))]),
+                config_hash: "0xh".into(),
+            },
+            Request::Lease { .. } => Reply::Wait { backoff_ms: 7 },
+            Request::Submit { log, .. } => Reply::Accepted {
+                shard: log.get("shard").and_then(Json::as_u64).unwrap_or(0),
+                fresh: true,
+                complete: false,
+            },
+        }
+    }
+
+    #[test]
+    fn file_queue_round_trips() {
+        let root = std::env::temp_dir().join(format!("crc-survey-fq-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let mut server = FileQueueServer::new(&root).unwrap();
+        let mut client = FileQueueClient::new(&root, "w1")
+            .unwrap()
+            .with_timing(Duration::from_millis(5), Duration::from_secs(10));
+        let server_thread = {
+            let root = root.clone();
+            std::thread::spawn(move || {
+                let mut served = 0;
+                while served < 3 {
+                    if server.serve_one(&mut |req| echo_handler(req)).unwrap() {
+                        served += 1;
+                    } else {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                }
+                drop(root);
+            })
+        };
+        assert!(matches!(
+            client
+                .call(&Request::Hello {
+                    worker: "w1".into()
+                })
+                .unwrap(),
+            Reply::Welcome { .. }
+        ));
+        assert_eq!(
+            client
+                .call(&Request::Lease {
+                    worker: "w1".into()
+                })
+                .unwrap(),
+            Reply::Wait { backoff_ms: 7 }
+        );
+        assert_eq!(
+            client
+                .call(&Request::Submit {
+                    worker: "w1".into(),
+                    log: Json::obj([("shard", Json::Int(5))]),
+                })
+                .unwrap(),
+            Reply::Accepted {
+                shard: 5,
+                fresh: true,
+                complete: false
+            }
+        );
+        server_thread.join().unwrap();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn tcp_round_trips() {
+        let mut server = TcpServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let server_thread = std::thread::spawn(move || {
+            let mut served = 0;
+            while served < 2 {
+                if server.serve_one(&mut |req| echo_handler(req)).unwrap() {
+                    served += 1;
+                } else {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
+        });
+        let mut client = TcpClient::new(&addr).with_timeout(Duration::from_secs(10));
+        assert!(matches!(
+            client
+                .call(&Request::Hello {
+                    worker: "w1".into()
+                })
+                .unwrap(),
+            Reply::Welcome { .. }
+        ));
+        assert_eq!(
+            client
+                .call(&Request::Lease {
+                    worker: "w1".into()
+                })
+                .unwrap(),
+            Reply::Wait { backoff_ms: 7 }
+        );
+        server_thread.join().unwrap();
+    }
+}

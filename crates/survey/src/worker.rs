@@ -1,0 +1,192 @@
+//! The remote worker loop: lease, evaluate, submit, repeat.
+//!
+//! A worker is stateless apart from its scratch buffers: it learns the
+//! campaign configuration from the coordinator's
+//! [`Reply::Welcome`], verifies the echoed content hash, and then runs
+//! [`evaluate_unit`] — the exact code path of the single-host pool —
+//! on every shard it leases. Crashing at any point is safe: an
+//! unsubmitted lease expires at the coordinator and the shard is
+//! re-issued; a shard submitted twice is idempotent because unit
+//! results are pure in `(config, shard id)`.
+
+use crate::campaign::CampaignConfig;
+use crate::engine::{evaluate_unit, UnitScratch};
+use crate::transport::{Reply, Request, WorkerTransport};
+use crate::{Error, Result};
+use std::time::Duration;
+
+/// Knobs for [`run_worker`].
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// The worker's name (file-name safe; shows up in queue paths).
+    pub name: String,
+    /// Stop after submitting this many shards (`None` = run until the
+    /// campaign is done) — the hook the fault-injection tests use to
+    /// model a worker that walks away.
+    pub max_shards: Option<u64>,
+}
+
+/// Tallies from one [`run_worker`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerSummary {
+    /// Shards evaluated and accepted (fresh or duplicate).
+    pub shards_submitted: u64,
+    /// Of those, how many the coordinator already had.
+    pub duplicates: u64,
+}
+
+/// Runs the worker loop over `transport` until the coordinator says the
+/// campaign is complete (or `max_shards` is reached).
+///
+/// # Errors
+///
+/// Transport failures, a config hash that does not match the config
+/// document, a lease that disagrees with the config's own work units,
+/// or a [`Reply::Refused`] submission — a refusal means this worker is
+/// computing a different campaign than the coordinator is merging, so
+/// continuing would only waste cycles.
+pub fn run_worker(
+    transport: &mut dyn WorkerTransport,
+    opts: &WorkerOptions,
+) -> Result<WorkerSummary> {
+    let hello = transport.call(&Request::Hello {
+        worker: opts.name.clone(),
+    })?;
+    let Reply::Welcome {
+        config,
+        config_hash,
+    } = hello
+    else {
+        return Err(Error::Parse(format!("expected welcome, got {hello:?}")));
+    };
+    let config = CampaignConfig::from_json(&config)?;
+    let expect = format!("{:#018x}", config.content_hash());
+    if config_hash != expect {
+        return Err(Error::Parse(format!(
+            "coordinator's config hash {config_hash} does not match its config document ({expect})"
+        )));
+    }
+    let units = config.work_units();
+    let hash = config.content_hash();
+    let mut scratch = UnitScratch::default();
+    let mut summary = WorkerSummary::default();
+    loop {
+        if opts
+            .max_shards
+            .is_some_and(|max| summary.shards_submitted >= max)
+        {
+            return Ok(summary);
+        }
+        match transport.call(&Request::Lease {
+            worker: opts.name.clone(),
+        })? {
+            Reply::Assign { shard, start, end } => {
+                let unit = *units.get(shard as usize).ok_or_else(|| {
+                    Error::Parse(format!("leased shard {shard} outside the campaign"))
+                })?;
+                if (unit.start, unit.end) != (start, end) {
+                    return Err(Error::Parse(format!(
+                        "lease for shard {shard} covers {start}..{end}, config says {}..{}",
+                        unit.start, unit.end
+                    )));
+                }
+                let result = evaluate_unit(&config, unit, &mut scratch)?;
+                match transport.call(&Request::Submit {
+                    worker: opts.name.clone(),
+                    log: result.to_json(hash),
+                })? {
+                    Reply::Accepted {
+                        fresh, complete, ..
+                    } => {
+                        summary.shards_submitted += 1;
+                        if !fresh {
+                            summary.duplicates += 1;
+                        }
+                        if complete {
+                            return Ok(summary);
+                        }
+                    }
+                    Reply::Refused { reason } => {
+                        return Err(Error::Config(format!(
+                            "coordinator refused shard {shard}: {reason}"
+                        )));
+                    }
+                    other => {
+                        return Err(Error::Parse(format!(
+                            "expected accepted/refused, got {other:?}"
+                        )))
+                    }
+                }
+            }
+            Reply::Wait { backoff_ms } => {
+                std::thread::sleep(Duration::from_millis(backoff_ms.min(2_000)));
+            }
+            Reply::Done => return Ok(summary),
+            other => {
+                return Err(Error::Parse(format!(
+                    "expected assign/wait/done, got {other:?}"
+                )))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{CampaignConfig, Mode};
+    use crate::coordinator::Coordinator;
+    use crate::engine::Campaign;
+    use crate::transport::{FileQueueClient, FileQueueServer, ServeTransport};
+    use std::time::Instant;
+
+    #[test]
+    fn worker_drives_a_campaign_over_the_file_queue() {
+        let base = std::env::temp_dir().join(format!("crc-worker-fq-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let dir = base.join("campaign");
+        let queue = base.join("queue");
+        let config = CampaignConfig {
+            width: 10,
+            shards: 4,
+            seed: 3,
+            mode: Mode::Exhaustive,
+            min_hd: 4,
+            target_lengths: vec![16, 64],
+            ber_grid: vec![1e-5],
+            max_weight: 6,
+        };
+        let campaign = Campaign::create(&dir, config).unwrap();
+        let mut coord = Coordinator::new(campaign, Duration::from_secs(60));
+        let mut server = FileQueueServer::new(&queue).unwrap();
+        let coord_thread = std::thread::spawn(move || {
+            while !coord.campaign().is_complete() {
+                if !server
+                    .serve_one(&mut |req| coord.handle(req, Instant::now()))
+                    .unwrap()
+                {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
+            coord.summary()
+        });
+        let mut client = FileQueueClient::new(&queue, "w1")
+            .unwrap()
+            .with_timing(Duration::from_millis(5), Duration::from_secs(30));
+        let summary = run_worker(
+            &mut client,
+            &WorkerOptions {
+                name: "w1".into(),
+                max_shards: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(summary.shards_submitted, 4);
+        assert_eq!(summary.duplicates, 0);
+        let coord_summary = coord_thread.join().unwrap();
+        assert_eq!(coord_summary.shards_recorded, 4);
+        let reopened = Campaign::open(&dir).unwrap();
+        assert!(reopened.is_complete());
+        let _ = std::fs::remove_dir_all(&base);
+    }
+}

@@ -1,0 +1,168 @@
+//! Sampled-census calibration: on a 16-bit space small enough to
+//! enumerate, the per-stratum Wilson intervals must cover the
+//! exhaustively computed truth — at the screen and at every target
+//! length — for the tap strata and the factorization-class stratum
+//! alike.
+
+use crc_hd::costmodel::engine_cost;
+use crc_hd::filter::hd_filter_in;
+use crc_hd::{GenPoly, SyndromeWorkspace};
+use crc_survey::campaign::{CampaignConfig, Mode};
+use crc_survey::census::census_report;
+use crc_survey::engine::Campaign;
+use crc_survey::json::Json;
+
+const WIDTH: u32 = 16;
+const MIN_HD: u32 = 4;
+const LENGTHS: [u32; 2] = [32, 128];
+
+fn config() -> CampaignConfig {
+    CampaignConfig {
+        width: WIDTH,
+        shards: WIDTH as u64 + 1, // one per tap stratum + the class below
+        seed: 42,
+        mode: Mode::Census {
+            per_stratum: 400,
+            classes: vec!["{16}".into()],
+        },
+        min_hd: MIN_HD,
+        target_lengths: LENGTHS.to_vec(),
+        ber_grid: vec![1e-5],
+        max_weight: 6,
+    }
+}
+
+/// Exhaustive truth for one stratum: how many of its members survive
+/// the screen, and of the whole space how many still hold HD ≥ min_hd
+/// at each target length (HD is monotone in length, so the screen is
+/// implied by the longer lengths).
+#[derive(Default, Clone)]
+struct Truth {
+    size: u64,
+    counts: [u64; 1 + LENGTHS.len()],
+}
+
+fn exhaustive_truth() -> (Vec<Truth>, Truth) {
+    let mut taps = vec![Truth::default(); WIDTH as usize];
+    let mut class = Truth::default();
+    let mut ws = SyndromeWorkspace::new();
+    let screen_len = *LENGTHS.iter().min().unwrap();
+    for offset in 0u64..1 << (WIDTH - 1) {
+        let koopman = (1 << (WIDTH - 1)) | offset;
+        let g = GenPoly::from_koopman(WIDTH, koopman).unwrap();
+        let t = engine_cost(&g).taps as usize;
+        let irreducible = gf2poly::factor(g.to_poly()).signature().to_string() == "{16}";
+        let mut survived = [false; 1 + LENGTHS.len()];
+        if hd_filter_in(&mut ws, &g, screen_len, MIN_HD)
+            .unwrap()
+            .passed()
+        {
+            survived[0] = true;
+            for (j, &len) in LENGTHS.iter().enumerate() {
+                survived[j + 1] = hd_filter_in(&mut ws, &g, len, MIN_HD).unwrap().passed();
+            }
+        }
+        for truth in [Some(&mut taps[t - 1]), irreducible.then_some(&mut class)]
+            .into_iter()
+            .flatten()
+        {
+            truth.size += 1;
+            for (slot, &hit) in truth.counts.iter_mut().zip(&survived) {
+                *slot += u64::from(hit);
+            }
+        }
+    }
+    (taps, class)
+}
+
+fn check_row(row: &Json, truth: &Truth) {
+    let label = row.get("stratum").unwrap().as_str().unwrap();
+    assert_eq!(
+        row.get("size").unwrap().as_str().unwrap(),
+        truth.size.to_string(),
+        "stratum {label}: size must be exact, not estimated"
+    );
+    let estimates = match row.get("estimates").unwrap() {
+        Json::Arr(v) => v,
+        other => panic!("estimates is {other:?}"),
+    };
+    assert_eq!(estimates.len(), truth.counts.len());
+    for (e, &true_count) in estimates.iter().zip(&truth.counts) {
+        let at = e.get("at").unwrap().as_str().unwrap();
+        let lo = match e.get("est_low").unwrap() {
+            Json::Num(x) => *x,
+            other => panic!("est_low is {other:?}"),
+        };
+        let hi = match e.get("est_high").unwrap() {
+            Json::Num(x) => *x,
+            other => panic!("est_high is {other:?}"),
+        };
+        let t = true_count as f64;
+        assert!(
+            lo <= t && t <= hi,
+            "stratum {label} at {at}: truth {t} outside [{lo}, {hi}]"
+        );
+    }
+}
+
+#[test]
+fn census_intervals_cover_exhaustive_truth() {
+    let (taps_truth, class_truth) = exhaustive_truth();
+    assert_eq!(
+        taps_truth.iter().map(|t| t.size).sum::<u64>(),
+        1 << (WIDTH - 1),
+        "tap strata partition the space"
+    );
+    assert_eq!(class_truth.size, gf2poly::count_irreducibles(16));
+
+    let dir = std::env::temp_dir().join(format!("crc-census-ci-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut campaign = Campaign::create(&dir, config()).unwrap();
+    campaign.run(4, None).unwrap();
+    // A generous critical value: 64 interval checks below must *all*
+    // cover, so each gets far more than 95% — the run is seeded, so a
+    // pass is a permanent property of this configuration.
+    let report = census_report(&campaign, 4.0).unwrap();
+
+    let rows = match report.get("strata").unwrap() {
+        Json::Arr(v) => v,
+        other => panic!("strata is {other:?}"),
+    };
+    assert_eq!(rows.len(), WIDTH as usize + 1);
+    for (row, truth) in rows.iter().zip(&taps_truth) {
+        assert_eq!(row.get("kind").unwrap().as_str().unwrap(), "taps");
+        check_row(row, truth);
+    }
+    let class_row = rows.last().unwrap();
+    assert_eq!(class_row.get("kind").unwrap().as_str().unwrap(), "class");
+    assert_eq!(
+        class_row.get("stratum").unwrap().as_str().unwrap(),
+        "class={16}"
+    );
+    check_row(class_row, &class_truth);
+
+    // The totals row extrapolates over the partition: its interval must
+    // cover the true whole-space survivor count at every length.
+    let totals = report.get("totals").unwrap();
+    let estimates = match totals.get("estimates").unwrap() {
+        Json::Arr(v) => v,
+        other => panic!("estimates is {other:?}"),
+    };
+    for (e, j) in estimates.iter().zip(0..) {
+        let truth: u64 = taps_truth.iter().map(|t| t.counts[j]).sum();
+        let lo = match e.get("est_low").unwrap() {
+            Json::Num(x) => *x,
+            other => panic!("est_low is {other:?}"),
+        };
+        let hi = match e.get("est_high").unwrap() {
+            Json::Num(x) => *x,
+            other => panic!("est_high is {other:?}"),
+        };
+        assert!(
+            lo <= truth as f64 && truth as f64 <= hi,
+            "totals at index {j}: truth {truth} outside [{lo}, {hi}]"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

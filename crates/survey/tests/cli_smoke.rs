@@ -1,0 +1,131 @@
+//! CLI contract tests: `--stop-after` behaves exactly as its one
+//! canonical sentence documents — in the binary's help text, in
+//! `docs/CENSUS.md`, and on disk.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// The sentence both the CLI help and docs/CENSUS.md must carry,
+/// verbatim. If you change the semantics, change it in all three
+/// places — that is the point of this test.
+const STOP_AFTER_SEMANTICS: &str = "--stop-after K exits at the next checkpoint boundary: \
+after this invocation checkpoints K shards (fewer if the campaign finishes first) the \
+process stops, and a later resume continues the manifest to artifacts byte-identical to \
+an uninterrupted run.";
+
+fn survey() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_survey"))
+}
+
+fn test_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("crc-cli-smoke-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn completed_shards(dir: &Path) -> (u64, u64) {
+    crc_survey::engine::Campaign::open(dir).unwrap().progress()
+}
+
+#[test]
+fn help_and_runbook_state_the_same_stop_after_semantics() {
+    let out = survey().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let help = String::from_utf8(out.stdout).unwrap();
+    // The help wraps the sentence over lines; compare unwrapped.
+    let unwrapped = help.replace('\n', " ").replace("  ", " ");
+    assert!(
+        unwrapped.contains(STOP_AFTER_SEMANTICS),
+        "help text lost the canonical --stop-after sentence:\n{help}"
+    );
+
+    let runbook = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../docs/CENSUS.md");
+    let text = std::fs::read_to_string(&runbook)
+        .unwrap_or_else(|e| panic!("read {}: {e}", runbook.display()));
+    let unwrapped = text.replace('\n', " ").replace("  ", " ");
+    assert!(
+        unwrapped.contains(STOP_AFTER_SEMANTICS),
+        "docs/CENSUS.md no longer quotes the canonical --stop-after sentence"
+    );
+}
+
+#[test]
+fn stop_after_pauses_at_the_documented_boundary_and_resume_finishes() {
+    let dir = test_dir("stop-after");
+    let status = survey()
+        .args(["run", "--dir"])
+        .arg(&dir)
+        .args([
+            "--width",
+            "12",
+            "--shards",
+            "6",
+            "--lengths",
+            "32,64",
+            "--threads",
+            "2",
+            "--stop-after",
+            "2",
+        ])
+        .status()
+        .unwrap();
+    assert!(status.success());
+    // "after this invocation checkpoints K shards ... the process
+    // stops": exactly 2 of 6, durably recorded in the manifest.
+    assert_eq!(completed_shards(&dir), (2, 6));
+
+    // "a later resume continues the manifest": stop-after counts only
+    // this invocation's checkpoints, so 2 more land here.
+    let status = survey()
+        .args(["resume", "--dir"])
+        .arg(&dir)
+        .args(["--threads", "2", "--stop-after", "2"])
+        .status()
+        .unwrap();
+    assert!(status.success());
+    assert_eq!(completed_shards(&dir), (4, 6));
+
+    // An unbounded resume completes the campaign...
+    let status = survey()
+        .args(["resume", "--dir"])
+        .arg(&dir)
+        .args(["--threads", "2"])
+        .status()
+        .unwrap();
+    assert!(status.success());
+    assert_eq!(completed_shards(&dir), (6, 6));
+
+    // ..."to artifacts byte-identical to an uninterrupted run".
+    let straight = test_dir("straight");
+    let status = survey()
+        .args(["run", "--dir"])
+        .arg(&straight)
+        .args([
+            "--width",
+            "12",
+            "--shards",
+            "6",
+            "--lengths",
+            "32,64",
+            "--threads",
+            "2",
+        ])
+        .status()
+        .unwrap();
+    assert!(status.success());
+    for shard in 0..6u64 {
+        let name = format!("shards/shard-{shard:05}.json");
+        assert_eq!(
+            std::fs::read(dir.join(&name)).unwrap(),
+            std::fs::read(straight.join(&name)).unwrap(),
+            "{name} differs between interrupted and straight runs"
+        );
+    }
+    assert_eq!(
+        std::fs::read(dir.join("campaign.json")).unwrap(),
+        std::fs::read(straight.join("campaign.json")).unwrap()
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&straight);
+}
