@@ -18,6 +18,9 @@
 //!   data length `d_min(w) − (r − 1)`.
 //! * [`weights`] — exact undetected-error counts `W₂..W₄` at any length
 //!   (validating the paper's `W₄ = 223,059` for 802.3 at 12112 bits).
+//! * [`distribution`] — the exact **full** weight distribution
+//!   `W₀..W_{n+r}` at any data length (see "The exact distribution
+//!   layer" below).
 //! * [`spectrum`] — the complete weight spectrum by exhaustive multiplier
 //!   enumeration at small lengths (ground truth for everything else).
 //! * [`profile`] — `HD`-vs-length profiles (a Table 1 row / Figure 1
@@ -93,6 +96,30 @@
 //! `crates/survey` threads one workspace per campaign worker through
 //! `SurvivorRecord::screen_in`.
 //!
+//! # The exact distribution layer
+//!
+//! The paper's P_ud methodology truncates at `W₄`; [`distribution`]
+//! removes the truncation. The code at data length `n` is the kernel of
+//! the parity-check matrix whose columns are the syndromes
+//! `r(t) = x^t mod G`, so its *dual* code is enumerable directly from
+//! the syndrome table: `2^r` parity masks, swept 64 at a time on the
+//! bitsliced kernels (a histogram + fast Walsh–Hadamard transform for
+//! widths ≤ 20, carry-save bit-plane counters with a [`bitslice::transpose64`]
+//! extraction beyond), with the table itself grown block-wise through
+//! [`bitslice::PlaneState`] and the [`gf2x`] Barrett modmul. The
+//! MacWilliams identity then transfers the dual histogram to the code's
+//! own `W₀..W_{n+r}` via a Horner recursion — one polynomial
+//! state-update per length step, `O(r·2^r + L³)` total instead of `2ⁿ`.
+//! State is one length-`L` coefficient vector; counts are exact
+//! arbitrary-precision integers ([`distribution::Nat`], the escape
+//! hatch for lengths where `2ⁿ` overflows `u128`), and
+//! [`distribution::WeightDistribution::p_ud`] folds them through
+//! extended-exponent floats so exact undetected-error probabilities
+//! survive far below `f64` underflow (`1e-30` and beyond). Downstream,
+//! this feeds the survey's opt-in exact-P_ud Pareto axis, the
+//! `figure1 --exact` curves, and netsim's oracle cross-checks at
+//! weights `weights234` cannot reach.
+//!
 //! # Quick start
 //!
 //! ```
@@ -112,6 +139,7 @@
 
 pub mod bitslice;
 pub mod costmodel;
+pub mod distribution;
 pub mod dmin;
 pub mod filter;
 pub mod genpoly;

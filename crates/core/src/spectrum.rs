@@ -34,15 +34,50 @@ impl WeightSpectrum {
         &self.counts
     }
 
-    /// The exact Hamming distance: the smallest nonzero weight present.
-    pub fn hd(&self) -> u32 {
+    /// The exact Hamming distance: the smallest nonzero weight present,
+    /// or `None` when the counts hold no nonzero codeword at all (an
+    /// all-zero vector — reachable through [`WeightSpectrum::from_counts`],
+    /// where the old `expect` panicked).
+    pub fn hd(&self) -> Option<u32> {
         self.counts
             .iter()
             .enumerate()
             .skip(1)
             .find(|(_, &c)| c > 0)
             .map(|(k, _)| k as u32)
-            .expect("a nonzero code has a minimum weight")
+    }
+
+    /// Assembles a spectrum from externally computed counts — the exact
+    /// distribution layer ([`crate::distribution`]) lowers its
+    /// big-integer counts into this type through here.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::BadLength`] when the lengths are inconsistent
+    /// (`codeword_len ≤ data_len`) or `counts` is not one entry per
+    /// weight `0..=codeword_len`.
+    pub fn from_counts(
+        data_len: u32,
+        codeword_len: u32,
+        counts: Vec<u128>,
+    ) -> Result<WeightSpectrum> {
+        if codeword_len <= data_len {
+            return Err(Error::BadLength(format!(
+                "codeword_len {codeword_len} must exceed data_len {data_len}"
+            )));
+        }
+        if counts.len() != codeword_len as usize + 1 {
+            return Err(Error::BadLength(format!(
+                "need {} counts (one per weight 0..={codeword_len}), got {}",
+                codeword_len + 1,
+                counts.len()
+            )));
+        }
+        Ok(WeightSpectrum {
+            data_len,
+            codeword_len,
+            counts,
+        })
     }
 
     /// Data-word length `n`.
@@ -74,7 +109,7 @@ impl WeightSpectrum {
 /// let g = GenPoly::from_normal(8, 0x07).unwrap();
 /// let spec = spectrum(&g, 10).unwrap();
 /// assert_eq!(spec.total(), (1 << 10) - 1);
-/// assert_eq!(spec.hd(), 4); // HD of CRC-8/0x07 at 10 data bits
+/// assert_eq!(spec.hd(), Some(4)); // HD of CRC-8/0x07 at 10 data bits
 /// ```
 pub fn spectrum(g: &GenPoly, data_len: u32) -> Result<WeightSpectrum> {
     if data_len == 0 || data_len > MAX_SPECTRUM_LEN {
@@ -105,9 +140,13 @@ pub fn spectrum(g: &GenPoly, data_len: u32) -> Result<WeightSpectrum> {
 ///
 /// # Errors
 ///
-/// As [`spectrum`].
+/// As [`spectrum`]; additionally [`Error::BadLength`] should the
+/// spectrum hold no nonzero codeword (unreachable for `data_len ≥ 1`,
+/// but no longer a panic path).
 pub fn hd_exhaustive(g: &GenPoly, data_len: u32) -> Result<u32> {
-    Ok(spectrum(g, data_len)?.hd())
+    spectrum(g, data_len)?
+        .hd()
+        .ok_or_else(|| Error::BadLength(format!("no nonzero codeword at data_len {data_len}")))
 }
 
 #[cfg(test)]
@@ -181,6 +220,18 @@ mod tests {
     fn generator_weight_bounds_hd() {
         let g = GenPoly::from_koopman(8, 0x83).unwrap();
         let spec = spectrum(&g, 20).unwrap();
-        assert!(spec.hd() <= g.weight());
+        assert!(spec.hd().unwrap() <= g.weight());
+    }
+
+    #[test]
+    fn all_zero_counts_yield_no_hd_instead_of_panicking() {
+        // Regression: hd() used to `expect` a minimum weight and panic
+        // on an all-zero counts vector.
+        let empty = WeightSpectrum::from_counts(4, 12, vec![0; 13]).unwrap();
+        assert_eq!(empty.hd(), None);
+        assert_eq!(empty.total(), 0);
+        // And from_counts validates its shape.
+        assert!(WeightSpectrum::from_counts(12, 12, vec![0; 13]).is_err());
+        assert!(WeightSpectrum::from_counts(4, 12, vec![0; 5]).is_err());
     }
 }

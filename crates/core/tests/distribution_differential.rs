@@ -1,0 +1,156 @@
+//! Differential suite for the exact distribution layer: the
+//! MacWilliams transfer pinned bit-for-bit against every independent
+//! oracle the repo has — exhaustive spectrum enumeration at small
+//! lengths, the `weights234` closed form at wide widths, and the
+//! paper's own 802.3 boundary facts.
+//!
+//! Fast cases run everywhere; the exhaustive sweeps and the 802.3
+//! boundary reproduction are `#[ignore]`d and driven by the release CI
+//! job `distribution-equivalence` (with `CRC_HD_FORCE_GF2=soft` pinned
+//! so the soft-multiply syndrome growth is the path under test).
+
+use crc_hd::distribution::{distribution, distribution_with_limit};
+use crc_hd::spectrum::{spectrum, MAX_SPECTRUM_LEN};
+use crc_hd::weights::{weight2, weights234};
+use crc_hd::GenPoly;
+
+/// Width ≤ 16 catalog generators (normal form) the repo's harnesses
+/// exercise; the 13-bit entry is a survey-width representative.
+const SMALL_CATALOG: [(u32, u64); 5] = [
+    (8, 0x07), // CRC-8 SMBus
+    (8, 0x9B), // CRC-8 0x9B
+    (13, 0x1CF5),
+    (16, 0x1021), // CCITT-16
+    (16, 0x8005), // CRC-16 ARC
+];
+
+/// Wide-width generators for the closed-form leg (normal form).
+const WIDE_CATALOG: [(u32, u64); 4] = [
+    (17, 0x1685B),   // CAN CRC-17
+    (24, 0x86_4CFB), // CRC-24 OpenPGP
+    (29, 0x1F1D_5F21),
+    (32, 0x04C1_1DB7), // IEEE 802.3
+];
+
+fn assert_matches_spectrum(g: &GenPoly, n: u32) {
+    let d = distribution(g, n).unwrap();
+    let s = spectrum(g, n).unwrap();
+    assert_eq!(
+        d.counts_u128().as_deref(),
+        Some(s.counts()),
+        "{g} at n={n}: distribution vs exhaustive spectrum"
+    );
+    assert_eq!(d.hd(), s.hd(), "{g} at n={n}: HD");
+    assert_eq!(d.to_spectrum().as_ref(), Some(&s), "{g} at n={n}: lowering");
+}
+
+fn assert_matches_weights234(g: &GenPoly, n: u32) {
+    let d = distribution(g, n).unwrap();
+    let w = weights234(g, n).unwrap();
+    assert_eq!(d.count_u128(2), Some(w.w2), "{g} at n={n}: W2");
+    assert_eq!(d.count_u128(3), Some(w.w3), "{g} at n={n}: W3");
+    assert_eq!(d.count_u128(4), Some(w.w4), "{g} at n={n}: W4");
+    assert_eq!(
+        d.count_u128(2),
+        Some(weight2(g, n).unwrap()),
+        "{g} at n={n}: W2 order form"
+    );
+}
+
+#[test]
+fn small_catalog_matches_spectrum_at_spot_lengths() {
+    for (width, normal) in SMALL_CATALOG {
+        let g = GenPoly::from_normal(width, normal).unwrap();
+        for n in [1, 2, 7, 13, 20] {
+            assert_matches_spectrum(&g, n);
+        }
+    }
+}
+
+#[test]
+fn wide_catalog_matches_closed_form_at_short_lengths() {
+    // Widths ≤ 24 only: the 29/32-bit sweeps walk 2^23..2^26 mask
+    // groups per length, minutes in debug profiles — the ignored
+    // release case below covers them.
+    for (width, normal) in WIDE_CATALOG {
+        if width > 24 {
+            continue;
+        }
+        let g = GenPoly::from_normal(width, normal).unwrap();
+        for n in [8, 40, 100] {
+            assert_matches_weights234(&g, n);
+        }
+    }
+}
+
+#[test]
+fn budget_guard_refuses_infeasible_wide_lengths() {
+    // Width 32 at the MTU would cost ~2^40 column updates; the default
+    // budget must refuse rather than hang.
+    let g = GenPoly::from_normal(32, 0x04C1_1DB7).unwrap();
+    assert!(matches!(
+        distribution(&g, 12_112),
+        Err(crc_hd::Error::BudgetExceeded { .. })
+    ));
+    // And the caller-supplied limit is honored.
+    assert!(matches!(
+        distribution_with_limit(&g, 300, 1),
+        Err(crc_hd::Error::BudgetExceeded { .. })
+    ));
+}
+
+/// Release-only: every width ≤ 16 catalog generator against the
+/// exhaustive spectrum at *all* lengths the enumeration covers — the
+/// acceptance criterion verbatim.
+#[test]
+#[ignore = "exhaustive 2^30 enumerations; run by the distribution-equivalence release job"]
+fn small_catalog_matches_spectrum_at_all_enumerable_lengths() {
+    for (width, normal) in SMALL_CATALOG {
+        let g = GenPoly::from_normal(width, normal).unwrap();
+        for n in 1..=MAX_SPECTRUM_LEN {
+            assert_matches_spectrum(&g, n);
+        }
+    }
+}
+
+/// Release-only: the wide-width closed-form leg, including the 29- and
+/// 32-bit generators the fast test skips, at survey-scale lengths (the
+/// 32-bit sweep costs ~2^34 column updates per length).
+#[test]
+#[ignore = "minutes-scale 29/32-bit sweeps; run by the distribution-equivalence release job"]
+fn wide_catalog_matches_closed_form_at_survey_lengths() {
+    let mut ws = crc_hd::workspace::SyndromeWorkspace::new();
+    for (width, normal) in WIDE_CATALOG {
+        let g = GenPoly::from_normal(width, normal).unwrap();
+        // weights234's counting argument needs the codeword within the
+        // generator's multiplicative order (CAN CRC-17's is only 255);
+        // the distribution has no such restriction, but the comparison
+        // leg does, so cap the probed lengths the same way figure1 does.
+        let order = ws.order(&g);
+        let lens: &[u32] = if width <= 24 { &[512] } else { &[24, 268] };
+        for &n in lens {
+            let n = n.min((order as u32).saturating_sub(width)).max(1);
+            assert_matches_weights234(&g, n);
+        }
+    }
+}
+
+/// Release-only: the paper's 802.3 boundary facts reproduced from the
+/// *full* distribution — HD=6 holds through 268 data bits and falls to
+/// 5 at 269 (Table 1), and the HD=4 boundary restated through the
+/// closed form the distribution was pinned against above: W₄ = 0 at
+/// 2974 and W₄ = 1 at 2975.
+#[test]
+#[ignore = "32-bit full distributions near 300 bits; run by the distribution-equivalence release job"]
+fn ieee_8023_boundary_facts_from_the_full_distribution() {
+    let g = GenPoly::from_normal(32, 0x04C1_1DB7).unwrap();
+    let d = distribution(&g, 268).unwrap();
+    assert_eq!(d.hd(), Some(6), "802.3 holds HD=6 through 268 data bits");
+    let d = distribution(&g, 269).unwrap();
+    assert_eq!(d.hd(), Some(5), "802.3 drops to HD=5 at 269 data bits");
+    // The HD=4 boundary at 2974/2975 sits past the distribution's
+    // budget at width 32; the closed form (already pinned against the
+    // distribution at shorter lengths) carries the fact.
+    assert_eq!(weights234(&g, 2_974).unwrap().w4, 0);
+    assert_eq!(weights234(&g, 2_975).unwrap().w4, 1);
+}

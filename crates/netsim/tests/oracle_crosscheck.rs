@@ -12,7 +12,7 @@
 //! mode, with the delta and eager tallies bit-identical because CRC
 //! linearity makes the verdict independent of payload content.
 
-use crc_hd::{costmodel, spectrum, weights, GenPoly};
+use crc_hd::{costmodel, distribution, spectrum, weights, GenPoly};
 use crckit::catalog;
 use netsim::channel::{BscChannel, Channel, FixedWeightChannel};
 use netsim::frame::FrameCodec;
@@ -60,8 +60,37 @@ fn exact_rate(width: u32, normal: u64, data_bits: u32, k: u32) -> f64 {
         w_spec, w_closed,
         "spectrum and weights234 oracles disagree: {normal:#x} n={data_bits} k={k}"
     );
+    // Third oracle: the full weight distribution (MacWilliams transfer)
+    // must reproduce the same count from a completely different
+    // algorithm — and it extends the cross-check to every weight, not
+    // just W₂..W₄ (see `distribution_rate`).
+    let w_dist = distribution::distribution(&g, data_bits)
+        .expect("within budget")
+        .count_u128(k)
+        .expect("fits u128 at these lengths");
+    assert_eq!(
+        w_spec, w_dist,
+        "spectrum and distribution oracles disagree: {normal:#x} n={data_bits} k={k}"
+    );
     let codeword_bits = data_bits + width;
     w_spec as f64 / costmodel::error_patterns(codeword_bits, k) as f64
+}
+
+/// The exact undetected fraction of weight-`k` errors from the full
+/// weight distribution alone — the oracle for weights the `weights234`
+/// closed form cannot reach (`k ≥ 5`), pinned against the exhaustive
+/// spectrum where that is available.
+fn distribution_rate(width: u32, normal: u64, data_bits: u32, k: u32) -> f64 {
+    let g = GenPoly::from_normal(width, normal).expect("valid generator");
+    let dist = distribution::distribution(&g, data_bits).expect("within budget");
+    let w_k = dist.count_u128(k).expect("fits u128 at these lengths");
+    let spec = spectrum::spectrum(&g, data_bits).expect("within enumeration cap");
+    assert_eq!(
+        w_k,
+        spec.count(k),
+        "distribution disagrees with exhaustive spectrum: {normal:#x} n={data_bits} k={k}"
+    );
+    w_k as f64 / costmodel::error_patterns(data_bits + width, k) as f64
 }
 
 /// Runs weighted trials and checks the measurement against the oracle.
@@ -75,6 +104,19 @@ fn check_against_oracle(
     seed: u64,
 ) -> TrialStats {
     let predicted = exact_rate(width, normal, payload_bytes as u32 * 8, k);
+    check_predicted(codec, normal, payload_bytes, k, trials, seed, predicted)
+}
+
+/// Runs weighted trials against an already-computed exact rate.
+fn check_predicted(
+    codec: &FrameCodec,
+    normal: u64,
+    payload_bytes: usize,
+    k: u32,
+    trials: u64,
+    seed: u64,
+    predicted: f64,
+) -> TrialStats {
     let sim = Simulator::new();
     let stats = sim.run_weighted(codec, payload_bytes, k, trials, seed);
     assert_eq!(
@@ -111,6 +153,21 @@ fn crc8_weighted_trials_match_exact_oracles() {
     for (payload_bytes, k, seed) in [(2usize, 4u32, 0x0AC1), (3, 4, 0x0AC2), (2, 3, 0x0AC3)] {
         check_against_oracle(&codec, 8, 0x07, payload_bytes, k, 60_000, seed as u64);
     }
+}
+
+#[test]
+fn crc8_high_weight_trials_match_the_distribution_oracle() {
+    // Weights the closed-form oracle cannot reach: 0x07 is divisible by
+    // x+1, so W₅ = 0 (odd weight) and the simulator must measure *zero*
+    // undetected weight-5 patterns; W₆ > 0 gives a measurable rate only
+    // the full distribution predicts.
+    let codec = FrameCodec::new(catalog::CRC8_SMBUS);
+    let zero = distribution_rate(8, 0x07, 16, 5);
+    assert_eq!(zero, 0.0, "x+1 divisibility kills every odd weight");
+    check_predicted(&codec, 0x07, 2, 5, 60_000, 0x0AC6, zero);
+    let w6_rate = distribution_rate(8, 0x07, 16, 6);
+    assert!(w6_rate > 0.0, "weight-6 rate must be measurable");
+    check_predicted(&codec, 0x07, 2, 6, 60_000, 0x0AC7, w6_rate);
 }
 
 #[test]

@@ -6,7 +6,8 @@
 //!                   [--ber 1e-5,1e-6] [--sample N] [--stop-after K]
 //!                   [--census N [--classes SIG;SIG;...]]
 //! survey resume     --dir DIR [--threads N] [--stop-after K]
-//! survey report     --dir DIR [--out FILE] [--top K] [--no-spot-check] [--z Z]
+//! survey report     --dir DIR [--out FILE] [--top K] [--no-spot-check]
+//!                   [--exact-pud] [--z Z]
 //! survey coordinate --dir DIR --transport T [--lease-ttl SECS] [--linger MS]
 //!                   [creation flags, for a fresh DIR]
 //! survey work       --transport T [--name NAME] [--max-shards K]
@@ -31,6 +32,7 @@ use crc_survey::coordinator::Coordinator;
 use crc_survey::engine::Campaign;
 use crc_survey::json::Json;
 use crc_survey::leaderboard::{build, render_tables, LeaderboardOptions};
+use crc_survey::pareto::PudAxis;
 use crc_survey::transport::{FileQueueClient, FileQueueServer, TcpClient, TcpServer};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -60,10 +62,13 @@ fn help_text() -> String {
                  e.g. --classes '{{1,15}};{{16}}').
   resume     --dir DIR [--threads N] [--stop-after K]
                  continue a campaign from its checkpoint.
-  report     --dir DIR [--out FILE] [--top K] [--no-spot-check] [--z Z]
+  report     --dir DIR [--out FILE] [--top K] [--no-spot-check]
+                 [--exact-pud] [--z Z]
                  write leaderboard.json for a completed campaign, or
                  census.json (estimates with Wilson bounds at critical
                  value Z, default 95%) for a census campaign.
+                 --exact-pud ranks by full-distribution P_ud (exact at
+                 every weight) instead of the W2-W4 truncation.
   coordinate --dir DIR --transport T [--lease-ttl SECS] [--linger MS]
                  serve the campaign to remote workers; accepts the same
                  creation flags as `run` when DIR has no campaign yet.
@@ -256,6 +261,11 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     let opts = LeaderboardOptions {
         top: parse_or(args, "--top", 5)?,
         spot_check_32: !args.iter().any(|a| a == "--no-spot-check"),
+        pud_axis: if args.iter().any(|a| a == "--exact-pud") {
+            PudAxis::Exact
+        } else {
+            PudAxis::Truncated
+        },
     };
     let doc = build(&campaign, &opts).map_err(|e| e.to_string())?;
     let out = flag_value(args, "--out")

@@ -44,6 +44,7 @@ use crate::campaign::{Mode, ShardResult, FORMAT_VERSION};
 use crate::engine::Campaign;
 use crate::json::Json;
 use crate::{Error, Result};
+use crc_hd::distribution::Nat;
 use gf2poly::{FactorClass, SplitMix64};
 
 /// One census stratum: an exactly sized, uniformly sampleable subset of
@@ -229,6 +230,77 @@ pub fn wilson(s: u64, n: u64, z: f64) -> (f64, f64, f64) {
 /// The critical value of the standard 95% interval.
 pub const Z95: f64 = 1.959_963_984_540_054;
 
+/// Fixed-point scale of the extrapolated counts: millionths.
+const MICRO: u64 = 1_000_000;
+
+/// `⌊size · s · 10⁶ / n⌋` exactly — the point estimate `size · s/n` in
+/// millionth units, computed in integer arithmetic (no `f64` product,
+/// which loses integer precision for the 2³¹-sized width-32 strata).
+fn point_micro(size: u128, s: u64, n: u64) -> Nat {
+    if n == 0 {
+        return Nat::zero();
+    }
+    let (q, _) = Nat::from_u128(size)
+        .mul_small(s)
+        .mul_small(MICRO)
+        .divmod_small(n);
+    q
+}
+
+/// `⌊size · frac · 10⁶⌋` exactly: the `f64` fraction is an exact binary
+/// rational `m · 2^e` (`m ≤ 2⁵³`), so the product reduces to a
+/// big-integer multiply and shift — matching the PR-4 rule (explicit
+/// IEEE-exact arithmetic, no `powi`/libm) down to the rendered digit.
+fn scaled_micro(size: u128, frac: f64) -> Nat {
+    debug_assert!((0.0..=1.0).contains(&frac));
+    if frac <= 0.0 {
+        return Nat::zero();
+    }
+    if frac >= 1.0 {
+        return Nat::from_u128(size).mul_small(MICRO);
+    }
+    let bits = frac.to_bits();
+    let exp = ((bits >> 52) & 0x7ff) as i64;
+    let mantissa = bits & ((1u64 << 52) - 1);
+    let (m, e) = if exp == 0 {
+        (mantissa, -1074i64) // subnormal
+    } else {
+        (mantissa | (1u64 << 52), exp - 1075)
+    };
+    let mut v = Nat::from_u128(size).mul_small(m).mul_small(MICRO);
+    if e >= 0 {
+        v.shl_bits(e as usize);
+    } else {
+        v.shr_bits((-e) as usize);
+    }
+    v
+}
+
+/// Renders a millionths count as `integer.dddddd` — the byte-stable
+/// form the census artifacts carry instead of a shortest-round-trip
+/// `f64`.
+fn render_micro(micro: &Nat) -> String {
+    let (int, frac) = micro.divmod_small(MICRO);
+    format!("{}.{frac:06}", int.to_decimal())
+}
+
+/// Deterministic extrapolated survivor counts for one stratum of exact
+/// `size` with `survivors` of `sampled` draws passing: the point
+/// estimate `size · survivors/sampled` and the Wilson bounds at `z`,
+/// each computed exactly (integer part plus a truncated six-digit
+/// fraction) and returned as decimal strings. This is the scheme the
+/// census report renders; it never multiplies `size as f64` by a
+/// density, so 2³¹-sized strata keep every integer digit and the bytes
+/// are host-independent.
+pub fn extrapolate(size: u128, survivors: u64, sampled: u64, z: f64) -> (String, String, String) {
+    let (_, lo, hi) = wilson(survivors, sampled, z);
+    (
+        render_micro(&point_micro(size, survivors, sampled)),
+        render_micro(&scaled_micro(size, lo)),
+        render_micro(&scaled_micro(size, hi)),
+    )
+}
+
 /// Builds the census report for a completed census campaign: one entry
 /// per stratum with densities, Wilson bounds at `z` and extrapolated
 /// survivor counts, per-target-length HD-boundary estimates, and a
@@ -255,7 +327,8 @@ pub fn census_report(campaign: &Campaign, z: f64) -> Result<Json> {
     // space; class strata overlap them.
     let mut tot_sampled = 0u64;
     let mut tot_survivors = 0u64;
-    let mut tot_est = vec![(0.0f64, 0.0f64, 0.0f64); lengths.len() + 1];
+    let mut tot_est: Vec<(Nat, Nat, Nat)> =
+        vec![(Nat::zero(), Nat::zero(), Nat::zero()); lengths.len() + 1];
 
     let mut rows = Vec::new();
     for (i, stratum) in strata.iter().enumerate() {
@@ -284,29 +357,33 @@ pub fn census_report(campaign: &Campaign, z: f64) -> Result<Json> {
         let mut est = Vec::new();
         for (j, &s) in counts.iter().enumerate() {
             let (p, lo, hi) = wilson(s, n, z);
-            let sz = size as f64;
-            est.push((s, p, lo, hi, sz * p, sz * lo, sz * hi));
+            // Extrapolated counts in exact millionths — never through a
+            // `size as f64` product (the former precision leak).
+            let e_mid = point_micro(size, s, n);
+            let e_lo = scaled_micro(size, lo);
+            let e_hi = scaled_micro(size, hi);
             if i < tap_count {
-                tot_est[j].0 += sz * p;
-                tot_est[j].1 += sz * lo;
-                tot_est[j].2 += sz * hi;
+                tot_est[j].0.add_assign(&e_mid);
+                tot_est[j].1.add_assign(&e_lo);
+                tot_est[j].2.add_assign(&e_hi);
             }
+            est.push((s, p, lo, hi, e_mid, e_lo, e_hi));
         }
         if i < tap_count {
             tot_sampled += n;
             tot_survivors += counts[0];
         }
 
-        let row_for = |label: &str, e: &(u64, f64, f64, f64, f64, f64, f64)| {
+        let row_for = |label: &str, e: &(u64, f64, f64, f64, Nat, Nat, Nat)| {
             Json::obj([
                 ("at", Json::Str(label.to_string())),
                 ("survivors", Json::Int(e.0)),
                 ("density", Json::Num(e.1)),
                 ("density_low", Json::Num(e.2)),
                 ("density_high", Json::Num(e.3)),
-                ("est", Json::Num(e.4)),
-                ("est_low", Json::Num(e.5)),
-                ("est_high", Json::Num(e.6)),
+                ("est", Json::Str(render_micro(&e.4))),
+                ("est_low", Json::Str(render_micro(&e.5))),
+                ("est_high", Json::Str(render_micro(&e.6))),
             ])
         };
         let mut length_rows = vec![row_for("screen", &est[0])];
@@ -340,12 +417,12 @@ pub fn census_report(campaign: &Campaign, z: f64) -> Result<Json> {
     let labels: Vec<String> = std::iter::once("screen".to_string())
         .chain(lengths.iter().map(|l| format!("len={l}")))
         .collect();
-    for (label, &(est, lo, hi)) in labels.iter().zip(&tot_est) {
+    for (label, (est, lo, hi)) in labels.iter().zip(&tot_est) {
         total_rows.push(Json::obj([
             ("at", Json::Str(label.clone())),
-            ("est", Json::Num(est)),
-            ("est_low", Json::Num(lo)),
-            ("est_high", Json::Num(hi)),
+            ("est", Json::Str(render_micro(est))),
+            ("est_low", Json::Str(render_micro(lo))),
+            ("est_high", Json::Str(render_micro(hi))),
         ]));
     }
 
@@ -387,6 +464,13 @@ pub fn render_census_table(doc: &Json) -> String {
         "{:<18} {:>14} {:>8} {:>9} {:>12} {:>12} {:>12}",
         "stratum", "size", "sampled", "survive", "est", "est_low", "est_high"
     );
+    // The est fields are exact decimal strings; show them verbatim.
+    let est_str = |row: &Json, key: &str| {
+        row.get(key)
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string()
+    };
     let strata = doc.get("strata").and_then(Json::as_arr).unwrap_or(&[]);
     for row in strata {
         let screen = row
@@ -396,14 +480,14 @@ pub fn render_census_table(doc: &Json) -> String {
         let Some(screen) = screen else { continue };
         let _ = writeln!(
             out,
-            "{:<18} {:>14} {:>8} {:>9} {:>12.1} {:>12.1} {:>12.1}",
+            "{:<18} {:>14} {:>8} {:>9} {:>18} {:>18} {:>18}",
             row.get("stratum").and_then(Json::as_str).unwrap_or("?"),
             row.get("size").and_then(Json::as_str).unwrap_or("?"),
             row.get("sampled").and_then(Json::as_u64).unwrap_or(0),
             screen.get("survivors").and_then(Json::as_u64).unwrap_or(0),
-            screen.get("est").and_then(Json::as_f64).unwrap_or(0.0),
-            screen.get("est_low").and_then(Json::as_f64).unwrap_or(0.0),
-            screen.get("est_high").and_then(Json::as_f64).unwrap_or(0.0),
+            est_str(screen, "est"),
+            est_str(screen, "est_low"),
+            est_str(screen, "est_high"),
         );
     }
     if let Some(totals) = doc.get("totals") {
@@ -414,14 +498,14 @@ pub fn render_census_table(doc: &Json) -> String {
         if let Some(screen) = screen {
             let _ = writeln!(
                 out,
-                "{:<18} {:>14} {:>8} {:>9} {:>12.1} {:>12.1} {:>12.1}",
+                "{:<18} {:>14} {:>8} {:>9} {:>18} {:>18} {:>18}",
                 "TOTAL (taps)",
                 totals.get("size").and_then(Json::as_str).unwrap_or("?"),
                 totals.get("sampled").and_then(Json::as_u64).unwrap_or(0),
                 totals.get("survivors").and_then(Json::as_u64).unwrap_or(0),
-                screen.get("est").and_then(Json::as_f64).unwrap_or(0.0),
-                screen.get("est_low").and_then(Json::as_f64).unwrap_or(0.0),
-                screen.get("est_high").and_then(Json::as_f64).unwrap_or(0.0),
+                est_str(screen, "est"),
+                est_str(screen, "est_low"),
+                est_str(screen, "est_high"),
             );
         }
     }
@@ -496,6 +580,39 @@ mod tests {
         // Wider z widens the interval.
         let (_, lo3, hi3) = wilson(10, 100, 3.0);
         assert!(lo3 < lo && hi3 > hi);
+    }
+
+    #[test]
+    fn width32_stratum_extrapolation_is_exact_and_deterministic() {
+        // Regression: the report used to render `size as f64 * bound`,
+        // which loses integer digits once strata reach 2³¹ polynomials.
+        let size = Stratum::Taps(16).size(32);
+        assert_eq!(size, 300_540_195); // C(31,15)
+                                       // The old path rendered `size as f64 * (s as f64 / n as f64)`
+                                       // as a shortest-round-trip f64 — noise digits past the exact
+                                       // fraction …
+        let f64_est = format!("{}", size as f64 * (2f64 / 7f64));
+        assert_ne!(f64_est, "85868627.142857");
+        // … while the integer scheme truncates the exact rational.
+        let (est, lo, hi) = extrapolate(size, 2, 7, Z95);
+        assert_eq!(est, "85868627.142857");
+        assert_eq!(extrapolate(size, 2, 7, Z95), (est.clone(), lo, hi));
+        // A dyadic-exact case keeps every integer digit too.
+        let (est, lo, hi) = extrapolate(size, 2, 3, Z95);
+        assert_eq!(est, "200360130.000000");
+        // The bounds bracket the point estimate.
+        let to_f = |s: &str| s.parse::<f64>().unwrap();
+        assert!(to_f(&lo) <= 200_360_130.0 && 200_360_130.0 <= to_f(&hi));
+        // Degenerate edges: all survive / none survive.
+        let (e1, _, h1) = extrapolate(size, 3, 3, Z95);
+        assert_eq!(e1, "300540195.000000");
+        assert_eq!(h1, "300540195.000000");
+        let (e0, l0, _) = extrapolate(size, 0, 3, Z95);
+        assert_eq!(e0, "0.000000");
+        assert_eq!(l0, "0.000000");
+        // Unsampled stratum renders zeros, not NaN.
+        let (eu, ..) = extrapolate(size, 0, 0, Z95);
+        assert_eq!(eu, "0.000000");
     }
 
     #[test]

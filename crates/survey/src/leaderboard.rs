@@ -17,7 +17,7 @@
 use crate::campaign::{CampaignConfig, SurvivorRecord, FORMAT_VERSION};
 use crate::engine::Campaign;
 use crate::json::Json;
-use crate::pareto::{frontier_indices, Objectives};
+use crate::pareto::{frontier_indices, Objectives, PudAxis};
 use crate::Result;
 use crc_hd::profile::HdProfile;
 use crc_hd::report::TextTable;
@@ -42,6 +42,13 @@ pub struct LeaderboardOptions {
     /// computations out to ~16 Kbit; cheap in release builds, skippable
     /// in tight test loops).
     pub spot_check_32: bool,
+    /// Which P_ud computation ranks the board and feeds the frontier.
+    /// The default [`PudAxis::Truncated`] keeps the artifact bytes
+    /// identical to the pre-distribution era (the golden leaderboard
+    /// pins them); [`PudAxis::Exact`] recomputes every curve from the
+    /// full weight distribution and stamps a `p_ud_axis` key into the
+    /// document so the two artifacts can never be confused.
+    pub pud_axis: PudAxis,
 }
 
 impl Default for LeaderboardOptions {
@@ -49,6 +56,7 @@ impl Default for LeaderboardOptions {
         LeaderboardOptions {
             top: 5,
             spot_check_32: true,
+            pud_axis: PudAxis::Truncated,
         }
     }
 }
@@ -77,7 +85,7 @@ pub fn build_from_records(
 ) -> Result<Json> {
     let objectives: Vec<Objectives> = survivors
         .iter()
-        .map(|r| Objectives::evaluate(r, cfg))
+        .map(|r| Objectives::evaluate_with(r, cfg, opts.pud_axis))
         .collect::<Result<_>>()?;
     let front = frontier_indices(&objectives);
     let on_front: std::collections::HashSet<usize> = front.iter().copied().collect();
@@ -170,6 +178,11 @@ pub fn build_from_records(
         ("regimes".to_string(), Json::Arr(regimes)),
         ("pareto_front".to_string(), Json::Arr(front_json)),
     ];
+    // Stamped ONLY on the exact axis: the default truncated artifact
+    // must stay byte-identical to the golden leaderboard.
+    if opts.pud_axis == PudAxis::Exact {
+        doc.insert(5, ("p_ud_axis".to_string(), Json::Str("exact".into())));
+    }
     if opts.spot_check_32 {
         doc.push(("notables_32bit".to_string(), spot_check_32()?));
     }
@@ -309,6 +322,7 @@ mod tests {
             &LeaderboardOptions {
                 top: 8,
                 spot_check_32: false,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -340,10 +354,58 @@ mod tests {
             &LeaderboardOptions {
                 top: 8,
                 spot_check_32: false,
+                ..Default::default()
             },
         )
         .unwrap();
         assert_eq!(again.render(), doc.render());
+    }
+
+    #[test]
+    fn exact_axis_stamps_the_document_and_truncated_does_not() {
+        let c = cfg();
+        let recs = records_for(&c);
+        let truncated = build_from_records(
+            &c,
+            &recs,
+            &LeaderboardOptions {
+                top: 3,
+                spot_check_32: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            truncated.get("p_ud_axis").is_none(),
+            "default artifact must keep the golden byte layout"
+        );
+        let exact = build_from_records(
+            &c,
+            &recs,
+            &LeaderboardOptions {
+                top: 3,
+                spot_check_32: false,
+                pud_axis: PudAxis::Exact,
+            },
+        )
+        .unwrap();
+        assert_eq!(exact.get("p_ud_axis").and_then(Json::as_str), Some("exact"));
+        // The exact axis really recomputes the curves: at least one
+        // p_ud_ref cell differs from the truncated artifact (weight-5+
+        // terms are strictly positive for these codes).
+        assert_ne!(truncated.render(), exact.render());
+        // And the exact build is itself deterministic.
+        let again = build_from_records(
+            &c,
+            &recs,
+            &LeaderboardOptions {
+                top: 3,
+                spot_check_32: false,
+                pud_axis: PudAxis::Exact,
+            },
+        )
+        .unwrap();
+        assert_eq!(again.render(), exact.render());
     }
 
     #[test]
@@ -356,6 +418,7 @@ mod tests {
             &LeaderboardOptions {
                 top: 3,
                 spot_check_32: false,
+                ..Default::default()
             },
         )
         .unwrap();

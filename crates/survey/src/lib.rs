@@ -74,7 +74,8 @@
 //! campaign.run(2, None).unwrap();            // or stop early and…
 //! let mut resumed = Campaign::open(&dir).unwrap();
 //! resumed.run(2, None).unwrap();             // …resume bit-identically
-//! let board = build(&resumed, &LeaderboardOptions { top: 3, spot_check_32: false }).unwrap();
+//! let opts = LeaderboardOptions { top: 3, spot_check_32: false, ..Default::default() };
+//! let board = build(&resumed, &opts).unwrap();
 //! assert!(board.get("survivors").unwrap().as_u64().unwrap() > 0);
 //! std::fs::remove_dir_all(&dir).unwrap();
 //! ```

@@ -9,6 +9,41 @@
 
 use crate::campaign::{CampaignConfig, SurvivorRecord};
 use crate::Result;
+use crc_hd::distribution::distribution;
+use crc_hd::GenPoly;
+
+/// Which P_ud computation feeds the objective vector.
+///
+/// The default [`PudAxis::Truncated`] is the paper's own methodology —
+/// `W₂..W₄` times per-weight pattern probabilities, cheap enough to
+/// evaluate from the survivor record alone and byte-stable across
+/// releases (the golden leaderboard pins it). [`PudAxis::Exact`]
+/// replaces the truncation with the full weight distribution from
+/// [`crc_hd::distribution`]: every weight contributes, so the curve
+/// stays meaningful at high BER where the weight-5+ tail dominates, and
+/// extends to P_ud ≤ 1e-30 where the truncated form has nothing left.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PudAxis {
+    /// `W₂..W₄` truncation (the paper's Figure 1 methodology).
+    #[default]
+    Truncated,
+    /// Full-distribution P_ud at the reference length.
+    Exact,
+}
+
+/// The exact P_ud curve of one survivor over the config's BER grid,
+/// computed once from the full weight distribution at the reference
+/// length.
+///
+/// # Errors
+///
+/// Propagates [`crc_hd::Error`] from polynomial reconstruction or a
+/// distribution whose cost estimate exceeds the default budget.
+pub fn exact_pud_curve(rec: &SurvivorRecord, cfg: &CampaignConfig) -> Result<Vec<f64>> {
+    let g = GenPoly::from_koopman(rec.width, rec.koopman)?;
+    let dist = distribution(&g, cfg.ref_len())?;
+    Ok(cfg.ber_grid.iter().map(|&b| dist.p_ud(b)).collect())
+}
 
 /// The objective vector of one survivor: HD per target length
 /// (maximize), P_ud per grid BER at the reference length (minimize),
@@ -31,14 +66,32 @@ impl Objectives {
     ///
     /// Propagates profile-reconstruction errors (corrupt records).
     pub fn evaluate(rec: &SurvivorRecord, cfg: &CampaignConfig) -> Result<Objectives> {
+        Self::evaluate_with(rec, cfg, PudAxis::Truncated)
+    }
+
+    /// Evaluates the vector with an explicit choice of P_ud axis.
+    ///
+    /// # Errors
+    ///
+    /// As [`Objectives::evaluate`]; additionally distribution errors
+    /// under [`PudAxis::Exact`].
+    pub fn evaluate_with(
+        rec: &SurvivorRecord,
+        cfg: &CampaignConfig,
+        axis: PudAxis,
+    ) -> Result<Objectives> {
         let profile = rec.profile(cfg.ref_len())?;
+        let p_ud = match axis {
+            PudAxis::Truncated => cfg.ber_grid.iter().map(|&b| rec.p_ud(b)).collect(),
+            PudAxis::Exact => exact_pud_curve(rec, cfg)?,
+        };
         Ok(Objectives {
             hds: cfg
                 .target_lengths
                 .iter()
                 .map(|&n| profile.hd_at(n))
                 .collect(),
-            p_ud: cfg.ber_grid.iter().map(|&b| rec.p_ud(b)).collect(),
+            p_ud,
             taps: rec.taps,
         })
     }
@@ -103,9 +156,23 @@ pub fn pareto_front(
     records: &[SurvivorRecord],
     cfg: &CampaignConfig,
 ) -> Result<Vec<(usize, Objectives)>> {
+    pareto_front_with(records, cfg, PudAxis::Truncated)
+}
+
+/// [`pareto_front`] with an explicit P_ud axis.
+///
+/// # Errors
+///
+/// As [`pareto_front`]; additionally distribution errors under
+/// [`PudAxis::Exact`].
+pub fn pareto_front_with(
+    records: &[SurvivorRecord],
+    cfg: &CampaignConfig,
+    axis: PudAxis,
+) -> Result<Vec<(usize, Objectives)>> {
     let objectives: Vec<Objectives> = records
         .iter()
-        .map(|r| Objectives::evaluate(r, cfg))
+        .map(|r| Objectives::evaluate_with(r, cfg, axis))
         .collect::<Result<_>>()?;
     Ok(frontier_indices(&objectives)
         .into_iter()
@@ -145,6 +212,64 @@ mod tests {
         let noisy = obj(&[Some(4)], &[1e-12, 1e-14], 5);
         assert!(clean.dominates(&noisy));
         assert!(!noisy.dominates(&clean));
+    }
+
+    #[test]
+    fn exact_axis_brackets_the_truncated_curve() {
+        use crate::campaign::Mode;
+        let cfg = CampaignConfig {
+            width: 8,
+            shards: 1,
+            seed: 1,
+            mode: Mode::Exhaustive,
+            min_hd: 3,
+            target_lengths: vec![8, 24],
+            ber_grid: vec![1e-4, 1e-7],
+            max_weight: 8,
+        };
+        let mut records = Vec::new();
+        for g in cfg.space().iter_all() {
+            if g.koopman() > g.reciprocal().koopman() {
+                continue;
+            }
+            if let Some(rec) = SurvivorRecord::screen(&g, &cfg).unwrap() {
+                records.push(rec);
+            }
+        }
+        assert!(records.len() > 10);
+        // The truncated curve drops every weight ≥ 5 term (every
+        // weight ≥ 3 term when the record carries no W₃/W₄), so the
+        // exact value sits above it by at most Σ_{k≥c} Wₖ εᵏ ≤ 2ⁿ · εᶜ.
+        let n = cfg.ref_len();
+        for rec in &records {
+            let exact = exact_pud_curve(rec, &cfg).unwrap();
+            let cutoff = if rec.w34.is_some() { 5 } else { 3 };
+            for (&ber, &e) in cfg.ber_grid.iter().zip(&exact) {
+                let t = rec.p_ud(ber);
+                assert!(
+                    t <= e * (1.0 + 1e-9),
+                    "poly {:#x} ber {ber}: truncated {t} above exact {e}",
+                    rec.koopman
+                );
+                let tail = (0..cutoff).fold((1u64 << n) as f64, |acc, _| acc * ber);
+                assert!(
+                    e - t <= tail,
+                    "poly {:#x} ber {ber}: gap {} above tail bound {tail}",
+                    rec.koopman,
+                    e - t
+                );
+            }
+        }
+        // The exact frontier is sound under the same dominance sweep.
+        let front = pareto_front_with(&records, &cfg, PudAxis::Exact).unwrap();
+        assert!(!front.is_empty() && front.len() < records.len());
+        let all: Vec<Objectives> = records
+            .iter()
+            .map(|r| Objectives::evaluate_with(r, &cfg, PudAxis::Exact).unwrap())
+            .collect();
+        for (i, oi) in &front {
+            assert!(!all.iter().any(|o| o.dominates(oi)), "index {i} dominated");
+        }
     }
 
     #[test]

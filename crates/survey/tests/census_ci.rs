@@ -75,6 +75,17 @@ fn exhaustive_truth() -> (Vec<Truth>, Truth) {
     (taps, class)
 }
 
+/// Extrapolated counts are exact `integer.dddddd` decimal strings
+/// (byte-deterministic even for 2³¹-sized strata); parse one for an
+/// interval check.
+fn est_bound(e: &Json, key: &str) -> f64 {
+    let s = match e.get(key).unwrap() {
+        Json::Str(s) => s,
+        other => panic!("{key} is {other:?}"),
+    };
+    s.parse::<f64>().unwrap()
+}
+
 fn check_row(row: &Json, truth: &Truth) {
     let label = row.get("stratum").unwrap().as_str().unwrap();
     assert_eq!(
@@ -89,14 +100,8 @@ fn check_row(row: &Json, truth: &Truth) {
     assert_eq!(estimates.len(), truth.counts.len());
     for (e, &true_count) in estimates.iter().zip(&truth.counts) {
         let at = e.get("at").unwrap().as_str().unwrap();
-        let lo = match e.get("est_low").unwrap() {
-            Json::Num(x) => *x,
-            other => panic!("est_low is {other:?}"),
-        };
-        let hi = match e.get("est_high").unwrap() {
-            Json::Num(x) => *x,
-            other => panic!("est_high is {other:?}"),
-        };
+        let lo = est_bound(e, "est_low");
+        let hi = est_bound(e, "est_high");
         let t = true_count as f64;
         assert!(
             lo <= t && t <= hi,
@@ -150,14 +155,8 @@ fn census_intervals_cover_exhaustive_truth() {
     };
     for (e, j) in estimates.iter().zip(0..) {
         let truth: u64 = taps_truth.iter().map(|t| t.counts[j]).sum();
-        let lo = match e.get("est_low").unwrap() {
-            Json::Num(x) => *x,
-            other => panic!("est_low is {other:?}"),
-        };
-        let hi = match e.get("est_high").unwrap() {
-            Json::Num(x) => *x,
-            other => panic!("est_high is {other:?}"),
-        };
+        let lo = est_bound(e, "est_low");
+        let hi = est_bound(e, "est_high");
         assert!(
             lo <= truth as f64 && truth as f64 <= hi,
             "totals at index {j}: truth {truth} outside [{lo}, {hi}]"

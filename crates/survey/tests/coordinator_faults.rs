@@ -52,6 +52,7 @@ fn artifact_bytes(dir: &Path) -> Vec<(String, Vec<u8>)> {
         &LeaderboardOptions {
             top: 5,
             spot_check_32: false,
+            ..Default::default()
         },
     )
     .unwrap();

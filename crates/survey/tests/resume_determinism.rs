@@ -78,6 +78,7 @@ fn artifact_bytes(dir: &std::path::Path) -> Vec<(String, Vec<u8>)> {
         &LeaderboardOptions {
             top: 5,
             spot_check_32: false,
+            ..Default::default()
         },
     )
     .unwrap();

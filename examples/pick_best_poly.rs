@@ -77,6 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &LeaderboardOptions {
             top: 5,
             spot_check_32: false,
+            ..Default::default()
         },
     )?;
     let (tables, _csv) = render_tables(&board);
