@@ -84,6 +84,7 @@ fn main() {
     let trials: u64 = arg_or("--trials", 100_000);
     let reps: usize = arg_or("--reps", 5);
     let out_path: String = arg_or("--out", "BENCH_sim_throughput.json".to_string());
+    let telemetry_out: String = arg_or("--telemetry-out", "BENCH_sim_telemetry.json".to_string());
 
     let host_threads = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -197,4 +198,13 @@ fn main() {
     writeln!(json, "}}").unwrap();
     std::fs::write(&out_path, json).expect("write benchmark JSON");
     println!("wrote {out_path}");
+
+    // Engine telemetry accumulated across every run above: lane frame
+    // counts, producer/consumer stalls, eager-vs-delta path split, and the
+    // consume-stage burst histogram. Integers only, so the file is
+    // diffable like the throughput trail.
+    telemetry::global()
+        .write_snapshot(std::path::Path::new(&telemetry_out))
+        .expect("write telemetry snapshot");
+    println!("wrote {telemetry_out}");
 }

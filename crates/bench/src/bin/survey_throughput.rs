@@ -71,6 +71,8 @@ fn main() {
     let width: u32 = arg_or("--width", 13);
     let reps: usize = arg_or("--reps", 3);
     let out_path: String = arg_or("--out", "BENCH_survey_throughput.json".to_string());
+    let telemetry_out: String =
+        arg_or("--telemetry-out", "BENCH_survey_telemetry.json".to_string());
     let host_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -171,4 +173,12 @@ fn main() {
     writeln!(json, "}}").unwrap();
     std::fs::write(&out_path, json).expect("write benchmark JSON");
     println!("wrote {out_path}");
+
+    // Screening-funnel and index telemetry accumulated across every run
+    // above: candidates→hd_pass→profiled→weights→recorded counts, shard
+    // timing, and PosMap/two-level occupancy. Diffable like the trail.
+    telemetry::global()
+        .write_snapshot(std::path::Path::new(&telemetry_out))
+        .expect("write telemetry snapshot");
+    println!("wrote {telemetry_out}");
 }

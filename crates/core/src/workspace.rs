@@ -382,6 +382,36 @@ impl SyndromeWorkspace {
         self.hash.rehashes()
     }
 
+    /// Number of entries currently held in the hash index.
+    pub fn hash_len(&self) -> usize {
+        self.hash.len()
+    }
+
+    /// Slot capacity of the hash index; together with [`hash_len`] this
+    /// gives the load factor a telemetry gauge can report without
+    /// reaching into [`PosMap`] internals.
+    ///
+    /// [`hash_len`]: SyndromeWorkspace::hash_len
+    pub fn hash_capacity(&self) -> usize {
+        self.hash.capacity()
+    }
+
+    /// Number of spill rows the two-level index has materialized —
+    /// syndrome values whose first-level slot overflowed into a
+    /// heap-allocated row. Stays 0 for `Direct` and `Hash` bindings.
+    pub fn two_level_spill_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Total positions stored across all two-level spill rows — the
+    /// subset of [`positions_indexed`] that could not live in the
+    /// first-level directory.
+    ///
+    /// [`positions_indexed`]: SyndromeWorkspace::positions_indexed
+    pub fn two_level_spill_positions(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+
     /// The multiplicative order of `x` mod `g` (= `d_min(2)`), cached
     /// across every evaluation of the binding.
     pub fn order(&mut self, g: &GenPoly) -> u128 {
@@ -1348,6 +1378,32 @@ mod tests {
             }
         }
         assert_eq!(ws.rebinds(), 6);
+    }
+
+    #[test]
+    fn stat_accessors_track_index_population() {
+        let g = g32(0x82608EDB);
+
+        // Two-level binding: positions land in the directory, collisions
+        // spill to rows; the spill accessors expose that split.
+        let mut two = SyndromeWorkspace::with_policy(IndexPolicy::ForceTwoLevel);
+        two.dmin(&g, 4, 5000).unwrap();
+        assert_eq!(two.index_kind(), IndexKind::TwoLevel);
+        assert!(two.positions_indexed() > 0);
+        assert!(two.two_level_spill_positions() >= 2 * two.two_level_spill_rows());
+        assert!(two.two_level_spill_positions() <= two.positions_indexed() as usize);
+        // The hash accessors stay idle for a two-level binding.
+        assert_eq!(two.hash_len(), 0);
+
+        // Hash binding: entries accumulate in the PosMap and capacity
+        // bounds them; the two-level accessors stay idle.
+        let mut hash = SyndromeWorkspace::with_policy(IndexPolicy::ForceHash);
+        hash.dmin(&g, 4, 5000).unwrap();
+        assert_eq!(hash.index_kind(), IndexKind::Hash);
+        assert!(hash.hash_len() > 0);
+        assert!(hash.hash_capacity() >= hash.hash_len());
+        assert_eq!(hash.two_level_spill_rows(), 0);
+        assert_eq!(hash.two_level_spill_positions(), 0);
     }
 
     #[test]

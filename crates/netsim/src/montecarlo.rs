@@ -54,6 +54,68 @@ use crate::frame::FrameCodec;
 use crckit::CrcParams;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Bucket bounds (µs) for the consume-stage burst histogram: a burst is
+/// a few hundred frames of compose + batch-verify, so the interesting
+/// range spans tens of microseconds to tens of milliseconds.
+const CONSUME_BURST_BOUNDS: [u64; 9] = [10, 50, 100, 500, 1_000, 5_000, 10_000, 50_000, 100_000];
+
+/// Cached handles for one pipeline lane (`sim.lane.{l}.*`), resolved
+/// once at lane spawn so the burst loop never touches the registry lock.
+/// `None` when telemetry is disabled — the lane threads then run their
+/// plain blocking send/recv paths with zero added work.
+#[derive(Clone)]
+struct LaneMetrics {
+    /// Frames tallied by this lane's consumer (`sim.lane.{l}.frames`).
+    frames: Arc<telemetry::Counter>,
+    /// Times the producer found no free buffer or a full job queue.
+    producer_stalls: Arc<telemetry::Counter>,
+    /// Times the consumer found the job queue empty.
+    consumer_stalls: Arc<telemetry::Counter>,
+    /// Wall-clock µs the lane's consumer ran, set once at lane exit.
+    elapsed_us: Arc<telemetry::Gauge>,
+}
+
+fn lane_metrics(lane: usize) -> Option<LaneMetrics> {
+    let reg = telemetry::global();
+    if !reg.enabled() {
+        return None;
+    }
+    Some(LaneMetrics {
+        frames: reg.counter(&format!("sim.lane.{lane}.frames")),
+        producer_stalls: reg.counter(&format!("sim.lane.{lane}.producer_stalls")),
+        consumer_stalls: reg.counter(&format!("sim.lane.{lane}.consumer_stalls")),
+        elapsed_us: reg.gauge(&format!("sim.lane.{lane}.elapsed_us")),
+    })
+}
+
+/// Process-wide engine-path counters (`sim.path.*`) and the consume-stage
+/// burst histogram, shared by the sharded loop, the pipeline's solo
+/// worker, and every lane consumer.
+struct PathMetrics {
+    /// Frames tallied on the eager (encode→corrupt→verify) path.
+    eager_frames: Arc<telemetry::Counter>,
+    /// Frames tallied on the delta (all-zero composition) path.
+    delta_frames: Arc<telemetry::Counter>,
+    /// Duration of each consume stage call, µs.
+    consume_burst_us: Arc<telemetry::Histogram>,
+}
+
+fn path_metrics() -> Option<&'static PathMetrics> {
+    if !telemetry::global().enabled() {
+        return None;
+    }
+    static CELL: OnceLock<PathMetrics> = OnceLock::new();
+    Some(CELL.get_or_init(|| {
+        let reg = telemetry::global();
+        PathMetrics {
+            eager_frames: reg.counter("sim.path.eager_frames"),
+            delta_frames: reg.counter("sim.path.delta_frames"),
+            consume_burst_us: reg.histogram("sim.consume_burst_us", &CONSUME_BURST_BOUNDS),
+        }
+    }))
+}
 
 /// Configuration for a Monte-Carlo run.
 #[derive(Debug, Clone, Copy)]
@@ -525,7 +587,7 @@ impl Simulator {
                     local
                 }));
             }
-            for _ in 0..lanes {
+            for lane in 0..lanes {
                 let (job_tx, job_rx) = mpsc::sync_channel::<BurstJob>(Self::PIPE_DEPTH);
                 let (free_tx, free_rx) = mpsc::channel::<BurstJob>();
                 // The circulating buffer pool: the queue plus one burst in
@@ -535,7 +597,12 @@ impl Simulator {
                         .send(BurstJob::new(batch))
                         .expect("receiver is live");
                 }
+                // Resolved once per lane; the burst loops pay one branch
+                // per blocking point when telemetry is off.
+                let lane_prod = lane_metrics(lane);
+                let lane_cons = lane_prod.clone();
                 scope.spawn(move |_| {
+                    let lm = lane_prod;
                     let mut plan = make_plan();
                     loop {
                         let shard = next.fetch_add(1, Ordering::Relaxed);
@@ -548,8 +615,22 @@ impl Simulator {
                         while left > 0 {
                             let burst = (batch as u64).min(left) as usize;
                             // A closed return channel means the consumer
-                            // died (panicked); stop producing.
-                            let Ok(mut job) = free_rx.recv() else { return };
+                            // died (panicked); stop producing. When
+                            // instrumented, an empty pool counts as a
+                            // producer stall (the consumer is behind)
+                            // before falling back to the blocking wait.
+                            let recycled = match &lm {
+                                Some(m) => match free_rx.try_recv() {
+                                    Ok(job) => Ok(job),
+                                    Err(mpsc::TryRecvError::Empty) => {
+                                        m.producer_stalls.inc();
+                                        free_rx.recv().map_err(|_| ())
+                                    }
+                                    Err(mpsc::TryRecvError::Disconnected) => Err(()),
+                                },
+                                None => free_rx.recv().map_err(|_| ()),
+                            };
+                            let Ok(mut job) = recycled else { return };
                             job.shard = shard;
                             produce_burst(
                                 codec,
@@ -559,7 +640,21 @@ impl Simulator {
                                 burst,
                                 &mut plan,
                             );
-                            if job_tx.send(job).is_err() {
+                            // A full job queue is the other producer-side
+                            // stall: the burst is ready but the consumer
+                            // has not drained the pipe.
+                            let sent = match &lm {
+                                Some(m) => match job_tx.try_send(job) {
+                                    Ok(()) => Ok(()),
+                                    Err(mpsc::TrySendError::Full(job)) => {
+                                        m.producer_stalls.inc();
+                                        job_tx.send(job).map_err(|_| ())
+                                    }
+                                    Err(mpsc::TrySendError::Disconnected(_)) => Err(()),
+                                },
+                                None => job_tx.send(job).map_err(|_| ()),
+                            };
+                            if sent.is_err() {
                                 return;
                             }
                             left -= burst as u64;
@@ -567,6 +662,9 @@ impl Simulator {
                     }
                 });
                 consumers.push(scope.spawn(move |_| {
+                    let lm = lane_cons;
+                    let pm = path_metrics();
+                    let t0 = std::time::Instant::now();
                     let mut local = S::default();
                     let mut work = Vec::new();
                     // On the delta path the consumer owns the fill stream,
@@ -574,7 +672,22 @@ impl Simulator {
                     // boundary (bursts of one shard arrive contiguously
                     // and in order from this lane's producer).
                     let mut fill: Option<(u64, rand::rngs::StdRng)> = None;
-                    while let Ok(mut job) = job_rx.recv() {
+                    loop {
+                        // An empty job queue counts as a consumer stall
+                        // (the producer is behind) before the blocking
+                        // wait; a disconnect means the producer finished.
+                        let received = match &lm {
+                            Some(m) => match job_rx.try_recv() {
+                                Ok(job) => Ok(job),
+                                Err(mpsc::TryRecvError::Empty) => {
+                                    m.consumer_stalls.inc();
+                                    job_rx.recv().map_err(|_| ())
+                                }
+                                Err(mpsc::TryRecvError::Disconnected) => Err(()),
+                            },
+                            None => job_rx.recv().map_err(|_| ()),
+                        };
+                        let Ok(mut job) = received else { break };
                         let fill_rng = if delta {
                             if fill.as_ref().map(|(s, _)| *s) != Some(job.shard) {
                                 fill = Some((job.shard, ShardStreams::new(seed, job.shard).fill));
@@ -583,10 +696,28 @@ impl Simulator {
                         } else {
                             None
                         };
+                        let span = pm.map(|p| telemetry::Span::start(&p.consume_burst_us));
                         consume_burst(codec, fill_rng, &mut job, &mut work, |tag, f, v| {
                             sink(&mut local, tag, f, v)
                         });
+                        if let Some(sp) = span {
+                            sp.finish();
+                        }
+                        if let Some(m) = &lm {
+                            m.frames.add(job.used as u64);
+                        }
+                        if let Some(p) = pm {
+                            let path = if delta {
+                                &p.delta_frames
+                            } else {
+                                &p.eager_frames
+                            };
+                            path.add(job.used as u64);
+                        }
                         let _ = free_tx.send(job);
+                    }
+                    if let Some(m) = &lm {
+                        m.elapsed_us.set(t0.elapsed().as_micros() as u64);
                     }
                     local
                 }));
@@ -783,6 +914,7 @@ pub(crate) fn run_shard_two_stage(
     let mut streams = ShardStreams::new(seed, shard);
     let mut ch = channel.fork(shard_seed(seed, shard, STREAM_CHANNEL));
     let delta = channel.content_independent();
+    let pm = path_metrics();
     scratch.job.shard = shard;
     let mut left = count;
     while left > 0 {
@@ -796,7 +928,19 @@ pub(crate) fn run_shard_two_stage(
             frame_plan,
         );
         let fill = if delta { Some(&mut streams.fill) } else { None };
+        let span = pm.map(|p| telemetry::Span::start(&p.consume_burst_us));
         consume_burst(codec, fill, &mut scratch.job, &mut scratch.work, &mut sink);
+        if let Some(sp) = span {
+            sp.finish();
+        }
+        if let Some(p) = pm {
+            let path = if delta {
+                &p.delta_frames
+            } else {
+                &p.eager_frames
+            };
+            path.add(burst as u64);
+        }
         left -= burst as u64;
     }
 }
@@ -1032,6 +1176,43 @@ mod tests {
                 assert_eq!(sharded, piped, "pipelined x{threads} diverged");
             }
         }
+    }
+
+    #[test]
+    fn telemetry_tracks_lane_frames_and_path_split() {
+        // A pipelined delta-path run must account for every trial frame in
+        // the lane counters and on the delta path counter; an eager-path
+        // (content-dependent) run must land on the eager counter. Counters
+        // are process-global and other tests run pipelined sims in
+        // parallel, so assert the delta grew by at least this run's share.
+        let codec = FrameCodec::new(catalog::CRC32_ISO_HDLC);
+        let cfg = TrialConfig {
+            payload_len: 64,
+            trials: 2_000,
+            seed: 7,
+        };
+        let reg = telemetry::global();
+        let lane0 = reg.counter("sim.lane.0.frames");
+        let delta = reg.counter("sim.path.delta_frames");
+        let eager = reg.counter("sim.path.eager_frames");
+        let (l0, d0, e0) = (lane0.get(), delta.get(), eager.get());
+        Simulator::new()
+            .pipelined()
+            .threads(2)
+            .run(&codec, &BscChannel::new(1e-3), &cfg);
+        assert!(
+            lane0.get() - l0 >= cfg.trials,
+            "one lane tallies all frames"
+        );
+        assert!(delta.get() - d0 >= cfg.trials, "BSC rides the delta path");
+        Simulator::new()
+            .pipelined()
+            .threads(2)
+            .run(&codec, &JammerChannel::hdlc(0.5), &cfg);
+        assert!(
+            eager.get() - e0 >= cfg.trials,
+            "jammer rides the eager path"
+        );
     }
 
     #[test]

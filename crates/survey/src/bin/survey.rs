@@ -11,6 +11,7 @@
 //! survey coordinate --dir DIR --transport T [--lease-ttl SECS] [--linger MS]
 //!                   [creation flags, for a fresh DIR]
 //! survey work       --transport T [--name NAME] [--max-shards K]
+//! survey watch      --transport T [--interval SECS] [--once] [--name NAME]
 //! survey merge      --dir DIR LOG [LOG...]
 //! ```
 //!
@@ -22,7 +23,10 @@
 //! `coordinate`/`work` are the distributed pair: the coordinator owns
 //! the campaign directory and leases shards over a transport (`file:DIR`
 //! for a shared queue directory, `tcp:HOST:PORT` for a socket); workers
-//! need only the transport address. `merge` folds shard-log files that
+//! need only the transport address. `watch` polls a coordinator's
+//! `Status` endpoint over either transport and renders live progress —
+//! per-worker heartbeats, outstanding leases, scan rate, and the ETA
+//! from the shard completion rate. `merge` folds shard-log files that
 //! arrived out of band into the checkpoint. Run `survey help` for the
 //! full story.
 
@@ -33,7 +37,10 @@ use crc_survey::engine::Campaign;
 use crc_survey::json::Json;
 use crc_survey::leaderboard::{build, render_tables, LeaderboardOptions};
 use crc_survey::pareto::PudAxis;
-use crc_survey::transport::{FileQueueClient, FileQueueServer, TcpClient, TcpServer};
+use crc_survey::transport::{
+    FileQueueClient, FileQueueServer, Reply, Request, StatusReport, TcpClient, TcpServer,
+    WorkerTransport,
+};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
@@ -45,7 +52,7 @@ after this invocation checkpoints K shards (fewer if the campaign finishes first
 process stops, and a later resume continues the manifest to artifacts byte-identical to \
 an uninterrupted run.";
 
-const USAGE: &str = "usage: survey <run|resume|report|coordinate|work|merge|help> [options]";
+const USAGE: &str = "usage: survey <run|resume|report|coordinate|work|watch|merge|help> [options]";
 
 fn help_text() -> String {
     format!(
@@ -78,6 +85,12 @@ fn help_text() -> String {
                  attach a worker to a coordinator: lease, evaluate,
                  submit, repeat until the coordinator reports the
                  campaign complete.
+  watch      --transport T [--interval SECS] [--once] [--name NAME]
+                 poll a running coordinator's status endpoint and render
+                 live progress: shards done, scan rate, ETA, outstanding
+                 leases, and per-worker heartbeats. --once prints one
+                 report and exits; otherwise polls every SECS (default 2)
+                 until the campaign completes.
   merge      --dir DIR LOG [LOG...]
                  fold shard-log JSON files (collected out of band) into
                  the campaign checkpoint; byte-identical logs are
@@ -362,6 +375,102 @@ fn cmd_work(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Renders one status report as the live table `survey watch` prints.
+fn render_status(s: &StatusReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let pct = (s.done * 100).checked_div(s.total).unwrap_or(100);
+    let _ = write!(
+        out,
+        "campaign: {}/{} shards ({pct}%)  scanned {}  survivors {}  {} polys/s",
+        s.done, s.total, s.scanned, s.survivors, s.polys_per_s
+    );
+    match s.eta_ms {
+        Some(ms) if s.done < s.total => {
+            let _ = writeln!(out, "  eta {}s", ms.div_ceil(1_000));
+        }
+        _ => {
+            let _ = writeln!(out);
+        }
+    }
+    let _ = writeln!(
+        out,
+        "session:  {} recorded  {} duplicates  {} leases expired  {} refused",
+        s.recorded, s.duplicates, s.leases_expired, s.refusals
+    );
+    if !s.leases.is_empty() {
+        let _ = writeln!(out, "leases:");
+        for l in &s.leases {
+            let _ = writeln!(
+                out,
+                "  shard {:>6}  worker {:<16}  age {:>6.1}s",
+                l.shard,
+                l.worker,
+                l.age_ms as f64 / 1_000.0
+            );
+        }
+    }
+    if !s.workers.is_empty() {
+        let _ = writeln!(
+            out,
+            "workers:  {:<16} {:>10} {:>8} {:>12}",
+            "name", "last-seen", "shards", "last-submit"
+        );
+        for w in &s.workers {
+            let last = match w.last_submit_ms {
+                Some(ms) => format!("{:.1}s", ms as f64 / 1_000.0),
+                None => "-".into(),
+            };
+            let _ = writeln!(
+                out,
+                "          {:<16} {:>9.1}s {:>8} {:>12}",
+                w.name,
+                w.seen_ms as f64 / 1_000.0,
+                w.submitted,
+                last
+            );
+        }
+    }
+    out
+}
+
+fn cmd_watch(args: &[String]) -> Result<(), String> {
+    let name = flag_value(args, "--name").unwrap_or_else(|| format!("watch{}", std::process::id()));
+    let interval = Duration::from_secs(parse_or(args, "--interval", 2u64)?.max(1));
+    let once = args.iter().any(|a| a == "--once");
+    let mut client: Box<dyn WorkerTransport> = match transport_from_args(args)? {
+        Transport::File(queue) => {
+            Box::new(FileQueueClient::new(&queue, &name).map_err(|e| e.to_string())?)
+        }
+        Transport::Tcp(addr) => Box::new(TcpClient::new(&addr)),
+    };
+    loop {
+        let reply = client
+            .call(&Request::Status {
+                worker: name.clone(),
+            })
+            .map_err(|e| e.to_string())?;
+        let report = match reply {
+            Reply::Status(report) => report,
+            Reply::Refused { reason } => {
+                return Err(format!("coordinator refused the status request: {reason}"))
+            }
+            other => return Err(format!("expected a status reply, got {other:?}")),
+        };
+        let complete = report.total > 0 && report.done == report.total;
+        print!("{}", render_status(&report));
+        if once {
+            return Ok(());
+        }
+        if complete {
+            eprintln!("campaign complete");
+            return Ok(());
+        }
+        std::thread::sleep(interval);
+        println!();
+    }
+}
+
 fn cmd_merge(args: &[String]) -> Result<(), String> {
     let dir = require_dir(args)?;
     let mut campaign = Campaign::open(&dir).map_err(|e| e.to_string())?;
@@ -409,6 +518,7 @@ fn main() -> ExitCode {
         Some("report") => cmd_report(&args[1..]),
         Some("coordinate") => cmd_coordinate(&args[1..]),
         Some("work") => cmd_work(&args[1..]),
+        Some("watch") => cmd_watch(&args[1..]),
         Some("merge") => cmd_merge(&args[1..]),
         Some("help") | Some("--help") | Some("-h") => {
             print!("{}", help_text());

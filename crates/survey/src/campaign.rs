@@ -407,20 +407,38 @@ impl SurvivorRecord {
         cfg: &CampaignConfig,
         ws: &mut SyndromeWorkspace,
     ) -> Result<Option<SurvivorRecord>> {
+        // Funnel telemetry: one relaxed increment per stage reached, never
+        // touching the evaluation itself (artifact bytes are unaffected).
+        let funnel = crate::metrics::funnel();
+        if let Some(f) = funnel {
+            f.candidates.inc();
+        }
         if !hd_filter_in(ws, g, cfg.screen_len(), cfg.min_hd)?.passed() {
             return Ok(None);
         }
+        if let Some(f) = funnel {
+            f.hd_pass.inc();
+        }
         let profile = HdProfile::compute_in(ws, g, cfg.ref_len(), cfg.max_weight)?;
+        if let Some(f) = funnel {
+            f.profiled.inc();
+        }
         let ref_len = cfg.ref_len();
         let w2 = ws.weight2(g, ref_len)?;
         let codeword = ref_len as u128 + g.width() as u128;
         let w34 = if codeword <= profile.order() {
             let w = ws.weights234(g, ref_len)?;
             debug_assert_eq!(w.w2, w2);
+            if let Some(f) = funnel {
+                f.weights.inc();
+            }
             Some((w.w3, w.w4))
         } else {
             None
         };
+        if let Some(f) = funnel {
+            f.recorded.inc();
+        }
         Ok(Some(SurvivorRecord {
             koopman: g.koopman(),
             width: g.width(),

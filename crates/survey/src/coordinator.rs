@@ -22,18 +22,20 @@
 //! transport, sleep when idle, exit shortly after the campaign
 //! completes.
 
-use crate::campaign::ShardResult;
+use crate::campaign::{ShardResult, FORMAT_VERSION};
 use crate::engine::Campaign;
-use crate::transport::{Reply, Request, ServeTransport};
+use crate::json::Json;
+use crate::transport::{LeaseInfo, Reply, Request, ServeTransport, StatusReport, WorkerHeartbeat};
 use crate::Result;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::time::{Duration, Instant};
 
 /// Backoff hint sent with [`Reply::Wait`].
 const WAIT_BACKOFF_MS: u64 = 100;
 
 /// Tallies of coordinator activity, reported when [`Coordinator::serve`]
-/// returns.
+/// returns and persisted to `coordinator-summary.json` in the campaign
+/// directory (refreshed on idle/linger ticks and at shutdown).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CoordSummary {
     /// Shard logs recorded for the first time.
@@ -47,6 +49,15 @@ pub struct CoordSummary {
     pub refusals: u64,
 }
 
+/// Per-worker liveness, fed by every request the worker makes and
+/// reported through [`Request::Status`].
+#[derive(Debug, Clone, Copy)]
+struct WorkerState {
+    last_seen: Instant,
+    last_submit: Option<Instant>,
+    submitted: u64,
+}
+
 /// The coordinator state machine.
 #[derive(Debug)]
 pub struct Coordinator {
@@ -54,6 +65,16 @@ pub struct Coordinator {
     lease_ttl: Duration,
     leases: HashMap<u64, (String, Instant)>,
     summary: CoordSummary,
+    /// Workers seen this session, by name (`BTreeMap` so status reports
+    /// list them in a stable order). Status observers are not tracked.
+    workers: BTreeMap<String, WorkerState>,
+    /// When this session handled its first request — the baseline for
+    /// session rates and the ETA.
+    started: Option<Instant>,
+    /// Polynomials scanned across the shards recorded this session.
+    scanned: u64,
+    /// Survivors across the shards recorded this session.
+    survivors: u64,
 }
 
 impl Coordinator {
@@ -65,6 +86,10 @@ impl Coordinator {
             lease_ttl,
             leases: HashMap::new(),
             summary: CoordSummary::default(),
+            workers: BTreeMap::new(),
+            started: None,
+            scanned: 0,
+            survivors: 0,
         }
     }
 
@@ -88,11 +113,88 @@ impl Coordinator {
     fn expire_leases(&mut self, now: Instant) {
         let before = self.leases.len();
         self.leases.retain(|_, (_, deadline)| *deadline > now);
-        self.summary.leases_expired += (before - self.leases.len()) as u64;
+        let expired = (before - self.leases.len()) as u64;
+        self.summary.leases_expired += expired;
+        if expired > 0 {
+            if let Some(m) = crate::metrics::coord() {
+                m.leases_expired.add(expired);
+            }
+        }
+    }
+
+    /// Builds the live progress report behind [`Reply::Status`].
+    pub fn status(&mut self, now: Instant) -> StatusReport {
+        self.expire_leases(now);
+        let (done, total) = self.campaign.progress();
+        let mut leases: Vec<LeaseInfo> = self
+            .leases
+            .iter()
+            .map(|(&shard, (worker, deadline))| LeaseInfo {
+                shard,
+                worker: worker.clone(),
+                // The grant time is deadline - ttl; saturate against
+                // clock weirdness rather than panic.
+                age_ms: (now + self.lease_ttl)
+                    .saturating_duration_since(*deadline)
+                    .as_millis() as u64,
+            })
+            .collect();
+        leases.sort_unstable_by_key(|l| l.shard);
+        let workers = self
+            .workers
+            .iter()
+            .map(|(name, w)| WorkerHeartbeat {
+                name: name.clone(),
+                seen_ms: now.saturating_duration_since(w.last_seen).as_millis() as u64,
+                submitted: w.submitted,
+                last_submit_ms: w
+                    .last_submit
+                    .map(|t| now.saturating_duration_since(t).as_millis() as u64),
+            })
+            .collect();
+        // Session rate and ETA from the shard completion rate: elapsed
+        // time is measured from the first request this session handled.
+        let elapsed_ms = self
+            .started
+            .map(|t| now.saturating_duration_since(t).as_millis().max(1) as u64)
+            .unwrap_or(1);
+        let polys_per_s = self.scanned.saturating_mul(1_000) / elapsed_ms;
+        let eta_ms = (self.summary.shards_recorded > 0)
+            .then(|| (total - done).saturating_mul(elapsed_ms) / self.summary.shards_recorded);
+        StatusReport {
+            done,
+            total,
+            recorded: self.summary.shards_recorded,
+            duplicates: self.summary.duplicates,
+            leases_expired: self.summary.leases_expired,
+            refusals: self.summary.refusals,
+            scanned: self.scanned,
+            survivors: self.survivors,
+            polys_per_s,
+            eta_ms,
+            leases,
+            workers,
+        }
     }
 
     /// Answers one request as of `now` (injected for testable expiry).
     pub fn handle(&mut self, req: Request, now: Instant) -> Reply {
+        self.started.get_or_insert(now);
+        if let Some(m) = crate::metrics::coord() {
+            m.requests.inc();
+        }
+        // Every worker request is a heartbeat; status observers are
+        // read-only and stay out of the worker table.
+        if !matches!(req, Request::Status { .. }) {
+            self.workers
+                .entry(req.worker().to_string())
+                .and_modify(|w| w.last_seen = now)
+                .or_insert(WorkerState {
+                    last_seen: now,
+                    last_submit: None,
+                    submitted: 0,
+                });
+        }
         match req {
             Request::Hello { .. } => Reply::Welcome {
                 config: self.campaign.config().to_json(),
@@ -123,17 +225,34 @@ impl Coordinator {
                     },
                 }
             }
-            Request::Submit { worker: _, log } => {
+            Request::Submit { worker, log } => {
                 let hash = self.campaign.config().content_hash();
-                let recorded = ShardResult::from_json(&log, hash)
-                    .and_then(|r| Ok((r.unit.shard, self.campaign.record_shard(&r)?)));
+                let recorded = ShardResult::from_json(&log, hash).and_then(|r| {
+                    let stats = (r.unit.shard, r.scanned, r.survivors.len() as u64);
+                    let fresh = self.campaign.record_shard(&r)?;
+                    Ok((stats, fresh))
+                });
                 match recorded {
-                    Ok((shard, fresh)) => {
+                    Ok(((shard, scanned, survivors), fresh)) => {
                         self.leases.remove(&shard);
+                        if let Some(w) = self.workers.get_mut(&worker) {
+                            w.last_submit = Some(now);
+                            w.submitted += 1;
+                        }
                         if fresh {
                             self.summary.shards_recorded += 1;
+                            self.scanned += scanned;
+                            self.survivors += survivors;
                         } else {
                             self.summary.duplicates += 1;
+                        }
+                        if let Some(m) = crate::metrics::coord() {
+                            if fresh {
+                                m.recorded.inc();
+                            } else {
+                                m.duplicates.inc();
+                            }
+                            m.shards_done.set(self.campaign.progress().0);
                         }
                         Reply::Accepted {
                             shard,
@@ -143,19 +262,64 @@ impl Coordinator {
                     }
                     Err(e) => {
                         self.summary.refusals += 1;
+                        if let Some(m) = crate::metrics::coord() {
+                            m.refusals.inc();
+                        }
                         Reply::Refused {
                             reason: e.to_string(),
                         }
                     }
                 }
             }
+            Request::Status { .. } => Reply::Status(self.status(now)),
         }
+    }
+
+    /// Renders the durable session-summary document written alongside
+    /// the campaign artifacts. Integers only; the config hash ties the
+    /// document to its campaign, and campaign-lifetime progress
+    /// (`done`/`total`) rides along so the file is useful after the
+    /// process exits.
+    pub fn summary_json(&self) -> Json {
+        let (done, total) = self.campaign.progress();
+        Json::obj([
+            ("format", Json::Str("crc-survey-coordinator-summary".into())),
+            ("version", Json::Int(FORMAT_VERSION)),
+            (
+                "config_hash",
+                Json::Str(format!("{:#018x}", self.campaign.config().content_hash())),
+            ),
+            ("done", Json::Int(done)),
+            ("total", Json::Int(total)),
+            ("shards_recorded", Json::Int(self.summary.shards_recorded)),
+            ("duplicates", Json::Int(self.summary.duplicates)),
+            ("leases_expired", Json::Int(self.summary.leases_expired)),
+            ("refusals", Json::Int(self.summary.refusals)),
+            ("scanned", Json::Int(self.scanned)),
+            ("survivors", Json::Int(self.survivors)),
+        ])
+    }
+
+    /// Persists [`Coordinator::summary_json`] to
+    /// `coordinator-summary.json` in the campaign directory, atomically
+    /// (temp + rename, like every other artifact).
+    ///
+    /// # Errors
+    ///
+    /// IO failures from the write.
+    pub fn write_summary(&self) -> Result<()> {
+        crate::engine::write_atomic(
+            &self.campaign.dir().join("coordinator-summary.json"),
+            &self.summary_json().render(),
+        )
     }
 
     /// Serves `transport` until the campaign completes, then lingers
     /// for `linger` so workers parked in [`Reply::Wait`] backoff can
     /// still learn it is [`Reply::Done`]. Sleeps `poll` between empty
-    /// polls.
+    /// polls. The session summary is persisted to
+    /// `coordinator-summary.json` on every idle/linger tick and once
+    /// more before returning, so the counters survive the process.
     ///
     /// # Errors
     ///
@@ -169,15 +333,28 @@ impl Coordinator {
         linger: Duration,
     ) -> Result<CoordSummary> {
         let mut complete_since: Option<Instant> = None;
+        let mut persisted: Option<String> = None;
         loop {
             let served = transport.serve_one(&mut |req| self.handle(req, Instant::now()))?;
             if self.campaign.is_complete() {
                 let since = *complete_since.get_or_insert_with(Instant::now);
                 if !served && since.elapsed() >= linger {
+                    self.write_summary()?;
                     return Ok(self.summary);
                 }
             }
             if !served {
+                // Idle tick: persist the summary when it changed (cheap —
+                // the document is a few hundred bytes and idle ticks are
+                // already sleeping).
+                let doc = self.summary_json().render();
+                if persisted.as_deref() != Some(&doc) {
+                    crate::engine::write_atomic(
+                        &self.campaign.dir().join("coordinator-summary.json"),
+                        &doc,
+                    )?;
+                    persisted = Some(doc);
+                }
                 std::thread::sleep(poll);
             }
         }
@@ -339,6 +516,97 @@ mod tests {
         }
         assert!(coord.campaign().is_complete());
         assert_eq!(coord.summary().shards_recorded, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn status_reports_heartbeats_leases_and_eta() {
+        let (mut coord, dir) = fresh_coordinator("status", Duration::from_secs(60));
+        let config = coord.campaign().config().clone();
+        let t0 = Instant::now();
+
+        // Before any work: no ETA, no workers, full campaign pending.
+        let Reply::Status(empty) = coord.handle(
+            Request::Status {
+                worker: "watch1".into(),
+            },
+            t0,
+        ) else {
+            panic!("expected status reply")
+        };
+        assert_eq!((empty.done, empty.total), (0, 3));
+        assert_eq!(empty.eta_ms, None);
+        assert!(empty.workers.is_empty(), "observers are not workers");
+        assert!(empty.leases.is_empty());
+
+        // One lease outstanding, one shard submitted by another worker.
+        let r = coord.handle(Request::Lease { worker: "a".into() }, t0);
+        assert!(matches!(r, Reply::Assign { shard: 0, .. }));
+        let r = coord.handle(
+            Request::Submit {
+                worker: "b".into(),
+                log: shard_log(&config, 1),
+            },
+            t0 + Duration::from_secs(2),
+        );
+        assert!(matches!(r, Reply::Accepted { fresh: true, .. }));
+
+        let Reply::Status(s) = coord.handle(
+            Request::Status {
+                worker: "watch1".into(),
+            },
+            t0 + Duration::from_secs(4),
+        ) else {
+            panic!("expected status reply")
+        };
+        assert_eq!((s.done, s.total), (1, 3));
+        assert_eq!(s.recorded, 1);
+        assert!(s.scanned > 0);
+        assert_eq!(s.leases.len(), 1);
+        assert_eq!(s.leases[0].shard, 0);
+        assert_eq!(s.leases[0].worker, "a");
+        assert_eq!(s.leases[0].age_ms, 4_000);
+        let names: Vec<&str> = s.workers.iter().map(|w| w.name.as_str()).collect();
+        assert_eq!(names, ["a", "b"], "sorted, observer excluded");
+        assert_eq!(s.workers[1].submitted, 1);
+        assert_eq!(s.workers[1].last_submit_ms, Some(2_000));
+        assert_eq!(s.workers[0].last_submit_ms, None);
+        // 2 shards remain at 1 shard per 4s of session time.
+        assert_eq!(s.eta_ms, Some(8_000));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn summary_persists_deterministically() {
+        let (mut coord, dir) = fresh_coordinator("persist", Duration::from_secs(60));
+        let config = coord.campaign().config().clone();
+        let now = Instant::now();
+        for shard in 0..3 {
+            let r = coord.handle(
+                Request::Submit {
+                    worker: "w".into(),
+                    log: shard_log(&config, shard),
+                },
+                now,
+            );
+            assert!(matches!(r, Reply::Accepted { .. }));
+        }
+        coord.write_summary().unwrap();
+        let path = dir.join("coordinator-summary.json");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, coord.summary_json().render(), "written bytes match");
+        let doc = Json::parse(&text).unwrap();
+        assert_eq!(
+            doc.require("format").unwrap().as_str(),
+            Some("crc-survey-coordinator-summary")
+        );
+        assert_eq!(doc.require("shards_recorded").unwrap().as_u64(), Some(3));
+        assert_eq!(doc.require("done").unwrap().as_u64(), Some(3));
+        assert_eq!(doc.require("total").unwrap().as_u64(), Some(3));
+        assert!(doc.require("scanned").unwrap().as_u64().unwrap() > 0);
+        // Re-writing produces identical bytes.
+        coord.write_summary().unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), text);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -38,6 +38,7 @@ use parking_lot::Mutex;
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// A campaign bound to its on-disk directory.
 #[derive(Debug)]
@@ -171,6 +172,7 @@ impl Campaign {
         // insert + rewrite under this lock (see the protocol above).
         let checkpoint = Mutex::new(&mut self.checkpoint);
         let dir = self.dir.as_path();
+        let t0 = Instant::now();
 
         crossbeam::scope(|scope| {
             for _ in 0..threads {
@@ -191,22 +193,43 @@ impl Campaign {
                             return;
                         }
                         let unit = pending[idx];
-                        let outcome =
-                            evaluate_unit(&config, unit, &mut scratch).and_then(|result| {
-                                write_atomic(
-                                    &shard_log_path_in(dir, unit.shard),
-                                    &result.to_json(config_hash).render(),
-                                )?;
-                                let mut ck = checkpoint.lock();
-                                ck.completed.insert(unit.shard);
-                                write_atomic(&dir.join("campaign.json"), &ck.to_json().render())?;
-                                let mut s = summary.lock();
-                                s.shards_run += 1;
-                                s.scanned += result.scanned;
-                                s.canonical += result.canonical;
-                                s.survivors += result.survivors.len() as u64;
-                                Ok(())
-                            });
+                        let evaluated = {
+                            // Time the evaluation alone (not the
+                            // checkpoint IO) into the shard histogram.
+                            let span = crate::metrics::engine()
+                                .map(|m| telemetry::Span::start(&m.shard_us));
+                            let r = evaluate_unit(&config, unit, &mut scratch);
+                            if let Some(sp) = span {
+                                sp.finish();
+                            }
+                            crate::metrics::observe_index(&scratch.ws);
+                            r
+                        };
+                        let outcome = evaluated.and_then(|result| {
+                            write_atomic(
+                                &shard_log_path_in(dir, unit.shard),
+                                &result.to_json(config_hash).render(),
+                            )?;
+                            let mut ck = checkpoint.lock();
+                            ck.completed.insert(unit.shard);
+                            write_atomic(&dir.join("campaign.json"), &ck.to_json().render())?;
+                            let mut s = summary.lock();
+                            s.shards_run += 1;
+                            s.scanned += result.scanned;
+                            s.canonical += result.canonical;
+                            s.survivors += result.survivors.len() as u64;
+                            if let Some(m) = crate::metrics::engine() {
+                                // Pool-wide scan rate and the shard-rate
+                                // ETA, refreshed per completed unit.
+                                let done = ck.completed.len() as u64;
+                                let us = t0.elapsed().as_micros().max(1) as u64;
+                                m.polys_per_s.set(s.scanned.saturating_mul(1_000_000) / us);
+                                let remaining = config.shards.saturating_sub(done);
+                                m.eta_ms
+                                    .set(remaining.saturating_mul(us / 1_000) / s.shards_run);
+                            }
+                            Ok(())
+                        });
                         if let Err(e) = outcome {
                             *error.lock() = Some(e);
                             return;
@@ -316,7 +339,7 @@ fn shard_log_path_in(dir: &Path, shard: u64) -> PathBuf {
 
 /// Writes `contents` to `path` atomically: temp file in the same
 /// directory, then rename. Readers never observe a torn file.
-fn write_atomic(path: &Path, contents: &str) -> Result<()> {
+pub(crate) fn write_atomic(path: &Path, contents: &str) -> Result<()> {
     let tmp = path.with_extension("json.tmp");
     std::fs::write(&tmp, contents)
         .map_err(|e| Error::Io(format!("write {}: {e}", tmp.display())))?;
@@ -340,6 +363,15 @@ pub struct UnitScratch {
     survivors: Vec<SurvivorRecord>,
     offsets: Vec<u64>,
     ws: crc_hd::SyndromeWorkspace,
+}
+
+impl UnitScratch {
+    /// Read-only view of the syndrome workspace, exposing its index
+    /// stat accessors to telemetry gauges (see
+    /// [`crate::metrics::observe_index`]).
+    pub fn workspace(&self) -> &crc_hd::SyndromeWorkspace {
+        &self.ws
+    }
 }
 
 /// Processes one work unit: pure in `(config, unit)` — never affected

@@ -98,6 +98,19 @@
 //! Wilson-interval extrapolation; see `docs/CENSUS.md` for the
 //! operator runbook.
 //!
+//! # Observability
+//!
+//! Every layer records into the process-global [`telemetry`] registry
+//! through the cached handles in [`metrics`]: the screening funnel
+//! (candidates → HD filter → profile → weights → record), engine
+//! polys/s and shard-duration spans, index-policy gauges, and
+//! coordinator lease/duplicate counters. The coordinator answers a
+//! `Status` request with live progress (`survey watch` renders it) and
+//! persists its counters to `coordinator-summary.json`. Instrumentation
+//! never touches artifact bytes — every golden file is byte-identical
+//! with telemetry on, off, or absent; see `docs/OBSERVABILITY.md` for
+//! the metric catalog.
+//!
 //! [`PolySpace`]: crc_hd::search::PolySpace
 
 #![forbid(unsafe_code)]
@@ -109,6 +122,7 @@ pub mod coordinator;
 pub mod engine;
 pub mod json;
 pub mod leaderboard;
+pub mod metrics;
 pub mod pareto;
 pub mod transport;
 pub mod worker;

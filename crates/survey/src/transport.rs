@@ -47,6 +47,14 @@ pub enum Request {
         /// The shard-log JSON document.
         log: Json,
     },
+    /// Asks for a live status report (`survey watch`, dashboards).
+    /// Read-only: status requests never acquire leases and are not
+    /// tracked as worker heartbeats.
+    Status {
+        /// The requesting observer (file-name safe, like any worker
+        /// name — file-queue replies land in `outbox/<worker>/`).
+        worker: String,
+    },
 }
 
 impl Request {
@@ -55,6 +63,7 @@ impl Request {
         match self {
             Request::Hello { worker } | Request::Lease { worker } => worker,
             Request::Submit { worker, .. } => worker,
+            Request::Status { worker } => worker,
         }
     }
 
@@ -73,6 +82,10 @@ impl Request {
                 ("type", Json::Str("submit".into())),
                 ("worker", Json::Str(worker.clone())),
                 ("log", log.clone()),
+            ]),
+            Request::Status { worker } => Json::obj([
+                ("type", Json::Str("status".into())),
+                ("worker", Json::Str(worker.clone())),
             ]),
         }
     }
@@ -96,6 +109,7 @@ impl Request {
                 worker,
                 log: v.require("log")?.clone(),
             }),
+            Some("status") => Ok(Request::Status { worker }),
             other => Err(Error::Parse(format!("unknown request type {other:?}"))),
         }
     }
@@ -146,6 +160,213 @@ pub enum Reply {
         /// Human-readable reason.
         reason: String,
     },
+    /// Answer to [`Request::Status`]: a live progress report.
+    Status(StatusReport),
+}
+
+/// One outstanding shard lease, as reported by [`Reply::Status`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeaseInfo {
+    /// The leased shard.
+    pub shard: u64,
+    /// The worker holding the lease.
+    pub worker: String,
+    /// Milliseconds since the lease was granted.
+    pub age_ms: u64,
+}
+
+/// One worker's heartbeat, as reported by [`Reply::Status`]. The
+/// coordinator tracks every worker that has contacted it this session
+/// (status observers excluded).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerHeartbeat {
+    /// The worker's name.
+    pub name: String,
+    /// Milliseconds since the worker's last request of any kind.
+    pub seen_ms: u64,
+    /// Fresh shards this worker has submitted this session.
+    pub submitted: u64,
+    /// Milliseconds since its last accepted submission, if any.
+    pub last_submit_ms: Option<u64>,
+}
+
+/// The live progress document behind [`Reply::Status`]. All quantities
+/// are integers (milliseconds, counts, polynomials per second) so the
+/// wire form renders deterministically for a fixed coordinator state.
+///
+/// Counters split into two groups: campaign-lifetime progress
+/// (`done`/`total`, from the manifest) and session counters that reset
+/// with the coordinator process (`recorded`, `duplicates`,
+/// `leases_expired`, `refusals`, `scanned`, `survivors`, the rate and
+/// the ETA).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StatusReport {
+    /// Shards checkpointed in the manifest.
+    pub done: u64,
+    /// Shards in the campaign.
+    pub total: u64,
+    /// Fresh shard results recorded by this coordinator session.
+    pub recorded: u64,
+    /// Idempotent duplicate submissions this session.
+    pub duplicates: u64,
+    /// Leases reclaimed after TTL expiry this session.
+    pub leases_expired: u64,
+    /// Refused requests this session.
+    pub refusals: u64,
+    /// Polynomials scanned across the shards recorded this session.
+    pub scanned: u64,
+    /// Survivors recorded this session.
+    pub survivors: u64,
+    /// Session scan rate in polynomials per second (0 until the first
+    /// shard lands).
+    pub polys_per_s: u64,
+    /// Estimated milliseconds to completion from the session's shard
+    /// completion rate; `None` until one shard has been recorded.
+    pub eta_ms: Option<u64>,
+    /// Outstanding leases, ascending by shard.
+    pub leases: Vec<LeaseInfo>,
+    /// Known workers, ascending by name.
+    pub workers: Vec<WorkerHeartbeat>,
+}
+
+impl StatusReport {
+    /// The wire form.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("done", Json::Int(self.done)),
+            ("total", Json::Int(self.total)),
+            ("recorded", Json::Int(self.recorded)),
+            ("duplicates", Json::Int(self.duplicates)),
+            ("leases_expired", Json::Int(self.leases_expired)),
+            ("refusals", Json::Int(self.refusals)),
+            ("scanned", Json::Int(self.scanned)),
+            ("survivors", Json::Int(self.survivors)),
+            ("polys_per_s", Json::Int(self.polys_per_s)),
+            ("eta_ms", self.eta_ms.map_or(Json::Null, Json::Int)),
+            (
+                "leases",
+                Json::Arr(
+                    self.leases
+                        .iter()
+                        .map(|l| {
+                            Json::obj([
+                                ("shard", Json::Int(l.shard)),
+                                ("worker", Json::Str(l.worker.clone())),
+                                ("age_ms", Json::Int(l.age_ms)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "workers",
+                Json::Arr(
+                    self.workers
+                        .iter()
+                        .map(|w| {
+                            Json::obj([
+                                ("name", Json::Str(w.name.clone())),
+                                ("seen_ms", Json::Int(w.seen_ms)),
+                                ("submitted", Json::Int(w.submitted)),
+                                (
+                                    "last_submit_ms",
+                                    w.last_submit_ms.map_or(Json::Null, Json::Int),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses the wire form.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Parse`] on schema problems.
+    pub fn from_json(v: &Json) -> Result<StatusReport> {
+        let int = |key: &str| -> Result<u64> {
+            v.require(key)?
+                .as_u64()
+                .ok_or_else(|| Error::Parse(format!("{key} is not an unsigned integer")))
+        };
+        let opt_int = |key: &str| -> Result<Option<u64>> {
+            match v.require(key)? {
+                Json::Null => Ok(None),
+                other => other
+                    .as_u64()
+                    .map(Some)
+                    .ok_or_else(|| Error::Parse(format!("{key} is not null or an integer"))),
+            }
+        };
+        let leases = v
+            .require("leases")?
+            .as_arr()
+            .ok_or_else(|| Error::Parse("leases is not an array".into()))?
+            .iter()
+            .map(|l| {
+                Ok(LeaseInfo {
+                    shard: l
+                        .require("shard")?
+                        .as_u64()
+                        .ok_or_else(|| Error::Parse("lease shard is not an integer".into()))?,
+                    worker: l
+                        .require("worker")?
+                        .as_str()
+                        .ok_or_else(|| Error::Parse("lease worker is not a string".into()))?
+                        .to_string(),
+                    age_ms: l
+                        .require("age_ms")?
+                        .as_u64()
+                        .ok_or_else(|| Error::Parse("lease age_ms is not an integer".into()))?,
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let workers = v
+            .require("workers")?
+            .as_arr()
+            .ok_or_else(|| Error::Parse("workers is not an array".into()))?
+            .iter()
+            .map(|w| {
+                Ok(WorkerHeartbeat {
+                    name: w
+                        .require("name")?
+                        .as_str()
+                        .ok_or_else(|| Error::Parse("worker name is not a string".into()))?
+                        .to_string(),
+                    seen_ms: w
+                        .require("seen_ms")?
+                        .as_u64()
+                        .ok_or_else(|| Error::Parse("worker seen_ms is not an integer".into()))?,
+                    submitted: w
+                        .require("submitted")?
+                        .as_u64()
+                        .ok_or_else(|| Error::Parse("worker submitted is not an integer".into()))?,
+                    last_submit_ms: match w.require("last_submit_ms")? {
+                        Json::Null => None,
+                        other => Some(other.as_u64().ok_or_else(|| {
+                            Error::Parse("worker last_submit_ms is not null or an integer".into())
+                        })?),
+                    },
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(StatusReport {
+            done: int("done")?,
+            total: int("total")?,
+            recorded: int("recorded")?,
+            duplicates: int("duplicates")?,
+            leases_expired: int("leases_expired")?,
+            refusals: int("refusals")?,
+            scanned: int("scanned")?,
+            survivors: int("survivors")?,
+            polys_per_s: int("polys_per_s")?,
+            eta_ms: opt_int("eta_ms")?,
+            leases,
+            workers,
+        })
+    }
 }
 
 impl Reply {
@@ -185,6 +406,13 @@ impl Reply {
                 ("type", Json::Str("refused".into())),
                 ("reason", Json::Str(reason.clone())),
             ]),
+            Reply::Status(report) => {
+                let Json::Obj(mut pairs) = report.to_json() else {
+                    unreachable!("StatusReport::to_json returns an object")
+                };
+                pairs.insert(0, ("type".into(), Json::Str("status".into())));
+                Json::Obj(pairs)
+            }
         }
     }
 
@@ -235,6 +463,7 @@ impl Reply {
                     .ok_or_else(|| Error::Parse("reason is not a string".into()))?
                     .to_string(),
             }),
+            Some("status") => Ok(Reply::Status(StatusReport::from_json(v)?)),
             other => Err(Error::Parse(format!("unknown reply type {other:?}"))),
         }
     }
@@ -627,6 +856,9 @@ mod tests {
                 worker: "w1".into(),
                 log: Json::obj([("shard", Json::Int(3))]),
             },
+            Request::Status {
+                worker: "watch1".into(),
+            },
         ];
         let replies = vec![
             Reply::Welcome {
@@ -648,6 +880,38 @@ mod tests {
             Reply::Refused {
                 reason: "wrong campaign".into(),
             },
+            Reply::Status(StatusReport {
+                done: 3,
+                total: 16,
+                recorded: 3,
+                duplicates: 1,
+                leases_expired: 2,
+                refusals: 0,
+                scanned: 24_576,
+                survivors: 9,
+                polys_per_s: 120_000,
+                eta_ms: Some(650),
+                leases: vec![LeaseInfo {
+                    shard: 4,
+                    worker: "w1".into(),
+                    age_ms: 1_200,
+                }],
+                workers: vec![
+                    WorkerHeartbeat {
+                        name: "w1".into(),
+                        seen_ms: 5,
+                        submitted: 2,
+                        last_submit_ms: Some(410),
+                    },
+                    WorkerHeartbeat {
+                        name: "w2".into(),
+                        seen_ms: 90,
+                        submitted: 1,
+                        last_submit_ms: None,
+                    },
+                ],
+            }),
+            Reply::Status(StatusReport::default()),
         ];
         (reqs, replies)
     }
@@ -689,6 +953,11 @@ mod tests {
                 fresh: true,
                 complete: false,
             },
+            Request::Status { .. } => Reply::Status(StatusReport {
+                done: 1,
+                total: 2,
+                ..StatusReport::default()
+            }),
         }
     }
 

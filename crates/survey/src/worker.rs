@@ -13,7 +13,7 @@ use crate::campaign::CampaignConfig;
 use crate::engine::{evaluate_unit, UnitScratch};
 use crate::transport::{Reply, Request, WorkerTransport};
 use crate::{Error, Result};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Knobs for [`run_worker`].
 #[derive(Debug, Clone)]
@@ -70,6 +70,8 @@ pub fn run_worker(
     let hash = config.content_hash();
     let mut scratch = UnitScratch::default();
     let mut summary = WorkerSummary::default();
+    let t0 = Instant::now();
+    let mut scanned = 0u64;
     loop {
         if opts
             .max_shards
@@ -90,7 +92,22 @@ pub fn run_worker(
                         unit.start, unit.end
                     )));
                 }
-                let result = evaluate_unit(&config, unit, &mut scratch)?;
+                let result = {
+                    let span =
+                        crate::metrics::engine().map(|m| telemetry::Span::start(&m.shard_us));
+                    let r = evaluate_unit(&config, unit, &mut scratch)?;
+                    if let Some(sp) = span {
+                        sp.finish();
+                    }
+                    r
+                };
+                crate::metrics::observe_index(scratch.workspace());
+                scanned += result.scanned;
+                if let Some(m) = crate::metrics::worker() {
+                    m.shards.inc();
+                    let us = t0.elapsed().as_micros().max(1) as u64;
+                    m.polys_per_s.set(scanned.saturating_mul(1_000_000) / us);
+                }
                 match transport.call(&Request::Submit {
                     worker: opts.name.clone(),
                     log: result.to_json(hash),

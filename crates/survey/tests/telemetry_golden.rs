@@ -1,0 +1,250 @@
+//! Telemetry acceptance: instrumentation must never change campaign
+//! bytes, the coordinator must answer live `Status` requests over TCP,
+//! and `survey watch --once` must work end to end against a file-queue
+//! coordinator that also persists `coordinator-summary.json`.
+
+use crc_survey::campaign::{CampaignConfig, Mode};
+use crc_survey::coordinator::Coordinator;
+use crc_survey::engine::Campaign;
+use crc_survey::leaderboard::{build, LeaderboardOptions};
+use crc_survey::transport::{
+    Reply, Request, ServeTransport, TcpClient, TcpServer, WorkerTransport,
+};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// These tests toggle and read the process-global telemetry registry;
+/// serialize them so one test's disabled window cannot race another's
+/// counter assertions.
+static TELEMETRY_LOCK: Mutex<()> = Mutex::new(());
+
+fn test_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("crc-telemetry-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config() -> CampaignConfig {
+    CampaignConfig {
+        width: 12,
+        shards: 8,
+        seed: 1,
+        mode: Mode::Exhaustive,
+        min_hd: 4,
+        target_lengths: vec![32, 64],
+        ber_grid: vec![1e-5],
+        max_weight: 6,
+    }
+}
+
+/// Campaign artifacts plus the leaderboard built from them, as bytes.
+fn artifact_bytes(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let campaign = Campaign::open(dir).unwrap();
+    assert!(campaign.is_complete());
+    let mut out = vec![(
+        "campaign.json".to_string(),
+        std::fs::read(dir.join("campaign.json")).unwrap(),
+    )];
+    for shard in 0..campaign.config().shards {
+        let path = campaign.shard_log_path(shard);
+        out.push((
+            path.file_name().unwrap().to_string_lossy().into_owned(),
+            std::fs::read(&path).unwrap(),
+        ));
+    }
+    let board = build(
+        &campaign,
+        &LeaderboardOptions {
+            top: 5,
+            spot_check_32: false,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    out.push(("leaderboard.json".to_string(), board.render().into_bytes()));
+    out
+}
+
+/// The golden-byte acceptance gate: the same campaign run with
+/// telemetry recording and with telemetry disabled must produce
+/// byte-identical shard logs, manifest, and leaderboard — while the
+/// enabled run actually counts and the disabled run records nothing.
+#[test]
+fn telemetry_on_and_off_campaigns_are_byte_identical() {
+    let _guard = TELEMETRY_LOCK.lock().unwrap();
+    let reg = telemetry::global();
+    let was = reg.enabled();
+    reg.set_enabled(true);
+    let candidates = reg.counter("survey.funnel.candidates");
+    let recorded = reg.counter("survey.funnel.recorded");
+    let (c0, r0) = (candidates.get(), recorded.get());
+
+    let on_dir = test_dir("on");
+    Campaign::create(&on_dir, config())
+        .unwrap()
+        .run(2, None)
+        .unwrap();
+    let (c1, r1) = (candidates.get(), recorded.get());
+    assert!(c1 > c0, "enabled run counted screening candidates");
+    assert!(r1 > r0, "enabled run counted survivor records");
+
+    reg.set_enabled(false);
+    let off_dir = test_dir("off");
+    Campaign::create(&off_dir, config())
+        .unwrap()
+        .run(2, None)
+        .unwrap();
+    assert_eq!(candidates.get(), c1, "disabled run recorded nothing");
+    assert_eq!(recorded.get(), r1, "disabled run recorded nothing");
+    reg.set_enabled(was);
+
+    let a = artifact_bytes(&on_dir);
+    let b = artifact_bytes(&off_dir);
+    assert_eq!(a.len(), b.len());
+    for ((name_a, bytes_a), (name_b, bytes_b)) in a.iter().zip(&b) {
+        assert_eq!(name_a, name_b);
+        assert_eq!(
+            bytes_a, bytes_b,
+            "{name_a} differs between telemetry-on and telemetry-off runs"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&on_dir);
+    let _ = std::fs::remove_dir_all(&off_dir);
+}
+
+/// A live TCP coordinator must answer `Status` with the campaign's
+/// progress, outstanding leases, and worker heartbeats — and keep
+/// status observers out of the heartbeat table.
+#[test]
+fn tcp_coordinator_answers_status_requests() {
+    let _guard = TELEMETRY_LOCK.lock().unwrap();
+    let dir = test_dir("tcp");
+    let campaign = Campaign::create(&dir, config()).unwrap();
+    let mut coordinator = Coordinator::new(campaign, Duration::from_secs(60));
+    let mut server = TcpServer::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_serving = Arc::clone(&stop);
+    let serving = std::thread::spawn(move || {
+        while !stop_serving.load(Ordering::Relaxed) {
+            if !server
+                .serve_one(&mut |req| coordinator.handle(req, Instant::now()))
+                .unwrap()
+            {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    });
+
+    let mut client = TcpClient::new(&addr);
+    let Reply::Assign { shard, .. } = client
+        .call(&Request::Lease {
+            worker: "w1".into(),
+        })
+        .unwrap()
+    else {
+        panic!("expected a lease")
+    };
+    let reply = client
+        .call(&Request::Status {
+            worker: "watcher".into(),
+        })
+        .unwrap();
+    let Reply::Status(report) = reply else {
+        panic!("expected a status reply, got {reply:?}")
+    };
+    assert_eq!(report.total, config().shards);
+    assert_eq!(report.done, 0);
+    assert_eq!(report.leases.len(), 1);
+    assert_eq!(report.leases[0].shard, shard);
+    assert_eq!(report.leases[0].worker, "w1");
+    let names: Vec<&str> = report.workers.iter().map(|w| w.name.as_str()).collect();
+    assert_eq!(
+        names,
+        ["w1"],
+        "status observers stay out of the heartbeat table"
+    );
+
+    stop.store(true, Ordering::Relaxed);
+    serving.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn survey() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_survey"))
+}
+
+/// End-to-end over the file queue, as three real processes: a lingering
+/// coordinator, a worker that drains the campaign, then `survey watch
+/// --once` reading live status — and the coordinator persisting
+/// `coordinator-summary.json` into the campaign directory.
+#[test]
+fn watch_once_reads_a_file_queue_coordinator_and_summary_persists() {
+    let _guard = TELEMETRY_LOCK.lock().unwrap();
+    let dir = test_dir("watch-campaign");
+    let queue = test_dir("watch-queue");
+    let transport = format!("file:{}", queue.display());
+
+    let mut coordinator = survey()
+        .args(["coordinate", "--dir"])
+        .arg(&dir)
+        .args([
+            "--width",
+            "12",
+            "--shards",
+            "4",
+            "--lengths",
+            "32,64",
+            "--transport",
+            &transport,
+            "--linger",
+            "4000",
+        ])
+        .spawn()
+        .unwrap();
+
+    let status = survey()
+        .args(["work", "--transport", &transport, "--name", "w1"])
+        .status()
+        .unwrap();
+    assert!(status.success(), "worker failed");
+
+    let out = survey()
+        .args(["watch", "--transport", &transport, "--once"])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        out.status.success(),
+        "watch failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout.contains("campaign: 4/4 shards (100%)"),
+        "watch shows completion:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("w1"),
+        "watch lists the worker heartbeat:\n{stdout}"
+    );
+
+    assert!(
+        coordinator.wait().unwrap().success(),
+        "coordinator exited with failure"
+    );
+    let summary = std::fs::read_to_string(dir.join("coordinator-summary.json")).unwrap();
+    assert!(
+        summary.contains("\"format\": \"crc-survey-coordinator-summary\""),
+        "summary document: {summary}"
+    );
+    assert!(
+        summary.contains("\"done\": 4") && summary.contains("\"shards_recorded\": 4"),
+        "summary counts the session: {summary}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&queue);
+}

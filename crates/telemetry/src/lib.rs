@@ -1,0 +1,43 @@
+//! Zero-dependency instrumentation for the CRC workspace.
+//!
+//! This crate provides the small set of primitives the survey engine, the
+//! distributed coordinator/worker layer, and the fault-injection simulator
+//! use to expose what they are doing while they do it:
+//!
+//! * [`Counter`] — a monotone atomic event counter.
+//! * [`Gauge`] — an atomic last-value (or running-max) measurement.
+//! * [`Histogram`] — a fixed-bucket distribution with a deterministic,
+//!   associative merge, suitable for combining per-thread shards.
+//! * [`Span`] — a lightweight scope timer that records its elapsed
+//!   microseconds into a histogram when finished (or dropped).
+//! * [`Registry`] — a named collection of the above with hierarchical
+//!   dot-separated names, a process-global instance ([`global`]), and two
+//!   sinks: a byte-deterministic JSON snapshot ([`Registry::snapshot`],
+//!   [`Registry::write_snapshot`]) and a human-readable table
+//!   ([`Registry::render_table`]).
+//!
+//! # Design constraints
+//!
+//! The workspace's artifacts (shard logs, checkpoints, leaderboards,
+//! simulator reports) are byte-deterministic, and instrumentation must not
+//! threaten that: every value a snapshot serialises is an integer, metric
+//! iteration order is the lexicographic order of names, and no timestamps
+//! or floats appear anywhere in the output. Snapshots are written with the
+//! same atomic tmp+rename protocol as campaign checkpoints.
+//!
+//! Instrumentation must also be cheap enough to leave compiled in. Metric
+//! updates are single relaxed atomic operations; the global registry can be
+//! disabled ([`Registry::set_enabled`]), and callers on hot paths are
+//! expected to skip even the relaxed update when disabled (see
+//! [`Registry::enabled`]).
+//!
+//! This crate depends only on `std` so it builds in the offline
+//! environment and can be linked from every other crate in the workspace.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod metrics;
+mod registry;
+
+pub use metrics::{Counter, Gauge, Histogram, Span};
+pub use registry::{global, Metric, Registry};

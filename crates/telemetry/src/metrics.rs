@@ -1,0 +1,333 @@
+//! The metric primitives: counters, gauges, histograms, and span timers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotone event counter.
+///
+/// All operations are single relaxed atomics; a counter is safe to share
+/// across threads and cheap enough to bump on per-candidate hot paths.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Create a counter at zero.
+    pub const fn new() -> Counter {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value measurement (rates, sizes, progress fractions scaled to
+/// integers).
+///
+/// Unlike [`Counter`], a gauge may move in either direction; `set_max`
+/// supports high-water-mark use.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Create a gauge at zero.
+    pub const fn new() -> Gauge {
+        Gauge {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the value to `v` if `v` is larger (high-water mark).
+    #[inline]
+    pub fn set_max(&self, v: u64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram over `u64` observations.
+///
+/// Buckets are defined by a sorted list of inclusive upper bounds plus an
+/// implicit overflow bucket: observation `v` lands in the first bucket
+/// whose bound is `>= v`, or in the overflow bucket when `v` exceeds every
+/// bound. The bucket layout is fixed at construction, which is what makes
+/// [`Histogram::merge_from`] deterministic: merging is element-wise
+/// integer addition, so it is associative and commutative regardless of
+/// the order per-thread shards are combined in.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// Create a histogram with the given inclusive upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn new(bounds: &[u64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// The inclusive upper bounds this histogram was built with.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the final element is the overflow bucket.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Fold another histogram's observations into this one.
+    ///
+    /// Element-wise integer addition over identical bucket layouts, so any
+    /// merge order over a set of shards produces the same result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms have different bucket bounds.
+    pub fn merge_from(&self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different bucket bounds"
+        );
+        for (dst, src) in self.buckets.iter().zip(other.buckets.iter()) {
+            dst.fetch_add(src.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Smallest bound covering at least `q` per mille of the observations,
+    /// or the largest bound when the mass sits in the overflow bucket.
+    ///
+    /// This is an upper-bound estimate (histograms only know buckets), used
+    /// by the table renderer; snapshots serialise the raw buckets instead.
+    pub fn quantile_bound(&self, q_per_mille: u64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = (total * q_per_mille).div_ceil(1000);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return self.bounds.get(i).copied().unwrap_or(u64::MAX);
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// A scope timer recording elapsed microseconds into a [`Histogram`].
+///
+/// Create with [`Span::start`]; the elapsed time is recorded when
+/// [`Span::finish`] is called or when the span is dropped, whichever comes
+/// first. The span holds only a reference and an `Instant`, so an
+/// un-started (disabled) path pays nothing.
+#[derive(Debug)]
+pub struct Span<'a> {
+    hist: Option<&'a Histogram>,
+    start: Instant,
+}
+
+impl<'a> Span<'a> {
+    /// Start timing a scope that will record into `hist`.
+    pub fn start(hist: &'a Histogram) -> Span<'a> {
+        Span {
+            hist: Some(hist),
+            start: Instant::now(),
+        }
+    }
+
+    /// Stop the timer, record the elapsed microseconds, and return them.
+    pub fn finish(mut self) -> u64 {
+        let us = self.start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        if let Some(h) = self.hist.take() {
+            h.observe(us);
+        }
+        us
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(h) = self.hist.take() {
+            let us = self.start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+            h.observe(us);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_sets_and_high_waters() {
+        let g = Gauge::new();
+        g.set(7);
+        assert_eq!(g.get(), 7);
+        g.set_max(3);
+        assert_eq!(g.get(), 7);
+        g.set_max(11);
+        assert_eq!(g.get(), 11);
+        g.set(1);
+        assert_eq!(g.get(), 1);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive_upper_bounds() {
+        let h = Histogram::new(&[10, 20, 50]);
+        // Exactly on a bound lands in that bucket; one past it spills over.
+        h.observe(0);
+        h.observe(10);
+        h.observe(11);
+        h.observe(20);
+        h.observe(21);
+        h.observe(50);
+        h.observe(51);
+        assert_eq!(h.bucket_counts(), vec![2, 2, 2, 1]);
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 163); // 0+10+11+20+21+50+51
+    }
+
+    #[test]
+    fn histogram_merge_is_associative_and_commutative() {
+        let bounds = [5u64, 50, 500];
+        let obs_a = [1u64, 5, 6, 700];
+        let obs_b = [50u64, 51, 2];
+        let obs_c = [500u64, 501, 4, 4, 4];
+
+        let fill = |obs: &[u64]| {
+            let h = Histogram::new(&bounds);
+            for &v in obs {
+                h.observe(v);
+            }
+            h
+        };
+
+        // (a + b) + c
+        let left = fill(&obs_a);
+        left.merge_from(&fill(&obs_b));
+        left.merge_from(&fill(&obs_c));
+
+        // a + (b + c), merged in a different order
+        let right = fill(&obs_c);
+        right.merge_from(&fill(&obs_a));
+        right.merge_from(&fill(&obs_b));
+
+        assert_eq!(left.bucket_counts(), right.bucket_counts());
+        assert_eq!(left.count(), right.count());
+        assert_eq!(left.sum(), right.sum());
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket bounds")]
+    fn histogram_merge_rejects_mismatched_bounds() {
+        let a = Histogram::new(&[1, 2]);
+        let b = Histogram::new(&[1, 3]);
+        a.merge_from(&b);
+    }
+
+    #[test]
+    fn histogram_quantile_bound_walks_buckets() {
+        let h = Histogram::new(&[10, 20, 50]);
+        for v in [1, 2, 3, 15, 100] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile_bound(500), 10); // 3 of 5 within the first bucket
+        assert_eq!(h.quantile_bound(800), 20);
+        assert_eq!(h.quantile_bound(1000), u64::MAX); // overflow bucket
+    }
+
+    #[test]
+    fn span_records_into_histogram() {
+        let h = Histogram::new(&[1_000_000]);
+        let us = Span::start(&h).finish();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), us);
+        {
+            let _implicit = Span::start(&h);
+        }
+        assert_eq!(h.count(), 2, "dropping a span records it");
+    }
+}
