@@ -32,6 +32,7 @@
 
 use crc_survey::campaign::{CampaignConfig, Mode, ShardResult};
 use crc_survey::census::{census_report, render_census_table, Z95};
+use crc_survey::chaos::{ChaosConfig, ChaosTransport};
 use crc_survey::coordinator::Coordinator;
 use crc_survey::engine::Campaign;
 use crc_survey::json::Json;
@@ -77,14 +78,21 @@ fn help_text() -> String {
                  --exact-pud ranks by full-distribution P_ud (exact at
                  every weight) instead of the W2-W4 truncation.
   coordinate --dir DIR --transport T [--lease-ttl SECS] [--linger MS]
+                 [--quarantine-after K]
                  serve the campaign to remote workers; accepts the same
                  creation flags as `run` when DIR has no campaign yet.
                  Leases that expire re-issue the shard; duplicate
-                 submissions are idempotent.
+                 submissions are idempotent. A shard whose lease expires
+                 K times (default 5; 0 disables) is quarantined and
+                 never re-issued.
   work       --transport T [--name NAME] [--max-shards K]
+                 [--retry-base-ms MS] [--retry-cap-ms MS]
+                 [--retry-attempts N]
                  attach a worker to a coordinator: lease, evaluate,
                  submit, repeat until the coordinator reports the
-                 campaign complete.
+                 campaign complete. Transient transport failures are
+                 resent with capped exponential backoff + decorrelated
+                 jitter (defaults 50ms base, 5s cap, 10 attempts).
   watch      --transport T [--interval SECS] [--once] [--name NAME]
                  poll a running coordinator's status endpoint and render
                  live progress: shards done, scan rate, ETA, outstanding
@@ -97,6 +105,15 @@ fn help_text() -> String {
                  accepted idempotently, conflicting ones refused.
 
 transports: file:DIR (shared queue directory) or tcp:HOST:PORT.
+Every protocol line carries a CRC-32 trailer; damaged frames are
+answered with a retry, never a crash.
+
+chaos (coordinate/work): --chaos SEED [--chaos-rate PCT] wraps the
+transport in a deterministic fault injector — dropped replies,
+duplicated and delayed requests, truncated and bit-flipped frames — at
+PCT percent per fault kind (default 10). The campaign must still
+produce byte-identical artifacts; CI's chaos-smoke job holds it to
+that.
 
 checkpoints: {STOP_AFTER_SEMANTICS}
 "
@@ -311,22 +328,53 @@ fn transport_from_args(args: &[String]) -> Result<Transport, String> {
     }
 }
 
+/// Parses the optional chaos flags: `--chaos SEED` turns fault
+/// injection on, `--chaos-rate PCT` sets the per-fault-kind rate
+/// (default 10%).
+fn chaos_from_args(args: &[String]) -> Result<Option<ChaosConfig>, String> {
+    match flag_value(args, "--chaos") {
+        None => Ok(None),
+        Some(v) => {
+            let seed: u64 = v
+                .parse()
+                .map_err(|_| format!("bad value {v:?} for --chaos (expected a seed)"))?;
+            let rate: u8 = parse_or(args, "--chaos-rate", 10u8)?;
+            if rate > 100 {
+                return Err(format!("--chaos-rate {rate} is not a percentage"));
+            }
+            Ok(Some(ChaosConfig::all(seed, rate)))
+        }
+    }
+}
+
 fn cmd_coordinate(args: &[String]) -> Result<(), String> {
     let dir = require_dir(args)?;
     let campaign = open_or_create(&dir, args)?;
     let lease_ttl = Duration::from_secs(parse_or(args, "--lease-ttl", 300u64)?);
     let linger = Duration::from_millis(parse_or(args, "--linger", 1_000u64)?);
+    let quarantine_after: u32 = parse_or(args, "--quarantine-after", 5u32)?;
+    let chaos = chaos_from_args(args)?;
     let poll = Duration::from_millis(10);
     let (done, total) = campaign.progress();
-    let mut coordinator = Coordinator::new(campaign, lease_ttl);
+    let mut coordinator =
+        Coordinator::new(campaign, lease_ttl).with_quarantine_after(quarantine_after);
     eprintln!(
         "coordinating {}: {done}/{total} shards done, lease ttl {lease_ttl:?}",
         dir.display()
     );
+    if let Some(cfg) = &chaos {
+        eprintln!(
+            "chaos enabled: seed {}, {}% per fault kind",
+            cfg.seed, cfg.corrupt_pct
+        );
+    }
     let summary = match transport_from_args(args)? {
         Transport::File(queue) => {
             let mut server = FileQueueServer::new(&queue).map_err(|e| e.to_string())?;
-            coordinator.serve(&mut server, poll, linger)
+            match chaos {
+                Some(cfg) => coordinator.serve(&mut ChaosTransport::new(server, cfg), poll, linger),
+                None => coordinator.serve(&mut server, poll, linger),
+            }
         }
         Transport::Tcp(addr) => {
             let mut server = TcpServer::bind(&addr).map_err(|e| e.to_string())?;
@@ -334,19 +382,49 @@ fn cmd_coordinate(args: &[String]) -> Result<(), String> {
                 "listening on {}",
                 server.local_addr().map_err(|e| e.to_string())?
             );
-            coordinator.serve(&mut server, poll, linger)
+            match chaos {
+                Some(cfg) => coordinator.serve(&mut ChaosTransport::new(server, cfg), poll, linger),
+                None => coordinator.serve(&mut server, poll, linger),
+            }
         }
     }
     .map_err(|e| e.to_string())?;
+    let quarantined = coordinator.quarantined_shards();
+    let state = if coordinator.campaign().is_complete() {
+        "campaign complete"
+    } else {
+        "campaign terminal (degraded)"
+    };
     eprintln!(
-        "campaign complete: {} shards recorded, {} duplicates, {} leases re-issued, {} refusals",
+        "{state}: {} shards recorded, {} duplicates, {} leases re-issued, {} refusals",
         summary.shards_recorded, summary.duplicates, summary.leases_expired, summary.refusals
     );
+    if !quarantined.is_empty() {
+        eprintln!("quarantined shards (never re-issued): {quarantined:?}");
+    }
     Ok(())
 }
 
 fn cmd_work(args: &[String]) -> Result<(), String> {
     let name = flag_value(args, "--name").unwrap_or_else(|| format!("w{}", std::process::id()));
+    let default_retry = crc_survey::worker::RetryPolicy::default();
+    let retry = crc_survey::worker::RetryPolicy {
+        base: Duration::from_millis(parse_or(
+            args,
+            "--retry-base-ms",
+            default_retry.base.as_millis() as u64,
+        )?),
+        cap: Duration::from_millis(parse_or(
+            args,
+            "--retry-cap-ms",
+            default_retry.cap.as_millis() as u64,
+        )?),
+        max_attempts: parse_or(args, "--retry-attempts", default_retry.max_attempts)?,
+        // Decorrelate the fleet: each worker jitters off its own name.
+        seed: name.bytes().fold(default_retry.seed, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+        }),
+    };
     let opts = crc_survey::worker::WorkerOptions {
         name,
         max_shards: match flag_value(args, "--max-shards") {
@@ -356,21 +434,33 @@ fn cmd_work(args: &[String]) -> Result<(), String> {
                     .map_err(|_| format!("bad value {v:?} for --max-shards"))?,
             ),
         },
+        retry,
     };
+    let chaos = chaos_from_args(args)?;
     let summary = match transport_from_args(args)? {
         Transport::File(queue) => {
             let mut client = FileQueueClient::new(&queue, &opts.name).map_err(|e| e.to_string())?;
-            crc_survey::worker::run_worker(&mut client, &opts)
+            match chaos {
+                Some(cfg) => {
+                    crc_survey::worker::run_worker(&mut ChaosTransport::new(client, cfg), &opts)
+                }
+                None => crc_survey::worker::run_worker(&mut client, &opts),
+            }
         }
         Transport::Tcp(addr) => {
             let mut client = TcpClient::new(&addr);
-            crc_survey::worker::run_worker(&mut client, &opts)
+            match chaos {
+                Some(cfg) => {
+                    crc_survey::worker::run_worker(&mut ChaosTransport::new(client, cfg), &opts)
+                }
+                None => crc_survey::worker::run_worker(&mut client, &opts),
+            }
         }
     }
     .map_err(|e| e.to_string())?;
     eprintln!(
-        "worker {} done: {} shards submitted ({} duplicates)",
-        opts.name, summary.shards_submitted, summary.duplicates
+        "worker {} done: {} shards submitted ({} duplicates, {} retries, {} waits)",
+        opts.name, summary.shards_submitted, summary.duplicates, summary.retries, summary.waits
     );
     Ok(())
 }
@@ -395,9 +485,16 @@ fn render_status(s: &StatusReport) -> String {
     }
     let _ = writeln!(
         out,
-        "session:  {} recorded  {} duplicates  {} leases expired  {} refused",
-        s.recorded, s.duplicates, s.leases_expired, s.refusals
+        "session:  {} recorded  {} duplicates  {} leases expired  {} refused  {} frames rejected",
+        s.recorded, s.duplicates, s.leases_expired, s.refusals, s.frames_rejected
     );
+    if !s.quarantined.is_empty() {
+        let _ = writeln!(
+            out,
+            "quarantined: {:?} (parked after repeated lease expiry; a late submit lifts it)",
+            s.quarantined
+        );
+    }
     if !s.leases.is_empty() {
         let _ = writeln!(out, "leases:");
         for l in &s.leases {
@@ -444,18 +541,36 @@ fn cmd_watch(args: &[String]) -> Result<(), String> {
         }
         Transport::Tcp(addr) => Box::new(TcpClient::new(&addr)),
     };
+    let mut once_retries = 0u32;
     loop {
-        let reply = client
-            .call(&Request::Status {
-                worker: name.clone(),
-            })
-            .map_err(|e| e.to_string())?;
-        let report = match reply {
-            Reply::Status(report) => report,
-            Reply::Refused { reason } => {
+        // A watch session must outlive transient trouble: damaged
+        // frames, timeouts, and explicit retry replies just mean "poll
+        // again". Even --once retries a bounded number of times — one
+        // mangled frame must not fail a monitoring cron job.
+        let report = match client.call(&Request::Status {
+            worker: name.clone(),
+        }) {
+            Ok(Reply::Status(report)) => report,
+            Ok(Reply::Retry { reason }) | Err(crc_survey::Error::Frame(reason)) => {
+                if once {
+                    once_retries += 1;
+                    if once_retries > 10 {
+                        return Err(format!("status poll kept failing: {reason}"));
+                    }
+                }
+                eprintln!("status poll will retry: {reason}");
+                std::thread::sleep(if once {
+                    Duration::from_millis(200)
+                } else {
+                    interval
+                });
+                continue;
+            }
+            Ok(Reply::Refused { reason }) => {
                 return Err(format!("coordinator refused the status request: {reason}"))
             }
-            other => return Err(format!("expected a status reply, got {other:?}")),
+            Ok(other) => return Err(format!("expected a status reply, got {other:?}")),
+            Err(e) => return Err(e.to_string()),
         };
         let complete = report.total > 0 && report.done == report.total;
         print!("{}", render_status(&report));

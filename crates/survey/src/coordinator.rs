@@ -21,17 +21,50 @@
 //! sleeping. [`Coordinator::serve`] is the production loop: poll the
 //! transport, sleep when idle, exit shortly after the campaign
 //! completes.
+//!
+//! # Fault tolerance
+//!
+//! Three mechanisms keep a flaky fleet from wedging the campaign:
+//!
+//! * **Lease re-grant**: a worker that asks for a lease while already
+//!   holding one (its `Assign` reply was lost in flight) gets its own
+//!   lowest-numbered shard handed back with a fresh deadline, instead
+//!   of accumulating leases it does not know about.
+//! * **Poison-shard quarantine**: a shard whose lease expires
+//!   [`Coordinator::with_quarantine_after`] times is parked and never
+//!   re-issued — a work unit that reliably kills workers must not take
+//!   the whole fleet down with it. Quarantined shards are listed in
+//!   status reports and `coordinator-summary.json`. A late submission
+//!   of a parked shard is still accepted (work units are pure, so the
+//!   bytes are trustworthy) and lifts the quarantine.
+//! * **Degraded-terminal state**: when every still-pending shard is
+//!   quarantined the campaign can no longer make progress;
+//!   [`Coordinator::is_terminal`] turns true, leases answer
+//!   [`Reply::Done`] so workers drain, and [`Coordinator::serve`]
+//!   exits — with the quarantine on durable record rather than an
+//!   eternal busy-wait.
+//!
+//! Coordinator restart needs no extra machinery: all durable state is
+//! the checkpoint (manifest + shard logs), which [`Campaign::open`]
+//! rebuilds, and workers treat a refused connection as retryable, so
+//! they simply re-handshake when the new process comes up. Leases and
+//! quarantine are session state and reset on restart — the worst case
+//! is re-evaluating work, never corrupting it.
 
 use crate::campaign::{ShardResult, FORMAT_VERSION};
 use crate::engine::Campaign;
+use crate::frame::WireStats;
 use crate::json::Json;
 use crate::transport::{LeaseInfo, Reply, Request, ServeTransport, StatusReport, WorkerHeartbeat};
 use crate::Result;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::time::{Duration, Instant};
 
 /// Backoff hint sent with [`Reply::Wait`].
 const WAIT_BACKOFF_MS: u64 = 100;
+
+/// Default lease-expiry count that parks a shard in quarantine.
+const DEFAULT_QUARANTINE_AFTER: u32 = 5;
 
 /// Tallies of coordinator activity, reported when [`Coordinator::serve`]
 /// returns and persisted to `coordinator-summary.json` in the campaign
@@ -64,6 +97,16 @@ pub struct Coordinator {
     campaign: Campaign,
     lease_ttl: Duration,
     leases: HashMap<u64, (String, Instant)>,
+    /// Lease expiries per shard this session; at `quarantine_after` the
+    /// shard is parked.
+    expiry_counts: HashMap<u64, u32>,
+    /// Shards parked after repeated lease expiry — never re-issued
+    /// (`BTreeSet` so reports list them in shard order).
+    quarantined: BTreeSet<u64>,
+    /// Expiry count that parks a shard; 0 disables quarantine.
+    quarantine_after: u32,
+    /// Last wire-level framing snapshot from the serving transport.
+    wire: WireStats,
     summary: CoordSummary,
     /// Workers seen this session, by name (`BTreeMap` so status reports
     /// list them in a stable order). Status observers are not tracked.
@@ -85,6 +128,10 @@ impl Coordinator {
             campaign,
             lease_ttl,
             leases: HashMap::new(),
+            expiry_counts: HashMap::new(),
+            quarantined: BTreeSet::new(),
+            quarantine_after: DEFAULT_QUARANTINE_AFTER,
+            wire: WireStats::default(),
             summary: CoordSummary::default(),
             workers: BTreeMap::new(),
             started: None,
@@ -93,9 +140,36 @@ impl Coordinator {
         }
     }
 
+    /// Sets the lease-expiry count that parks a shard in quarantine
+    /// (default 5); `0` disables quarantine entirely.
+    pub fn with_quarantine_after(mut self, expiries: u32) -> Coordinator {
+        self.quarantine_after = expiries;
+        self
+    }
+
     /// The underlying campaign.
     pub fn campaign(&self) -> &Campaign {
         &self.campaign
+    }
+
+    /// Shards currently parked in quarantine, ascending.
+    pub fn quarantined_shards(&self) -> Vec<u64> {
+        self.quarantined.iter().copied().collect()
+    }
+
+    /// Whether serving can stop: the campaign is complete, or it is
+    /// degraded-terminal — every still-pending shard is quarantined, so
+    /// no lease will ever be issued again.
+    pub fn is_terminal(&self) -> bool {
+        if self.campaign.is_complete() {
+            return true;
+        }
+        !self.quarantined.is_empty()
+            && self
+                .campaign
+                .pending_shards()
+                .iter()
+                .all(|s| self.quarantined.contains(s))
     }
 
     /// Activity counters so far.
@@ -111,13 +185,26 @@ impl Coordinator {
     }
 
     fn expire_leases(&mut self, now: Instant) {
-        let before = self.leases.len();
-        self.leases.retain(|_, (_, deadline)| *deadline > now);
-        let expired = (before - self.leases.len()) as u64;
-        self.summary.leases_expired += expired;
-        if expired > 0 {
+        let expired: Vec<u64> = self
+            .leases
+            .iter()
+            .filter(|(_, (_, deadline))| *deadline <= now)
+            .map(|(&shard, _)| shard)
+            .collect();
+        for &shard in &expired {
+            self.leases.remove(&shard);
+            let count = self.expiry_counts.entry(shard).or_insert(0);
+            *count += 1;
+            if self.quarantine_after > 0 && *count >= self.quarantine_after {
+                self.quarantined.insert(shard);
+            }
+        }
+        let n = expired.len() as u64;
+        self.summary.leases_expired += n;
+        if n > 0 {
             if let Some(m) = crate::metrics::coord() {
-                m.leases_expired.add(expired);
+                m.leases_expired.add(n);
+                m.quarantined.set(self.quarantined.len() as u64);
             }
         }
     }
@@ -172,9 +259,18 @@ impl Coordinator {
             survivors: self.survivors,
             polys_per_s,
             eta_ms,
+            frames_rejected: self.wire.frames_rejected,
+            quarantined: self.quarantined_shards(),
             leases,
             workers,
         }
+    }
+
+    /// Records the serving transport's latest wire-level framing
+    /// snapshot, so status reports and the persisted summary carry the
+    /// fault counters.
+    pub fn set_wire_stats(&mut self, wire: WireStats) {
+        self.wire = wire;
     }
 
     /// Answers one request as of `now` (injected for testable expiry).
@@ -205,11 +301,22 @@ impl Coordinator {
                     return Reply::Done;
                 }
                 self.expire_leases(now);
-                let next = self
-                    .campaign
-                    .pending_shards()
-                    .into_iter()
-                    .find(|s| !self.leases.contains_key(s));
+                let pending = self.campaign.pending_shards();
+                let next = pending
+                    .iter()
+                    .copied()
+                    .find(|s| !self.leases.contains_key(s) && !self.quarantined.contains(s));
+                // No fresh shard: before parking the worker, re-grant
+                // its own lowest outstanding lease — if its Assign
+                // reply was lost in flight, this heals the loss without
+                // waiting out a TTL expiry.
+                let next = next.or_else(|| {
+                    self.leases
+                        .iter()
+                        .filter(|(_, (w, _))| *w == worker)
+                        .map(|(&shard, _)| shard)
+                        .min()
+                });
                 match next {
                     Some(shard) => {
                         self.leases.insert(shard, (worker, now + self.lease_ttl));
@@ -220,6 +327,10 @@ impl Coordinator {
                             end: unit.end,
                         }
                     }
+                    // Degraded-terminal: everything still pending is
+                    // quarantined, so this worker will never get work —
+                    // let it drain instead of spinning on Wait.
+                    None if self.is_terminal() => Reply::Done,
                     None => Reply::Wait {
                         backoff_ms: WAIT_BACKOFF_MS,
                     },
@@ -235,6 +346,17 @@ impl Coordinator {
                 match recorded {
                     Ok(((shard, scanned, survivors), fresh)) => {
                         self.leases.remove(&shard);
+                        // A parked shard that still produced a valid
+                        // log was not poison after all — lift the
+                        // quarantine (the result bytes are pure in
+                        // `(config, shard)`, so late work is as good as
+                        // on-time work).
+                        if self.quarantined.remove(&shard) {
+                            self.expiry_counts.remove(&shard);
+                            if let Some(m) = crate::metrics::coord() {
+                                m.quarantined.set(self.quarantined.len() as u64);
+                            }
+                        }
                         if let Some(w) = self.workers.get_mut(&worker) {
                             w.last_submit = Some(now);
                             w.submitted += 1;
@@ -297,6 +419,19 @@ impl Coordinator {
             ("refusals", Json::Int(self.summary.refusals)),
             ("scanned", Json::Int(self.scanned)),
             ("survivors", Json::Int(self.survivors)),
+            (
+                "quarantined",
+                Json::Arr(
+                    self.quarantined
+                        .iter()
+                        .map(|&s| Json::Int(s))
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+            ("frames_sent", Json::Int(self.wire.frames_sent)),
+            ("frames_rejected", Json::Int(self.wire.frames_rejected)),
+            ("retries_signalled", Json::Int(self.wire.retries_signalled)),
+            ("chaos_injected", Json::Int(self.wire.chaos_injected)),
         ])
     }
 
@@ -314,11 +449,14 @@ impl Coordinator {
         )
     }
 
-    /// Serves `transport` until the campaign completes, then lingers
+    /// Serves `transport` until the campaign reaches a terminal state
+    /// (complete, or degraded-terminal with every pending shard
+    /// quarantined — see [`Coordinator::is_terminal`]), then lingers
     /// for `linger` so workers parked in [`Reply::Wait`] backoff can
     /// still learn it is [`Reply::Done`]. Sleeps `poll` between empty
-    /// polls. The session summary is persisted to
-    /// `coordinator-summary.json` on every idle/linger tick and once
+    /// polls; idle ticks also expire leases, so quarantine progresses
+    /// even when every worker is dead. The session summary is persisted
+    /// to `coordinator-summary.json` on every idle/linger tick and once
     /// more before returning, so the counters survive the process.
     ///
     /// # Errors
@@ -336,16 +474,22 @@ impl Coordinator {
         let mut persisted: Option<String> = None;
         loop {
             let served = transport.serve_one(&mut |req| self.handle(req, Instant::now()))?;
-            if self.campaign.is_complete() {
+            self.wire = transport.wire_stats();
+            if self.is_terminal() {
                 let since = *complete_since.get_or_insert_with(Instant::now);
                 if !served && since.elapsed() >= linger {
                     self.write_summary()?;
                     return Ok(self.summary);
                 }
+            } else {
+                complete_since = None;
             }
             if !served {
-                // Idle tick: persist the summary when it changed (cheap —
-                // the document is a few hundred bytes and idle ticks are
+                // Idle tick: expire leases so a fleet that died without
+                // a word still drives quarantine forward…
+                self.expire_leases(Instant::now());
+                // …and persist the summary when it changed (cheap — the
+                // document is a few hundred bytes and idle ticks are
                 // already sleeping).
                 let doc = self.summary_json().render();
                 if persisted.as_deref() != Some(&doc) {
@@ -406,7 +550,12 @@ mod tests {
         assert!(matches!(r, Reply::Assign { shard: 1, .. }));
         let r = coord.handle(Request::Lease { worker: "b".into() }, t0);
         assert!(matches!(r, Reply::Assign { shard: 2, .. }));
+        // No fresh shard left: b gets its own lowest lease re-granted
+        // (heals a lost Assign reply), not a Wait.
         let r = coord.handle(Request::Lease { worker: "b".into() }, t0);
+        assert!(matches!(r, Reply::Assign { shard: 1, .. }));
+        // A worker with no leases of its own does wait.
+        let r = coord.handle(Request::Lease { worker: "c".into() }, t0);
         assert!(matches!(r, Reply::Wait { .. }));
         // Past the deadline, shard 0 is re-issued.
         let late = t0 + Duration::from_secs(6);
@@ -573,6 +722,123 @@ mod tests {
         assert_eq!(s.workers[0].last_submit_ms, None);
         // 2 shards remain at 1 shard per 4s of session time.
         assert_eq!(s.eta_ms, Some(8_000));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn repeated_expiries_quarantine_a_shard() {
+        let (coord, dir) = fresh_coordinator("quarantine", Duration::from_secs(1));
+        let mut coord = coord.with_quarantine_after(2);
+        let config = coord.campaign().config().clone();
+        let t0 = Instant::now();
+        // Shard 0 expires twice under worker "sick" → parked.
+        for round in 0..2u64 {
+            let t = t0 + Duration::from_secs(3 * round);
+            let r = coord.handle(
+                Request::Lease {
+                    worker: "sick".into(),
+                },
+                t,
+            );
+            assert!(matches!(r, Reply::Assign { shard: 0, .. }));
+        }
+        let late = t0 + Duration::from_secs(10);
+        // Next lease: shard 0 is quarantined, so shard 1 is issued.
+        let r = coord.handle(
+            Request::Lease {
+                worker: "ok".into(),
+            },
+            late,
+        );
+        assert!(matches!(r, Reply::Assign { shard: 1, .. }));
+        assert_eq!(coord.quarantined_shards(), vec![0]);
+        assert_eq!(coord.summary().leases_expired, 2);
+        assert!(!coord.is_terminal());
+
+        // Status surfaces the quarantine.
+        let Reply::Status(s) = coord.handle(
+            Request::Status {
+                worker: "watch1".into(),
+            },
+            late,
+        ) else {
+            panic!("expected status reply")
+        };
+        assert_eq!(s.quarantined, vec![0]);
+
+        // Record everything but the parked shard: the campaign becomes
+        // degraded-terminal and drains workers with Done.
+        for shard in [1, 2] {
+            let r = coord.handle(
+                Request::Submit {
+                    worker: "ok".into(),
+                    log: shard_log(&config, shard),
+                },
+                late,
+            );
+            assert!(matches!(r, Reply::Accepted { fresh: true, .. }));
+        }
+        assert!(coord.is_terminal());
+        assert!(!coord.campaign().is_complete());
+        let r = coord.handle(
+            Request::Lease {
+                worker: "ok".into(),
+            },
+            late,
+        );
+        assert_eq!(r, Reply::Done);
+        // The summary document names the parked shard.
+        let doc = coord.summary_json();
+        let q = doc.require("quarantined").unwrap().as_arr().unwrap();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].as_u64(), Some(0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn late_submission_lifts_quarantine() {
+        let (coord, dir) = fresh_coordinator("unquarantine", Duration::from_secs(1));
+        let mut coord = coord.with_quarantine_after(1);
+        let config = coord.campaign().config().clone();
+        let t0 = Instant::now();
+        let r = coord.handle(
+            Request::Lease {
+                worker: "slow".into(),
+            },
+            t0,
+        );
+        assert!(matches!(r, Reply::Assign { shard: 0, .. }));
+        // One expiry parks it (quarantine_after = 1).
+        let late = t0 + Duration::from_secs(5);
+        let r = coord.handle(
+            Request::Lease {
+                worker: "other".into(),
+            },
+            late,
+        );
+        assert!(matches!(r, Reply::Assign { shard: 1, .. }));
+        assert_eq!(coord.quarantined_shards(), vec![0]);
+        // The slow worker finally submits shard 0: accepted, quarantine
+        // lifted, campaign can complete fully.
+        let r = coord.handle(
+            Request::Submit {
+                worker: "slow".into(),
+                log: shard_log(&config, 0),
+            },
+            late,
+        );
+        assert!(matches!(r, Reply::Accepted { fresh: true, .. }));
+        assert!(coord.quarantined_shards().is_empty());
+        for shard in [1, 2] {
+            coord.handle(
+                Request::Submit {
+                    worker: "other".into(),
+                    log: shard_log(&config, shard),
+                },
+                late,
+            );
+        }
+        assert!(coord.campaign().is_complete());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

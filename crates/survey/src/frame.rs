@@ -1,0 +1,281 @@
+//! CRC-32 framing of protocol lines — the survey dogfoods its own
+//! checksum engine.
+//!
+//! Every request and reply the distributed campaign puts on a wire (a
+//! TCP line or a file-queue file) carries a CRC-32/ISO-HDLC trailer
+//! computed by `crckit` over the payload bytes:
+//!
+//! ```text
+//! {"type":"lease","worker":"w1"}#crc32=6b1a59c2
+//! ```
+//!
+//! [`encode`] appends the trailer; [`decode`] verifies it and strips it.
+//! A frame whose trailer is missing, malformed, or disagrees with the
+//! payload is rejected with [`Error::Frame`] — the *retryable* error
+//! class: transports answer damaged frames with `Reply::Retry` (or drop
+//! them) instead of dying, and the worker retry layer resends the
+//! request. This is exactly the random/burst corruption the source
+//! paper's error model covers: any single burst up to 32 bits (and any
+//! odd number of bit errors, HD permitting) is guaranteed caught.
+//!
+//! The module also defines [`WireCounters`]/[`WireStats`] — the shared
+//! fault-telemetry block every transport end carries so coordinators
+//! can persist "frames rejected / retries signalled / chaos injected"
+//! counters into `coordinator-summary.json` without a live watch
+//! session.
+
+use crate::{Error, Result};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// The trailer tag separating payload from checksum.
+const TAG: &str = "#crc32=";
+/// Full trailer length: the tag plus eight lowercase hex digits.
+const TRAILER_LEN: usize = TAG.len() + 8;
+
+/// The process-wide framing CRC: CRC-32/ISO-HDLC (the 802.3
+/// polynomial), constructed once so the engine's fold constants are
+/// derived a single time.
+fn framing_crc() -> &'static crckit::Crc {
+    static CRC: OnceLock<crckit::Crc> = OnceLock::new();
+    CRC.get_or_init(|| crckit::Crc::new(crckit::catalog::CRC32_ISO_HDLC))
+}
+
+/// The CRC-32/ISO-HDLC checksum of `payload`, as framed on the wire.
+pub fn checksum(payload: &[u8]) -> u32 {
+    framing_crc().checksum(payload) as u32
+}
+
+/// Frames `payload` (one compact-rendered JSON document, no newlines)
+/// with its CRC-32 trailer.
+pub fn encode(payload: &str) -> String {
+    debug_assert!(!payload.contains('\n'), "frames are single lines");
+    format!("{payload}{TAG}{:08x}", checksum(payload.as_bytes()))
+}
+
+/// Verifies and strips the CRC-32 trailer of one received frame.
+///
+/// # Errors
+///
+/// [`Error::Frame`] when the trailer is missing or malformed
+/// (truncation) or when the checksum disagrees with the payload
+/// (corruption). Both are retryable: the sender still has the request.
+pub fn decode(frame: &str) -> Result<&str> {
+    let frame = frame.strip_suffix('\n').unwrap_or(frame);
+    if frame.len() < TRAILER_LEN || !frame.is_char_boundary(frame.len() - TRAILER_LEN) {
+        return Err(Error::Frame(format!(
+            "frame too short for a CRC trailer ({} bytes)",
+            frame.len()
+        )));
+    }
+    let (payload, trailer) = frame.split_at(frame.len() - TRAILER_LEN);
+    let Some(hex) = trailer.strip_prefix(TAG) else {
+        return Err(Error::Frame(format!(
+            "missing {TAG}XXXXXXXX trailer (frame ends {trailer:?})"
+        )));
+    };
+    // Strictly lowercase hex: `from_str_radix` alone would also accept
+    // uppercase, letting a case-bit flip inside the trailer (e.g.
+    // `e`→`E`, same value) slip through undetected.
+    if !hex
+        .bytes()
+        .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+    {
+        return Err(Error::Frame(format!(
+            "CRC trailer {hex:?} is not lowercase hex"
+        )));
+    }
+    let carried = u32::from_str_radix(hex, 16)
+        .map_err(|_| Error::Frame(format!("CRC trailer {hex:?} is not hex")))?;
+    let computed = checksum(payload.as_bytes());
+    if carried != computed {
+        return Err(Error::Frame(format!(
+            "CRC mismatch: frame carries {carried:08x}, payload checks to {computed:08x}"
+        )));
+    }
+    Ok(payload)
+}
+
+/// Decodes a frame received as raw bytes (a TCP read may deliver
+/// damaged, non-UTF-8 data): the trailer is verified over the raw
+/// bytes, then the payload must be UTF-8.
+///
+/// # Errors
+///
+/// [`Error::Frame`] on trailer or checksum problems, or a payload that
+/// is not UTF-8 (corruption by definition — everything we send is).
+pub fn decode_bytes(frame: &[u8]) -> Result<String> {
+    let text = std::str::from_utf8(frame)
+        .map_err(|_| Error::Frame("frame is not UTF-8 (corrupted in flight)".into()))?;
+    decode(text).map(str::to_string)
+}
+
+/// Shared atomic fault counters carried by every transport end.
+///
+/// Transports clone an `Arc<WireCounters>` into whatever threads serve
+/// them; [`WireCounters::snapshot`] produces the plain-value
+/// [`WireStats`] the coordinator persists and reports.
+#[derive(Debug, Default)]
+pub struct WireCounters {
+    /// Frames put on the wire (requests and replies, both directions).
+    pub frames_sent: AtomicU64,
+    /// Frames rejected by CRC/trailer verification on read.
+    pub frames_rejected: AtomicU64,
+    /// `Reply::Retry` answers produced for damaged or undeliverable
+    /// traffic.
+    pub retries_signalled: AtomicU64,
+    /// Faults deliberately injected by a chaos wrapper.
+    pub chaos_injected: AtomicU64,
+}
+
+impl WireCounters {
+    /// Bumps `frames_sent` and mirrors it into global telemetry.
+    pub fn count_sent(&self) {
+        self.frames_sent.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = crate::metrics::transport() {
+            m.frames_sent.inc();
+        }
+    }
+
+    /// Bumps `frames_rejected` and mirrors it into global telemetry.
+    pub fn count_rejected(&self) {
+        self.frames_rejected.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = crate::metrics::transport() {
+            m.frames_rejected.inc();
+        }
+    }
+
+    /// Bumps `retries_signalled` and mirrors it into global telemetry.
+    pub fn count_retry(&self) {
+        self.retries_signalled.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = crate::metrics::transport() {
+            m.retries_signalled.inc();
+        }
+    }
+
+    /// Bumps `chaos_injected` and mirrors it into global telemetry.
+    pub fn count_chaos(&self) {
+        self.chaos_injected.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = crate::metrics::transport() {
+            m.chaos_injected.inc();
+        }
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> WireStats {
+        WireStats {
+            frames_sent: self.frames_sent.load(Ordering::Relaxed),
+            frames_rejected: self.frames_rejected.load(Ordering::Relaxed),
+            retries_signalled: self.retries_signalled.load(Ordering::Relaxed),
+            chaos_injected: self.chaos_injected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-value snapshot of [`WireCounters`], as reported by
+/// `WorkerTransport::wire_stats` / `ServeTransport::wire_stats` and
+/// persisted into `coordinator-summary.json`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Frames put on the wire.
+    pub frames_sent: u64,
+    /// Frames rejected by CRC/trailer verification on read.
+    pub frames_rejected: u64,
+    /// `Reply::Retry` answers produced for damaged traffic.
+    pub retries_signalled: u64,
+    /// Faults deliberately injected by a chaos wrapper.
+    pub chaos_injected: u64,
+}
+
+impl WireStats {
+    /// Field-wise sum (a chaos wrapper reports its own injections plus
+    /// whatever its inner transport observed).
+    pub fn merged(self, other: WireStats) -> WireStats {
+        WireStats {
+            frames_sent: self.frames_sent + other.frames_sent,
+            frames_rejected: self.frames_rejected + other.frames_rejected,
+            retries_signalled: self.retries_signalled + other.retries_signalled,
+            chaos_injected: self.chaos_injected + other.chaos_injected,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        for payload in [
+            "{}",
+            r#"{"type":"lease","worker":"w1"}"#,
+            r#"{"type":"submit","worker":"w1","log":{"shard":3}}"#,
+        ] {
+            let framed = encode(payload);
+            assert!(framed.starts_with(payload));
+            assert_eq!(decode(&framed).unwrap(), payload);
+            assert_eq!(decode_bytes(framed.as_bytes()).unwrap(), payload);
+            // A trailing newline (TCP line transport) is tolerated.
+            assert_eq!(decode(&format!("{framed}\n")).unwrap(), payload);
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let framed = encode(r#"{"type":"hello","worker":"w-1"}"#);
+        let bytes = framed.as_bytes();
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut mangled = bytes.to_vec();
+                mangled[i] ^= 1 << bit;
+                assert!(
+                    decode_bytes(&mangled).is_err(),
+                    "flip of bit {bit} in byte {i} slipped through"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let framed = encode(r#"{"type":"status","worker":"watch1"}"#);
+        for cut in 0..framed.len() {
+            assert!(
+                decode(&framed[..cut]).is_err(),
+                "truncation to {cut} bytes slipped through"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_and_malformed_trailers_are_rejected() {
+        assert!(decode(r#"{"type":"hello","worker":"w1"}"#).is_err());
+        assert!(decode("").is_err());
+        assert!(decode("#crc32=zzzzzzzz").is_err());
+        let bad_hex = format!(r#"{{"a":1}}{TAG}nothexhx"#);
+        assert!(decode(&bad_hex).is_err());
+    }
+
+    #[test]
+    fn checksum_matches_the_catalog_check_value() {
+        // CRC-32/ISO-HDLC's standard check value pins the framing CRC
+        // to the catalog entry.
+        assert_eq!(checksum(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn wire_counters_snapshot_and_merge() {
+        let c = WireCounters::default();
+        c.count_sent();
+        c.count_sent();
+        c.count_rejected();
+        c.count_retry();
+        c.count_chaos();
+        let s = c.snapshot();
+        assert_eq!(s.frames_sent, 2);
+        assert_eq!(s.frames_rejected, 1);
+        let m = s.merged(s);
+        assert_eq!(m.frames_sent, 4);
+        assert_eq!(m.chaos_injected, 2);
+    }
+}

@@ -118,8 +118,10 @@
 
 pub mod campaign;
 pub mod census;
+pub mod chaos;
 pub mod coordinator;
 pub mod engine;
+pub mod frame;
 pub mod json;
 pub mod leaderboard;
 pub mod metrics;
@@ -143,6 +145,10 @@ pub enum Error {
     Parse(String),
     /// Filesystem failure.
     Io(String),
+    /// A wire frame failed CRC/trailer verification (truncated or
+    /// corrupted in flight). Always retryable: the sender still holds
+    /// the request and work units are idempotent.
+    Frame(String),
     /// An operation needed a completed campaign.
     Incomplete {
         /// Shards checkpointed so far.
@@ -160,11 +166,26 @@ impl fmt::Display for Error {
             Error::Config(s) => write!(f, "bad campaign config: {s}"),
             Error::Parse(s) => write!(f, "bad campaign artifact: {s}"),
             Error::Io(s) => write!(f, "campaign io: {s}"),
+            Error::Frame(s) => write!(f, "wire frame rejected: {s}"),
             Error::Incomplete { done, total } => {
                 write!(f, "campaign incomplete: {done}/{total} shards")
             }
             Error::Core(e) => write!(f, "evaluation error: {e}"),
         }
+    }
+}
+
+impl Error {
+    /// Whether retrying the same request can succeed.
+    ///
+    /// Transport-level failures ([`Error::Io`] — timeouts, refused
+    /// connections, lost replies) and damaged frames ([`Error::Frame`])
+    /// are transient: the protocol is idempotent, so the worker retry
+    /// layer resends. Everything else (schema mismatches, config
+    /// conflicts, evaluation errors) signals a real disagreement that a
+    /// resend cannot fix.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Error::Io(_) | Error::Frame(_))
     }
 }
 

@@ -97,8 +97,14 @@ pub struct Coord {
     pub leases_expired: Arc<Counter>,
     /// Requests refused (bad config hash, unknown worker, bad shard).
     pub refusals: Arc<Counter>,
+    /// `Reply::Retry` answers issued for damaged or undeliverable
+    /// traffic.
+    pub retries: Arc<Counter>,
     /// Shards recorded in the manifest (gauge: includes prior sessions).
     pub shards_done: Arc<Gauge>,
+    /// Shards currently parked in quarantine after repeated lease
+    /// expiries.
+    pub quarantined: Arc<Gauge>,
 }
 
 /// Worker-loop progress counters.
@@ -109,6 +115,26 @@ pub struct Worker {
     /// Polynomials scanned per second by this worker, refreshed per
     /// shard.
     pub polys_per_s: Arc<Gauge>,
+    /// `Reply::Wait` backoffs honoured.
+    pub waits: Arc<Counter>,
+    /// Requests resent after a retryable failure or `Reply::Retry`.
+    pub retries: Arc<Counter>,
+}
+
+/// Wire-level framing counters shared by every transport end in the
+/// process (both directions; see [`WireCounters`]).
+///
+/// [`WireCounters`]: crate::frame::WireCounters
+#[derive(Debug)]
+pub struct Transport {
+    /// Frames put on the wire.
+    pub frames_sent: Arc<Counter>,
+    /// Frames rejected by CRC/trailer verification on read.
+    pub frames_rejected: Arc<Counter>,
+    /// `Reply::Retry` answers produced for damaged traffic.
+    pub retries_signalled: Arc<Counter>,
+    /// Faults deliberately injected by a chaos wrapper.
+    pub chaos_injected: Arc<Counter>,
 }
 
 /// The screening-funnel counters, or `None` while telemetry is
@@ -162,7 +188,9 @@ pub fn coord() -> Option<&'static Coord> {
         duplicates: reg.counter("survey.coord.duplicates"),
         leases_expired: reg.counter("survey.coord.leases_expired"),
         refusals: reg.counter("survey.coord.refusals"),
+        retries: reg.counter("survey.coord.retries"),
         shards_done: reg.gauge("survey.coord.shards_done"),
+        quarantined: reg.gauge("survey.coord.quarantined"),
     }))
 }
 
@@ -176,6 +204,23 @@ pub fn worker() -> Option<&'static Worker> {
     Some(WORKER.get_or_init(|| Worker {
         shards: reg.counter("survey.worker.shards"),
         polys_per_s: reg.gauge("survey.worker.polys_per_s"),
+        waits: reg.counter("survey.worker.waits"),
+        retries: reg.counter("survey.worker.retries"),
+    }))
+}
+
+/// The wire framing counters, or `None` while telemetry is disabled.
+pub fn transport() -> Option<&'static Transport> {
+    static TRANSPORT: OnceLock<Transport> = OnceLock::new();
+    let reg = telemetry::global();
+    if !reg.enabled() {
+        return None;
+    }
+    Some(TRANSPORT.get_or_init(|| Transport {
+        frames_sent: reg.counter("survey.transport.frames_sent"),
+        frames_rejected: reg.counter("survey.transport.frames_rejected"),
+        retries_signalled: reg.counter("survey.transport.retries_signalled"),
+        chaos_injected: reg.counter("survey.transport.chaos_injected"),
     }))
 }
 
@@ -213,6 +258,7 @@ mod tests {
         assert!(engine().is_some());
         assert!(coord().is_some());
         assert!(worker().is_some());
+        assert!(transport().is_some());
         reg.set_enabled(was);
     }
 }

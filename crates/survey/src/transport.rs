@@ -19,12 +19,23 @@
 //! artifacts — work units are pure in `(config, shard id)` and the
 //! coordinator re-renders submissions through the same schema types the
 //! single-host engine writes.
+//!
+//! Every wire line carries a CRC-32 trailer ([`crate::frame`]) and is
+//! verified on read. A frame that fails verification is *retryable*,
+//! never fatal: servers answer [`Reply::Retry`] (when they can still
+//! attribute the sender) or drop the frame; clients surface
+//! [`crate::Error::Frame`], which the worker retry layer resends. Both
+//! ends count what they saw into [`WireCounters`], surfaced through
+//! [`WorkerTransport::wire_stats`] / [`ServeTransport::wire_stats`].
 
+use crate::frame::{self, WireCounters, WireStats};
 use crate::json::Json;
 use crate::{Error, Result};
+use gf2poly::SplitMix64;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A worker-originated protocol message.
@@ -155,9 +166,18 @@ pub enum Reply {
         complete: bool,
     },
     /// The request was rejected (wrong campaign, conflicting bytes,
-    /// malformed log).
+    /// malformed log). Semantic and permanent: resending the same
+    /// request cannot succeed.
     Refused {
         /// Human-readable reason.
+        reason: String,
+    },
+    /// The request (or its reply) was damaged or lost in flight —
+    /// resend it. Transient and idempotent-safe, unlike
+    /// [`Reply::Refused`]: servers answer this for CRC-rejected frames,
+    /// and chaos wrappers for simulated wire faults.
+    Retry {
+        /// Human-readable reason (which fault was detected).
         reason: String,
     },
     /// Answer to [`Request::Status`]: a live progress report.
@@ -223,6 +243,17 @@ pub struct StatusReport {
     /// Estimated milliseconds to completion from the session's shard
     /// completion rate; `None` until one shard has been recorded.
     pub eta_ms: Option<u64>,
+    /// Wire frames the serving transport rejected on CRC/trailer
+    /// verification this session (0 when served through
+    /// [`Coordinator::handle`] directly).
+    ///
+    /// [`Coordinator::handle`]: crate::coordinator::Coordinator::handle
+    pub frames_rejected: u64,
+    /// Poison shards parked after repeatedly expiring their leases;
+    /// ascending. Quarantined shards are no longer issued — the
+    /// campaign reaches a terminal degraded state instead of spinning,
+    /// and `survey merge` can fold their logs in later.
+    pub quarantined: Vec<u64>,
     /// Outstanding leases, ascending by shard.
     pub leases: Vec<LeaseInfo>,
     /// Known workers, ascending by name.
@@ -243,6 +274,11 @@ impl StatusReport {
             ("survivors", Json::Int(self.survivors)),
             ("polys_per_s", Json::Int(self.polys_per_s)),
             ("eta_ms", self.eta_ms.map_or(Json::Null, Json::Int)),
+            ("frames_rejected", Json::Int(self.frames_rejected)),
+            (
+                "quarantined",
+                Json::Arr(self.quarantined.iter().copied().map(Json::Int).collect()),
+            ),
             (
                 "leases",
                 Json::Arr(
@@ -352,6 +388,16 @@ impl StatusReport {
                 })
             })
             .collect::<Result<Vec<_>>>()?;
+        let quarantined = v
+            .require("quarantined")?
+            .as_arr()
+            .ok_or_else(|| Error::Parse("quarantined is not an array".into()))?
+            .iter()
+            .map(|s| {
+                s.as_u64()
+                    .ok_or_else(|| Error::Parse("quarantined shard is not an integer".into()))
+            })
+            .collect::<Result<Vec<_>>>()?;
         Ok(StatusReport {
             done: int("done")?,
             total: int("total")?,
@@ -363,6 +409,8 @@ impl StatusReport {
             survivors: int("survivors")?,
             polys_per_s: int("polys_per_s")?,
             eta_ms: opt_int("eta_ms")?,
+            frames_rejected: int("frames_rejected")?,
+            quarantined,
             leases,
             workers,
         })
@@ -404,6 +452,10 @@ impl Reply {
             ]),
             Reply::Refused { reason } => Json::obj([
                 ("type", Json::Str("refused".into())),
+                ("reason", Json::Str(reason.clone())),
+            ]),
+            Reply::Retry { reason } => Json::obj([
+                ("type", Json::Str("retry".into())),
                 ("reason", Json::Str(reason.clone())),
             ]),
             Reply::Status(report) => {
@@ -463,6 +515,13 @@ impl Reply {
                     .ok_or_else(|| Error::Parse("reason is not a string".into()))?
                     .to_string(),
             }),
+            Some("retry") => Ok(Reply::Retry {
+                reason: v
+                    .require("reason")?
+                    .as_str()
+                    .ok_or_else(|| Error::Parse("reason is not a string".into()))?
+                    .to_string(),
+            }),
             Some("status") => Ok(Reply::Status(StatusReport::from_json(v)?)),
             other => Err(Error::Parse(format!("unknown reply type {other:?}"))),
         }
@@ -497,9 +556,15 @@ pub trait WorkerTransport {
     ///
     /// # Errors
     ///
-    /// [`Error::Io`] on wire failures or timeout, [`Error::Parse`] on a
-    /// malformed reply.
+    /// [`Error::Io`] on wire failures or timeout, [`Error::Frame`] on a
+    /// reply that failed CRC verification (both retryable),
+    /// [`Error::Parse`] on a verified but schema-invalid reply.
     fn call(&mut self, req: &Request) -> Result<Reply>;
+
+    /// Frame/fault counters observed by this transport end so far.
+    fn wire_stats(&self) -> WireStats {
+        WireStats::default()
+    }
 }
 
 /// The coordinator side of a transport: poll-style service of one
@@ -516,6 +581,11 @@ pub trait ServeTransport {
     /// [`Error::Io`] on transport-level failures (unreadable queue
     /// directory, dead listener).
     fn serve_one(&mut self, handler: &mut dyn FnMut(Request) -> Reply) -> Result<bool>;
+
+    /// Frame/fault counters observed by this transport end so far.
+    fn wire_stats(&self) -> WireStats {
+        WireStats::default()
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -543,6 +613,7 @@ pub struct FileQueueClient {
     seq: u64,
     poll: Duration,
     timeout: Duration,
+    stats: Arc<WireCounters>,
 }
 
 impl FileQueueClient {
@@ -565,6 +636,7 @@ impl FileQueueClient {
             seq: 0,
             poll: Duration::from_millis(25),
             timeout: Duration::from_secs(120),
+            stats: Arc::new(WireCounters::default()),
         })
     }
 
@@ -584,8 +656,9 @@ impl WorkerTransport for FileQueueClient {
             &self.root.join("inbox"),
             &self.root.join("tmp"),
             &name,
-            &req.to_json().render_compact(),
+            &frame::encode(&req.to_json().render_compact()),
         )?;
+        self.stats.count_sent();
         let rsp = self
             .root
             .join("outbox")
@@ -596,7 +669,10 @@ impl WorkerTransport for FileQueueClient {
             match std::fs::read_to_string(&rsp) {
                 Ok(text) => {
                     let _ = std::fs::remove_file(&rsp);
-                    return Reply::from_json(&Json::parse(&text)?);
+                    let payload = frame::decode(&text).inspect_err(|_| {
+                        self.stats.count_rejected();
+                    })?;
+                    return Reply::from_json(&Json::parse(payload)?);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
                 Err(e) => return io_err("read", &rsp, e),
@@ -610,12 +686,17 @@ impl WorkerTransport for FileQueueClient {
             std::thread::sleep(self.poll);
         }
     }
+
+    fn wire_stats(&self) -> WireStats {
+        self.stats.snapshot()
+    }
 }
 
 /// The coordinator end of the file-queue transport.
 #[derive(Debug)]
 pub struct FileQueueServer {
     root: PathBuf,
+    stats: Arc<WireCounters>,
 }
 
 impl FileQueueServer {
@@ -630,8 +711,34 @@ impl FileQueueServer {
         }
         Ok(FileQueueServer {
             root: root.to_path_buf(),
+            stats: Arc::new(WireCounters::default()),
         })
     }
+
+    /// Writes one framed reply into `worker`'s outbox under `seq`.
+    fn write_reply(&self, worker: &str, seq: &str, reply: &Reply) -> Result<()> {
+        let outbox = self.root.join("outbox").join(worker);
+        std::fs::create_dir_all(&outbox).or_else(|e| io_err("create", &outbox, e))?;
+        write_file_atomic(
+            &outbox,
+            &self.root.join("tmp"),
+            &format!("rsp-{seq}.json"),
+            &frame::encode(&reply.to_json().render_compact()),
+        )?;
+        self.stats.count_sent();
+        Ok(())
+    }
+}
+
+/// Splits a `req-<worker>-<seq>.json` file name into its parts, when
+/// the worker name is well formed. The file name survives payload
+/// corruption, so a damaged frame can still be answered with
+/// [`Reply::Retry`] instead of silently starving the sender.
+fn request_file_parts(name: &str) -> Option<(&str, &str)> {
+    let stem = name.strip_prefix("req-")?.strip_suffix(".json")?;
+    let (worker, seq) = stem.rsplit_once('-')?;
+    validate_worker_name(worker).ok()?;
+    Some((worker, seq))
 }
 
 impl ServeTransport for FileQueueServer {
@@ -647,17 +754,32 @@ impl ServeTransport for FileQueueServer {
             return Ok(false);
         };
         let path = inbox.join(&name);
-        let text = std::fs::read_to_string(&path).or_else(|e| io_err("read", &path, e))?;
-        // Malformed requests are dropped, not fatal: remove the file so
-        // the queue keeps moving.
+        let text = match std::fs::read(&path) {
+            Ok(bytes) => match frame::decode_bytes(&bytes) {
+                Ok(payload) => payload,
+                Err(e) => {
+                    // Damaged frame: the CRC caught wire corruption. The
+                    // file name still attributes the sender, so answer
+                    // with a retryable signal instead of starving it.
+                    self.stats.count_rejected();
+                    if let Some((worker, seq)) = request_file_parts(&name) {
+                        let retry = Reply::Retry {
+                            reason: e.to_string(),
+                        };
+                        let _ = self.write_reply(worker, seq, &retry);
+                        self.stats.count_retry();
+                    }
+                    let _ = std::fs::remove_file(&path);
+                    return Ok(true);
+                }
+            },
+            Err(e) => return io_err("read", &path, e),
+        };
+        // Verified but malformed requests are dropped, not fatal:
+        // remove the file so the queue keeps moving.
         let parsed = Json::parse(&text).map_err(Error::from).and_then(|v| {
             let req = Request::from_json(&v)?;
-            let stem = name
-                .strip_prefix("req-")
-                .and_then(|s| s.strip_suffix(".json"))
-                .unwrap_or_default();
-            let (worker, seq) = stem
-                .rsplit_once('-')
+            let (worker, seq) = request_file_parts(&name)
                 .ok_or_else(|| Error::Parse(format!("bad request file name {name:?}")))?;
             if worker != req.worker() {
                 return Err(Error::Parse(format!(
@@ -670,14 +792,7 @@ impl ServeTransport for FileQueueServer {
         match parsed {
             Ok((req, seq)) => {
                 let reply = handler(req.clone());
-                let outbox = self.root.join("outbox").join(req.worker());
-                std::fs::create_dir_all(&outbox).or_else(|e| io_err("create", &outbox, e))?;
-                write_file_atomic(
-                    &outbox,
-                    &self.root.join("tmp"),
-                    &format!("rsp-{seq}.json"),
-                    &reply.to_json().render_compact(),
-                )?;
+                self.write_reply(req.worker(), &seq, &reply)?;
                 let _ = std::fs::remove_file(&path);
                 Ok(true)
             }
@@ -686,6 +801,10 @@ impl ServeTransport for FileQueueServer {
                 Ok(true)
             }
         }
+    }
+
+    fn wire_stats(&self) -> WireStats {
+        self.stats.snapshot()
     }
 }
 
@@ -699,14 +818,26 @@ impl ServeTransport for FileQueueServer {
 pub struct TcpClient {
     addr: String,
     timeout: Duration,
+    connect_base: Duration,
+    jitter: SplitMix64,
+    stats: Arc<WireCounters>,
 }
 
 impl TcpClient {
     /// A client for the coordinator at `addr` (`host:port`).
     pub fn new(addr: &str) -> TcpClient {
+        // The jitter stream only decorrelates concurrent clients'
+        // connect storms; seed it from whatever distinguishes them.
+        let mut seed = u64::from(std::process::id()) ^ 0x7c3a_9d1e_55aa_0f42;
+        for b in addr.bytes() {
+            seed = seed.rotate_left(7) ^ u64::from(b);
+        }
         TcpClient {
             addr: addr.to_string(),
             timeout: Duration::from_secs(120),
+            connect_base: Duration::from_millis(25),
+            jitter: SplitMix64::new(seed),
+            stats: Arc::new(WireCounters::default()),
         }
     }
 
@@ -715,43 +846,84 @@ impl TcpClient {
         self.timeout = timeout;
         self
     }
+
+    /// Connects with capped exponential backoff plus jitter: workers
+    /// may start before the coordinator binds its listener, and a
+    /// coordinator restart must not be greeted by a lockstep stampede.
+    fn connect(&mut self) -> Result<TcpStream> {
+        let deadline = Instant::now() + self.timeout;
+        let mut attempt = 0u32;
+        loop {
+            match TcpStream::connect(&self.addr) {
+                Ok(s) => return Ok(s),
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(Error::Io(format!(
+                            "connect to {} timed out after {:?} ({} attempts; last error: {e})",
+                            self.addr,
+                            self.timeout,
+                            attempt + 1
+                        )));
+                    }
+                    // base·2^attempt, capped at 2 s, then uniformly
+                    // jittered over [half, full] so restarted
+                    // coordinators see a spread-out reconnect wave.
+                    let cap = self
+                        .connect_base
+                        .saturating_mul(1u32 << attempt.min(8))
+                        .min(Duration::from_secs(2));
+                    let half = cap.as_millis().max(2) as u64 / 2;
+                    let sleep = half + self.jitter.next_below(half + 1);
+                    attempt += 1;
+                    std::thread::sleep(Duration::from_millis(sleep));
+                }
+            }
+        }
+    }
 }
 
 impl WorkerTransport for TcpClient {
     fn call(&mut self, req: &Request) -> Result<Reply> {
-        // Connect with retry: workers may start before the coordinator
-        // binds its listener.
-        let deadline = Instant::now() + self.timeout;
-        let mut stream = loop {
-            match TcpStream::connect(&self.addr) {
-                Ok(s) => break s,
-                Err(e) => {
-                    if Instant::now() >= deadline {
-                        return Err(Error::Io(format!("connect {}: {e}", self.addr)));
-                    }
-                    std::thread::sleep(Duration::from_millis(50));
-                }
-            }
-        };
+        let mut stream = self.connect()?;
         stream
             .set_read_timeout(Some(self.timeout))
             .map_err(|e| Error::Io(format!("socket timeout: {e}")))?;
-        let mut line = req.to_json().render_compact();
+        let mut line = frame::encode(&req.to_json().render_compact());
         line.push('\n');
         stream
             .write_all(line.as_bytes())
             .map_err(|e| Error::Io(format!("send to {}: {e}", self.addr)))?;
-        let mut reply_line = String::new();
+        self.stats.count_sent();
+        let mut reply_line = Vec::new();
         BufReader::new(&mut stream)
-            .read_line(&mut reply_line)
-            .map_err(|e| Error::Io(format!("receive from {}: {e}", self.addr)))?;
+            .read_until(b'\n', &mut reply_line)
+            .map_err(|e| {
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) {
+                    Error::Io(format!(
+                        "read from {} timed out after {:?} (connected, but no reply line)",
+                        self.addr, self.timeout
+                    ))
+                } else {
+                    Error::Io(format!("receive from {}: {e}", self.addr))
+                }
+            })?;
         if reply_line.is_empty() {
             return Err(Error::Io(format!(
                 "coordinator at {} closed the connection",
                 self.addr
             )));
         }
-        Reply::from_json(&Json::parse(reply_line.trim_end())?)
+        let payload = frame::decode_bytes(&reply_line).inspect_err(|_| {
+            self.stats.count_rejected();
+        })?;
+        Reply::from_json(&Json::parse(&payload)?)
+    }
+
+    fn wire_stats(&self) -> WireStats {
+        self.stats.snapshot()
     }
 }
 
@@ -761,6 +933,7 @@ impl WorkerTransport for TcpClient {
 pub struct TcpServer {
     listener: TcpListener,
     io_timeout: Duration,
+    stats: Arc<WireCounters>,
 }
 
 impl TcpServer {
@@ -778,6 +951,7 @@ impl TcpServer {
         Ok(TcpServer {
             listener,
             io_timeout: Duration::from_secs(10),
+            stats: Arc::new(WireCounters::default()),
         })
     }
 
@@ -793,8 +967,9 @@ impl TcpServer {
     }
 }
 
-/// Reads one `\n`-terminated line from a blocking stream.
-fn read_line_from(stream: &mut TcpStream, timeout: Duration) -> std::io::Result<String> {
+/// Reads one `\n`-terminated line of raw bytes from a blocking stream
+/// (damaged frames may not be UTF-8; the framing layer decides).
+fn read_line_from(stream: &mut TcpStream, timeout: Duration) -> std::io::Result<Vec<u8>> {
     stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(timeout))?;
     let mut buf = Vec::new();
@@ -809,7 +984,7 @@ fn read_line_from(stream: &mut TcpStream, timeout: Duration) -> std::io::Result<
             return Err(std::io::Error::other("request line too long"));
         }
     }
-    String::from_utf8(buf).map_err(|_| std::io::Error::other("request line is not UTF-8"))
+    Ok(buf)
 }
 
 impl ServeTransport for TcpServer {
@@ -824,19 +999,37 @@ impl ServeTransport for TcpServer {
         let Ok(line) = read_line_from(&mut stream, self.io_timeout) else {
             return Ok(true);
         };
-        let reply = match Json::parse(&line)
-            .map_err(Error::from)
-            .and_then(|v| Request::from_json(&v))
-        {
-            Ok(req) => handler(req),
-            Err(e) => Reply::Refused {
-                reason: e.to_string(),
+        let reply = match frame::decode_bytes(&line) {
+            // Damaged frame: the CRC caught wire corruption; the
+            // connection is still open, so signal a retryable failure.
+            Err(e) => {
+                self.stats.count_rejected();
+                self.stats.count_retry();
+                Reply::Retry {
+                    reason: e.to_string(),
+                }
+            }
+            // Verified but schema-invalid: a sender bug, permanent.
+            Ok(payload) => match Json::parse(&payload)
+                .map_err(Error::from)
+                .and_then(|v| Request::from_json(&v))
+            {
+                Ok(req) => handler(req),
+                Err(e) => Reply::Refused {
+                    reason: e.to_string(),
+                },
             },
         };
-        let mut out = reply.to_json().render_compact();
+        let mut out = frame::encode(&reply.to_json().render_compact());
         out.push('\n');
-        let _ = stream.write_all(out.as_bytes());
+        if stream.write_all(out.as_bytes()).is_ok() {
+            self.stats.count_sent();
+        }
         Ok(true)
+    }
+
+    fn wire_stats(&self) -> WireStats {
+        self.stats.snapshot()
     }
 }
 
@@ -880,6 +1073,9 @@ mod tests {
             Reply::Refused {
                 reason: "wrong campaign".into(),
             },
+            Reply::Retry {
+                reason: "CRC mismatch: frame carries deadbeef".into(),
+            },
             Reply::Status(StatusReport {
                 done: 3,
                 total: 16,
@@ -891,6 +1087,8 @@ mod tests {
                 survivors: 9,
                 polys_per_s: 120_000,
                 eta_ms: Some(650),
+                frames_rejected: 4,
+                quarantined: vec![7, 11],
                 leases: vec![LeaseInfo {
                     shard: 4,
                     worker: "w1".into(),

@@ -8,12 +8,53 @@
 //! unsubmitted lease expires at the coordinator and the shard is
 //! re-issued; a shard submitted twice is idempotent because unit
 //! results are pure in `(config, shard id)`.
+//!
+//! # Retry policy
+//!
+//! Every request goes through a [`RetryPolicy`]: transient failures
+//! (transport errors classified retryable by
+//! [`Error::is_retryable`] — timeouts, refused connections, CRC-damaged
+//! frames — plus an explicit [`Reply::Retry`] from the far end) are
+//! resent with capped exponential backoff and *decorrelated jitter*
+//! (`sleep = min(cap, uniform(base, 3·prev))`), so a fleet knocked
+//! loose by one coordinator hiccup does not stampede back in
+//! lock-step. Only after `max_attempts` consecutive failures of the
+//! same request does the worker give up. Resending is always safe:
+//! `Hello`/`Lease`/`Status` are read-only and `Submit` is idempotent.
+//! Permanent disagreements ([`Reply::Refused`], schema mismatches) stay
+//! fatal — a resend cannot fix computing the wrong campaign.
 
 use crate::campaign::CampaignConfig;
 use crate::engine::{evaluate_unit, UnitScratch};
 use crate::transport::{Reply, Request, WorkerTransport};
 use crate::{Error, Result};
+use gf2poly::SplitMix64;
 use std::time::{Duration, Instant};
+
+/// Backoff schedule for transient request failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// First (and minimum) backoff sleep.
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub cap: Duration,
+    /// Attempts per request before giving up (at least 1).
+    pub max_attempts: u32,
+    /// Seed of the jitter stream (deterministic per worker; give each
+    /// worker its own seed so their schedules decorrelate).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(5),
+            max_attempts: 10,
+            seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
 
 /// Knobs for [`run_worker`].
 #[derive(Debug, Clone)]
@@ -24,6 +65,8 @@ pub struct WorkerOptions {
     /// campaign is done) — the hook the fault-injection tests use to
     /// model a worker that walks away.
     pub max_shards: Option<u64>,
+    /// Backoff schedule for transient request failures.
+    pub retry: RetryPolicy,
 }
 
 /// Tallies from one [`run_worker`] call.
@@ -33,6 +76,72 @@ pub struct WorkerSummary {
     pub shards_submitted: u64,
     /// Of those, how many the coordinator already had.
     pub duplicates: u64,
+    /// Requests resent after a transient failure or [`Reply::Retry`].
+    pub retries: u64,
+    /// [`Reply::Wait`] backoffs honoured.
+    pub waits: u64,
+}
+
+/// Drives one request through the retry schedule.
+struct Retrier {
+    policy: RetryPolicy,
+    rng: SplitMix64,
+    retries: u64,
+}
+
+impl Retrier {
+    fn new(policy: RetryPolicy) -> Retrier {
+        Retrier {
+            policy,
+            rng: SplitMix64::new(policy.seed),
+            retries: 0,
+        }
+    }
+
+    /// Uniform draw in `[lo, hi]` milliseconds off the jitter stream.
+    fn jitter_ms(&mut self, lo: u64, hi: u64) -> u64 {
+        let (lo, hi) = (lo.min(hi), lo.max(hi));
+        lo + self.rng.next_below(hi - lo + 1)
+    }
+
+    /// Calls `transport` until a non-retry reply arrives, a permanent
+    /// error surfaces, or the attempt budget runs out.
+    fn call(
+        &mut self,
+        transport: &mut dyn WorkerTransport,
+        what: &str,
+        req: &Request,
+    ) -> Result<Reply> {
+        let base_ms = self.policy.base.as_millis().max(1) as u64;
+        let cap_ms = self.policy.cap.as_millis().max(1) as u64;
+        let mut prev_ms = base_ms;
+        let max_attempts = self.policy.max_attempts.max(1);
+        for attempt in 1..=max_attempts {
+            let failure = match transport.call(req) {
+                Ok(Reply::Retry { reason }) => format!("far end asked for a resend: {reason}"),
+                Ok(reply) => return Ok(reply),
+                Err(e) if e.is_retryable() => e.to_string(),
+                Err(e) => return Err(e),
+            };
+            if attempt == max_attempts {
+                return Err(Error::Io(format!(
+                    "{what} failed after {max_attempts} attempts; last failure: {failure}"
+                )));
+            }
+            self.retries += 1;
+            if let Some(m) = crate::metrics::worker() {
+                m.retries.inc();
+            }
+            // Decorrelated jitter: each sleep is drawn uniformly from
+            // [base, 3·previous], capped — backoff grows on average but
+            // two workers never sync up.
+            prev_ms = self
+                .jitter_ms(base_ms, prev_ms.saturating_mul(3).min(cap_ms))
+                .min(cap_ms);
+            std::thread::sleep(Duration::from_millis(prev_ms));
+        }
+        unreachable!("loop returns on the last attempt");
+    }
 }
 
 /// Runs the worker loop over `transport` until the coordinator says the
@@ -40,18 +149,26 @@ pub struct WorkerSummary {
 ///
 /// # Errors
 ///
-/// Transport failures, a config hash that does not match the config
-/// document, a lease that disagrees with the config's own work units,
-/// or a [`Reply::Refused`] submission — a refusal means this worker is
-/// computing a different campaign than the coordinator is merging, so
-/// continuing would only waste cycles.
+/// A transport failure that outlives the retry schedule, a config hash
+/// that does not match the config document, a lease that disagrees with
+/// the config's own work units, or a [`Reply::Refused`] submission — a
+/// refusal means this worker is computing a different campaign than the
+/// coordinator is merging, so continuing would only waste cycles.
+/// Transient failures (retryable errors, [`Reply::Retry`]) are resent
+/// under [`WorkerOptions::retry`] and never surface unless the budget
+/// runs dry.
 pub fn run_worker(
     transport: &mut dyn WorkerTransport,
     opts: &WorkerOptions,
 ) -> Result<WorkerSummary> {
-    let hello = transport.call(&Request::Hello {
-        worker: opts.name.clone(),
-    })?;
+    let mut retrier = Retrier::new(opts.retry);
+    let hello = retrier.call(
+        transport,
+        "hello",
+        &Request::Hello {
+            worker: opts.name.clone(),
+        },
+    )?;
     let Reply::Welcome {
         config,
         config_hash,
@@ -77,11 +194,16 @@ pub fn run_worker(
             .max_shards
             .is_some_and(|max| summary.shards_submitted >= max)
         {
+            summary.retries = retrier.retries;
             return Ok(summary);
         }
-        match transport.call(&Request::Lease {
-            worker: opts.name.clone(),
-        })? {
+        match retrier.call(
+            transport,
+            "lease",
+            &Request::Lease {
+                worker: opts.name.clone(),
+            },
+        )? {
             Reply::Assign { shard, start, end } => {
                 let unit = *units.get(shard as usize).ok_or_else(|| {
                     Error::Parse(format!("leased shard {shard} outside the campaign"))
@@ -108,10 +230,14 @@ pub fn run_worker(
                     let us = t0.elapsed().as_micros().max(1) as u64;
                     m.polys_per_s.set(scanned.saturating_mul(1_000_000) / us);
                 }
-                match transport.call(&Request::Submit {
-                    worker: opts.name.clone(),
-                    log: result.to_json(hash),
-                })? {
+                match retrier.call(
+                    transport,
+                    "submit",
+                    &Request::Submit {
+                        worker: opts.name.clone(),
+                        log: result.to_json(hash),
+                    },
+                )? {
                     Reply::Accepted {
                         fresh, complete, ..
                     } => {
@@ -120,6 +246,7 @@ pub fn run_worker(
                             summary.duplicates += 1;
                         }
                         if complete {
+                            summary.retries = retrier.retries;
                             return Ok(summary);
                         }
                     }
@@ -136,9 +263,21 @@ pub fn run_worker(
                 }
             }
             Reply::Wait { backoff_ms } => {
-                std::thread::sleep(Duration::from_millis(backoff_ms.min(2_000)));
+                // Jitter the hinted backoff (uniform in [½·hint,
+                // 1½·hint]) so waiting workers return staggered instead
+                // of re-asking in the same poll tick.
+                summary.waits += 1;
+                if let Some(m) = crate::metrics::worker() {
+                    m.waits.inc();
+                }
+                let hint = backoff_ms.clamp(1, 2_000);
+                let ms = retrier.jitter_ms(hint / 2, hint + hint / 2);
+                std::thread::sleep(Duration::from_millis(ms));
             }
-            Reply::Done => return Ok(summary),
+            Reply::Done => {
+                summary.retries = retrier.retries;
+                return Ok(summary);
+            }
             other => {
                 return Err(Error::Parse(format!(
                     "expected assign/wait/done, got {other:?}"
@@ -195,6 +334,7 @@ mod tests {
             &WorkerOptions {
                 name: "w1".into(),
                 max_shards: None,
+                retry: RetryPolicy::default(),
             },
         )
         .unwrap();
@@ -205,5 +345,112 @@ mod tests {
         let reopened = Campaign::open(&dir).unwrap();
         assert!(reopened.is_complete());
         let _ = std::fs::remove_dir_all(&base);
+    }
+
+    /// A transport that fails (or asks for a resend) a fixed number of
+    /// times per request before letting it through.
+    struct Flaky {
+        failures_left: u32,
+        mode: FlakyMode,
+        calls: u32,
+    }
+
+    enum FlakyMode {
+        IoError,
+        RetryReply,
+        FatalError,
+    }
+
+    impl WorkerTransport for Flaky {
+        fn call(&mut self, _req: &Request) -> crate::Result<Reply> {
+            self.calls += 1;
+            if self.failures_left > 0 {
+                self.failures_left -= 1;
+                return match self.mode {
+                    FlakyMode::IoError => Err(Error::Io("connection reset".into())),
+                    FlakyMode::RetryReply => Ok(Reply::Retry {
+                        reason: "CRC mismatch".into(),
+                    }),
+                    FlakyMode::FatalError => Err(Error::Config("wrong campaign".into())),
+                };
+            }
+            Ok(Reply::Done)
+        }
+    }
+
+    fn fast_policy() -> RetryPolicy {
+        RetryPolicy {
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(4),
+            max_attempts: 5,
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn retrier_resends_through_transient_failures() {
+        for mode in [FlakyMode::IoError, FlakyMode::RetryReply] {
+            let mut t = Flaky {
+                failures_left: 3,
+                mode,
+                calls: 0,
+            };
+            let mut r = Retrier::new(fast_policy());
+            let reply = r
+                .call(&mut t, "lease", &Request::Lease { worker: "w".into() })
+                .unwrap();
+            assert_eq!(reply, Reply::Done);
+            assert_eq!(t.calls, 4, "3 failures then success");
+            assert_eq!(r.retries, 3);
+        }
+    }
+
+    #[test]
+    fn retrier_gives_up_after_the_attempt_budget() {
+        let mut t = Flaky {
+            failures_left: u32::MAX,
+            mode: FlakyMode::IoError,
+            calls: 0,
+        };
+        let mut r = Retrier::new(fast_policy());
+        let err = r
+            .call(&mut t, "submit", &Request::Lease { worker: "w".into() })
+            .unwrap_err();
+        assert_eq!(t.calls, 5, "exactly max_attempts calls");
+        let msg = err.to_string();
+        assert!(msg.contains("submit failed after 5 attempts"), "{msg}");
+        assert!(msg.contains("connection reset"), "{msg}");
+    }
+
+    #[test]
+    fn retrier_passes_permanent_errors_through_at_once() {
+        let mut t = Flaky {
+            failures_left: u32::MAX,
+            mode: FlakyMode::FatalError,
+            calls: 0,
+        };
+        let mut r = Retrier::new(fast_policy());
+        let err = r
+            .call(&mut t, "hello", &Request::Hello { worker: "w".into() })
+            .unwrap_err();
+        assert_eq!(t.calls, 1, "no retry on permanent errors");
+        assert!(matches!(err, Error::Config(_)));
+        assert_eq!(r.retries, 0);
+    }
+
+    #[test]
+    fn backoff_stays_within_base_and_cap() {
+        let mut r = Retrier::new(RetryPolicy {
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(100),
+            max_attempts: 10,
+            seed: 7,
+        });
+        let mut prev = 10u64;
+        for _ in 0..200 {
+            let next = r.jitter_ms(10, prev.saturating_mul(3).min(100)).min(100);
+            assert!((10..=100).contains(&next), "sleep {next} out of range");
+            prev = next;
+        }
     }
 }

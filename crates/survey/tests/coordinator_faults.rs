@@ -113,6 +113,7 @@ fn distributed_run_with_faults_matches_single_host_bytes() {
                     &WorkerOptions {
                         name: name.into(),
                         max_shards: None,
+                        retry: Default::default(),
                     },
                 )
                 .unwrap()

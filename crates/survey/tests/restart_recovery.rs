@@ -1,0 +1,207 @@
+//! Coordinator restart recovery: killing the coordinator mid-campaign
+//! must cost at most re-evaluated work. All durable state is the
+//! checkpoint, so a fresh coordinator process rebuilds from
+//! `campaign.json` + shard logs, and workers — whose requests fail
+//! retryably while the coordinator is down — simply re-handshake and
+//! continue. Artifacts stay byte-identical to an uninterrupted run.
+
+use crc_survey::campaign::{CampaignConfig, Mode};
+use crc_survey::coordinator::Coordinator;
+use crc_survey::engine::Campaign;
+use crc_survey::leaderboard::{build, LeaderboardOptions};
+use crc_survey::transport::{
+    FileQueueClient, FileQueueServer, Reply, Request, ServeTransport, TcpClient, TcpServer,
+    WorkerTransport,
+};
+use crc_survey::worker::{run_worker, RetryPolicy, WorkerOptions};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+fn test_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("crc-restart-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config() -> CampaignConfig {
+    CampaignConfig {
+        width: 13,
+        shards: 8,
+        seed: 2002,
+        mode: Mode::Exhaustive,
+        min_hd: 4,
+        target_lengths: vec![32, 128],
+        ber_grid: vec![1e-4, 1e-6],
+        max_weight: 6,
+    }
+}
+
+fn leaderboard_bytes(dir: &Path) -> Vec<u8> {
+    let campaign = Campaign::open(dir).unwrap();
+    assert!(campaign.is_complete());
+    build(
+        &campaign,
+        &LeaderboardOptions {
+            top: 5,
+            spot_check_32: false,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+    .render()
+    .into_bytes()
+}
+
+#[test]
+fn coordinator_restart_resumes_from_the_checkpoint() {
+    // Ground truth.
+    let single = test_dir("single");
+    Campaign::create(&single, config())
+        .unwrap()
+        .run(2, None)
+        .unwrap();
+
+    let dist = test_dir("dist");
+    let queue = test_dir("queue");
+
+    // The worker outlives both coordinator incarnations: while the
+    // coordinator is down its calls time out (retryable) and the retry
+    // policy keeps it alive until the successor answers.
+    let worker_thread = {
+        let queue = queue.clone();
+        std::thread::spawn(move || {
+            let mut client = FileQueueClient::new(&queue, "w1")
+                .unwrap()
+                .with_timing(Duration::from_millis(2), Duration::from_millis(500));
+            run_worker(
+                &mut client,
+                &WorkerOptions {
+                    name: "w1".into(),
+                    max_shards: None,
+                    retry: RetryPolicy {
+                        base: Duration::from_millis(5),
+                        cap: Duration::from_millis(100),
+                        max_attempts: 200,
+                        seed: 7,
+                    },
+                },
+            )
+            .expect("the worker must survive the coordinator restart")
+        })
+    };
+
+    // Incarnation one: serve until three shards are durable, then die
+    // without a word (leases and session counters are lost with it).
+    {
+        let campaign = Campaign::create(&dist, config()).unwrap();
+        let mut coordinator = Coordinator::new(campaign, Duration::from_secs(60));
+        let mut server = FileQueueServer::new(&queue).unwrap();
+        while coordinator.summary().shards_recorded < 3 {
+            if !server
+                .serve_one(&mut |req| coordinator.handle(req, Instant::now()))
+                .unwrap()
+            {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    } // crash: coordinator dropped mid-campaign
+
+    // A real outage: longer than the worker's 500ms call timeout, so
+    // its in-flight request demonstrably fails and is resent.
+    std::thread::sleep(Duration::from_millis(900));
+
+    // Incarnation two: rebuild from the checkpoint and finish. The
+    // successor knows nothing of the first session beyond what the
+    // manifest records.
+    let campaign = Campaign::open(&dist).unwrap();
+    let (done, _) = campaign.progress();
+    assert!(done >= 3, "the checkpoint survived the crash");
+    let mut coordinator = Coordinator::new(campaign, Duration::from_secs(60));
+    let mut server = FileQueueServer::new(&queue).unwrap();
+    let summary = coordinator
+        .serve(
+            &mut server,
+            Duration::from_millis(2),
+            Duration::from_secs(2),
+        )
+        .unwrap();
+
+    let worker_summary = worker_thread.join().unwrap();
+    assert_eq!(worker_summary.shards_submitted, config().shards);
+    assert!(
+        worker_summary.retries > 0,
+        "the outage must have forced retries"
+    );
+    assert!(coordinator.campaign().is_complete());
+    // The two sessions together recorded every shard exactly once
+    // (requests already in flight at the crash are answered by the
+    // successor; duplicates, if any, merge idempotently).
+    assert_eq!(summary.refusals, 0);
+
+    let a = leaderboard_bytes(&single);
+    let b = leaderboard_bytes(&dist);
+    assert_eq!(a, b, "leaderboard differs after the restart");
+
+    for dir in [single, dist, queue] {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn tcp_client_retries_connect_until_a_listener_appears() {
+    // Learn a free port, then leave it unbound while the client starts.
+    let probe = TcpServer::bind("127.0.0.1:0").unwrap();
+    let addr = probe.local_addr().unwrap().to_string();
+    drop(probe);
+
+    let server_thread = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            // The coordinator comes up "late": the client must already
+            // be retrying connection-refused with backoff by then.
+            std::thread::sleep(Duration::from_millis(300));
+            let mut server = TcpServer::bind(&addr).unwrap();
+            loop {
+                match server.serve_one(&mut |_req| Reply::Done) {
+                    Ok(true) => return,
+                    Ok(false) => std::thread::sleep(Duration::from_millis(1)),
+                    Err(e) => panic!("serve failed: {e}"),
+                }
+            }
+        })
+    };
+
+    let mut client = TcpClient::new(&addr).with_timeout(Duration::from_secs(10));
+    let reply = client
+        .call(&Request::Hello {
+            worker: "w1".into(),
+        })
+        .expect("connect retry must outlast the listener's late start");
+    assert_eq!(reply, Reply::Done);
+    server_thread.join().unwrap();
+}
+
+#[test]
+fn tcp_connect_timeout_names_the_connect_phase() {
+    // Learn a (very likely) dead port.
+    let probe = TcpServer::bind("127.0.0.1:0").unwrap();
+    let addr = probe.local_addr().unwrap().to_string();
+    drop(probe);
+
+    let mut client = TcpClient::new(&addr).with_timeout(Duration::from_millis(300));
+    let err = client
+        .call(&Request::Hello {
+            worker: "w1".into(),
+        })
+        .unwrap_err();
+    assert!(err.is_retryable(), "a connect timeout is transient");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("connect to") && msg.contains("timed out"),
+        "the error must say the *connect* timed out: {msg}"
+    );
+    assert!(
+        msg.contains("attempts"),
+        "attempt count aids diagnosis: {msg}"
+    );
+}
